@@ -1,0 +1,107 @@
+// Command hetassign runs phase one — heterogeneous assignment — on a DFG
+// and prints the chosen FU type per node, the system cost, and the
+// resulting schedule length.
+//
+// The graph comes either from a JSON file (-graph, see internal/dfg for the
+// format) or from the bundled benchmark registry (-bench). Time/cost tables
+// are drawn with -seed/-types unless the graph is paired with an explicit
+// table file later; the paper's experiments use exactly this random-table
+// protocol.
+//
+// Usage:
+//
+//	hetassign -bench elliptic -algo repeat -slack 4
+//	hetassign -graph app.json -algo exact -deadline 20 -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsynth"
+	"hetsynth/internal/cli"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "JSON DFG file (mutually exclusive with -bench/-src)")
+		srcPath   = flag.String("src", "", "kernel source file to compile into a DFG (see internal/expr)")
+		bench     = flag.String("bench", "", "bundled benchmark name (see -list)")
+		list      = flag.Bool("list", false, "list bundled benchmarks and exit")
+		algoName  = flag.String("algo", "auto", "algorithm: auto|path|tree|once|repeat|greedy|greedy-ratio|exact")
+		deadline  = flag.Int("deadline", 0, "timing constraint in control steps (default: minimum makespan + slack)")
+		slack     = flag.Int("slack", 0, "extra steps over the minimum makespan when -deadline is unset")
+		seed      = flag.Int64("seed", 2004, "seed for the random time/cost table")
+		types     = flag.Int("types", 3, "number of FU types")
+		dotPath   = flag.String("dot", "", "write the assigned DFG in Graphviz format to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range hetsynth.BenchmarkNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	g, err := cli.LoadGraph(*graphPath, *bench, *srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	algo, err := hetsynth.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	tab := hetsynth.RandomTable(*seed, g.N(), *types)
+	min, err := hetsynth.MinMakespan(g, tab)
+	if err != nil {
+		fatal(err)
+	}
+	L := *deadline
+	if L == 0 {
+		L = min + *slack
+	}
+	p := hetsynth.Problem{Graph: g, Table: tab, Deadline: L}
+	sol, err := hetsynth.Solve(p, algo)
+	if err != nil {
+		fatal(err)
+	}
+
+	lib, err := cli.LibraryFor(*types)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges; minimum makespan %d; deadline %d\n",
+		g.N(), g.M(), min, L)
+	fmt.Printf("algorithm %s: system cost %d, schedule length %d\n",
+		algo, sol.Cost, sol.Length)
+	ex, err := hetsynth.Explain(p, sol.Assign)
+	if err != nil {
+		fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		k := sol.Assign[v]
+		note := ""
+		if ex.Slack[v] == 0 {
+			note = "  <- critical"
+		}
+		fmt.Printf("  %-12s -> %-4s (time %d, cost %d, slack %d)%s\n",
+			g.Node(hetsynth.NodeID(v)).Name, lib.Name(k),
+			tab.Time[v][k], tab.Cost[v][k], ex.Slack[v], note)
+	}
+
+	if *dotPath != "" {
+		dot := g.DOT("hetassign", func(v hetsynth.NodeID) string {
+			return lib.Name(sol.Assign[v])
+		})
+		if err := os.WriteFile(*dotPath, []byte(dot), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hetassign:", err)
+	os.Exit(1)
+}

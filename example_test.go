@@ -1,0 +1,69 @@
+package hetsynth_test
+
+import (
+	"fmt"
+
+	"hetsynth"
+)
+
+// The full two-phase flow on a hand-built graph: assignment, then
+// minimum-resource scheduling.
+func ExampleSynthesize() {
+	g := hetsynth.NewGraph()
+	a := g.MustAddNode("A", "mul")
+	b := g.MustAddNode("B", "add")
+	g.MustAddEdge(a, b, 0)
+
+	tab := hetsynth.NewTable(g.N(), 2)
+	tab.MustSet(0, []int{1, 3}, []int64{9, 2}) // A: fast/expensive vs slow/cheap
+	tab.MustSet(1, []int{1, 2}, []int64{4, 1}) // B
+
+	res, err := hetsynth.Synthesize(hetsynth.Problem{
+		Graph: g, Table: tab, Deadline: 4,
+	}, hetsynth.AlgoAuto)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cost %d, length %d, config %s\n",
+		res.Solution.Cost, res.Solution.Length, res.Config)
+	// A runs slow (cost 2), B must run fast (cost 4) to make the deadline.
+	// Output: cost 6, length 4, config 1-1
+}
+
+// Kernel sources compile straight into data-flow graphs; '@1' reads the
+// previous iteration's value.
+func ExampleCompileKernel() {
+	k, err := hetsynth.CompileKernel(`s = in + coef*s@1`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d ops, inputs %v\n", k.Graph.N(), k.Inputs)
+	// Output: 2 ops, inputs [in coef]
+}
+
+// Tree-shaped problems expose their whole cost/deadline tradeoff in one
+// call.
+func ExampleTreeFrontier() {
+	g := hetsynth.NewGraph()
+	v1 := g.MustAddNode("v1", "")
+	v2 := g.MustAddNode("v2", "")
+	g.MustAddEdge(v1, v2, 0)
+	tab := hetsynth.NewTable(2, 2)
+	tab.MustSet(0, []int{1, 2}, []int64{5, 1})
+	tab.MustSet(1, []int{1, 2}, []int64{5, 1})
+
+	front, err := hetsynth.TreeFrontier(hetsynth.Problem{Graph: g, Table: tab, Deadline: 4})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range front {
+		fmt.Printf("deadline %d: cost %d\n", p.Deadline, p.Cost)
+	}
+	// Output:
+	// deadline 2: cost 10
+	// deadline 3: cost 6
+	// deadline 4: cost 2
+}

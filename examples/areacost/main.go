@@ -1,0 +1,56 @@
+// Areacost explores total architecture cost — execution energy PLUS the
+// silicon area of the FU configuration — over the two knobs the flow
+// exposes: the timing constraint and the allowed FU-library subset. This
+// is the "minimize the total cost" direction the paper's conclusion points
+// at: the per-phase optima (cheapest assignment, fewest FUs) are not
+// automatically the cheapest architecture.
+//
+// Run with: go run ./examples/areacost
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetsynth"
+)
+
+func main() {
+	g, err := hetsynth.BenchmarkDFG("rls-laguerre")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := hetsynth.RandomTable(2004, g.N(), 3)
+	lib := hetsynth.StandardLibrary()
+
+	// Area per FU instance: the fast type is 12x larger than the slow one.
+	areas := []int64{60, 25, 5}
+
+	points, best, err := hetsynth.ExploreArchitectures(g, tab, areas, hetsynth.ExploreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("RLS-Laguerre lattice filter: %d nodes; FU areas %v\n\n", g.N(), areas)
+	fmt.Printf("%-10s %-14s %-10s %-8s %-8s %-8s\n",
+		"deadline", "types", "config", "exec", "area", "total")
+	for i, p := range points {
+		names := ""
+		for j, k := range p.Types {
+			if j > 0 {
+				names += "+"
+			}
+			names += lib.Name(k)
+		}
+		marker := ""
+		if i == best {
+			marker = "  <= best"
+		}
+		fmt.Printf("%-10d %-14s %-10s %-8d %-8d %-8d%s\n",
+			p.Deadline, names, p.Config, p.ExecCost, p.AreaCost, p.Total, marker)
+	}
+	bp := points[best]
+	fmt.Printf("\nbest architecture: deadline %d, configuration %s, total cost %d\n",
+		bp.Deadline, bp.Config, bp.Total)
+	fmt.Println("(the tightest deadline pays for speed twice: costly assignments AND big FUs)")
+}

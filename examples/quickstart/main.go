@@ -1,0 +1,74 @@
+// Quickstart walks the paper's motivational example (Figures 1–3) end to
+// end on the public API: build a small DFG, give every node per-FU-type
+// times and costs, compare a naive fast assignment with the optimized one,
+// and synthesize the minimum-resource schedule and configuration.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetsynth"
+)
+
+func main() {
+	// The DFG of Figure 1: five operations, a two-level fan-in.
+	g := hetsynth.NewGraph()
+	a := g.MustAddNode("A", "mul")
+	b := g.MustAddNode("B", "mul")
+	c := g.MustAddNode("C", "add")
+	d := g.MustAddNode("D", "mul")
+	e := g.MustAddNode("E", "add")
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, e, 0)
+	g.MustAddEdge(d, e, 0)
+
+	// Figure 1's table: three FU types; P1 is fastest and most expensive,
+	// P3 slowest and cheapest (costs here read as energy units).
+	lib := hetsynth.StandardLibrary()
+	tab := hetsynth.NewTable(g.N(), lib.K())
+	tab.MustSet(0, []int{1, 2, 4}, []int64{10, 6, 2}) // A
+	tab.MustSet(1, []int{2, 3, 6}, []int64{9, 6, 1})  // B
+	tab.MustSet(2, []int{1, 2, 3}, []int64{8, 4, 2})  // C
+	tab.MustSet(3, []int{2, 4, 7}, []int64{9, 5, 2})  // D
+	tab.MustSet(4, []int{1, 3, 5}, []int64{7, 4, 1})  // E
+
+	p := hetsynth.Problem{Graph: g, Table: tab, Deadline: 6}
+
+	// Assignment 1 (the naive one of Figure 2a): the greedy baseline.
+	greedy, err := hetsynth.Solve(p, hetsynth.AlgoGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Assignment 2 (Figure 2b): the optimal assignment.
+	opt, err := hetsynth.Solve(p, hetsynth.AlgoExact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deadline %d time units\n", p.Deadline)
+	fmt.Printf("assignment 1 (greedy): cost %d\n", greedy.Cost)
+	fmt.Printf("assignment 2 (optimal): cost %d (%.0f%% less)\n",
+		opt.Cost, 100*float64(greedy.Cost-opt.Cost)/float64(greedy.Cost))
+	for v := 0; v < g.N(); v++ {
+		fmt.Printf("  %s: %s -> %s\n",
+			g.Node(hetsynth.NodeID(v)).Name,
+			lib.Name(greedy.Assign[v]), lib.Name(opt.Assign[v]))
+	}
+
+	// Phase two (Figure 3): schedule the optimal assignment with as few
+	// FU instances as possible.
+	res, err := hetsynth.Synthesize(p, hetsynth.AlgoExact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := hetsynth.ResourceLowerBound(g, tab, res.Solution.Assign, p.Deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconfiguration: %s (lower bound %s), %d FUs total\n",
+		res.Config, lb, res.Config.Total())
+	fmt.Print(hetsynth.Gantt(g, lib, res.Schedule, res.Config))
+}

@@ -1,0 +1,84 @@
+// Reliability demonstrates the reliability-driven cost model of §2: the
+// cost of running node v on FU type k is T_k(v)·λ_k, where λ_k is the
+// type's failure rate, so minimizing total cost maximizes the probability
+// that one execution of the DFG completes without a failure.
+//
+// The example assigns the differential-equation solver under a deadline
+// ladder and reports the system reliability of the optimized assignment
+// against the all-fast and all-cheap extremes.
+//
+// Run with: go run ./examples/reliability
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hetsynth"
+)
+
+const scale = 1e6 // fixed-point scale for reliability costs
+
+func main() {
+	g, err := hetsynth.BenchmarkDFG("diffeq")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Three FU types: the fast one fails more often per time unit (think
+	// aggressive voltage/frequency), the slow one is the most dependable.
+	lib, err := hetsynth.NewLibrary(
+		hetsynth.FUType{Name: "fast", FailureRate: 4e-4},
+		hetsynth.FUType{Name: "mid", FailureRate: 1.5e-4},
+		hetsynth.FUType{Name: "slow", FailureRate: 0.5e-4},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Execution times per (node, type), drawn deterministically.
+	rng := rand.New(rand.NewSource(7))
+	times := make([][]int, g.N())
+	for v := range times {
+		t := 1 + rng.Intn(2)
+		times[v] = []int{t, t + 1 + rng.Intn(2), t + 3 + rng.Intn(3)}
+	}
+	tab, err := hetsynth.ReliabilityCosts(lib, times, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	min, err := hetsynth.MinMakespan(g, tab)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reliabilityOf := func(a hetsynth.Assignment) float64 {
+		var c int64
+		for v, k := range a {
+			c += tab.Cost[v][k]
+		}
+		return hetsynth.SystemReliability(c, scale)
+	}
+	allType := func(k hetsynth.TypeID) hetsynth.Assignment {
+		a := make(hetsynth.Assignment, g.N())
+		for v := range a {
+			a[v] = k
+		}
+		return a
+	}
+
+	fmt.Printf("differential-equation solver: %d nodes, minimum makespan %d\n\n", g.N(), min)
+	fmt.Printf("all-fast reliability: %.6f\n", reliabilityOf(allType(0)))
+	fmt.Printf("all-slow reliability: %.6f (but ignores the deadline)\n\n", reliabilityOf(allType(2)))
+	fmt.Printf("%-10s %-14s %-12s\n", "deadline", "reliability", "critical path")
+	for slack := 0; slack <= 10; slack += 2 {
+		p := hetsynth.Problem{Graph: g, Table: tab, Deadline: min + slack}
+		sol, err := hetsynth.Solve(p, hetsynth.AlgoRepeat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-14.6f %-12d\n",
+			p.Deadline, hetsynth.SystemReliability(sol.Cost, scale), sol.Length)
+	}
+	fmt.Println("\nLooser deadlines shift ops to dependable slow FUs and raise reliability.")
+}

@@ -1,0 +1,214 @@
+package hetsynth
+
+// This file exposes the subsystems beyond the paper's core flow: the ILP
+// reference solver, the cycle-accurate simulator, loop transformations
+// (rotation scheduling, unfolding), the resource-constrained scheduler, and
+// the kernel-source compiler frontend.
+
+import (
+	"io"
+
+	"hetsynth/internal/archopt"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/expr"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/ilp"
+	"hetsynth/internal/rotate"
+	"hetsynth/internal/rtl"
+	"hetsynth/internal/sched"
+	"hetsynth/internal/sim"
+	"hetsynth/internal/unfold"
+)
+
+// Kernel is a DSP kernel compiled from source text (see CompileKernel).
+type Kernel = expr.Program
+
+// CompileKernel compiles a textual kernel description into a DFG:
+//
+//	out = in + k*out@1   # '@1' reads the previous iteration's value
+//
+// Statements are "name = expression" with +, -, *, parentheses and unary
+// minus; identifiers never assigned are external inputs; "@d" reads a
+// signal d iterations back (a d-delay edge). See internal/expr for the
+// full language description.
+func CompileKernel(src string) (*Kernel, error) { return expr.Compile(src) }
+
+// SolveILP solves the assignment problem with the integer-linear-
+// programming formulation of Ito, Lucke and Parhi (the paper's reference
+// [11]): exact like AlgoExact, but through an LP-relaxation
+// branch-and-bound. maxNodes bounds the search (0 = default). It exists as
+// an independently-derived optimum; prefer AlgoExact for speed.
+func SolveILP(p Problem, maxNodes int) (Solution, error) {
+	return ilp.SolveHAP(p, ilp.Options{MaxNodes: maxNodes})
+}
+
+// SimStats reports a simulation run (see Simulate).
+type SimStats = sim.Stats
+
+// MinInitiationInterval computes the smallest interval at which the
+// schedule can be repeated back-to-back: the synthesized datapath's real
+// throughput limit, accounting for FU reuse conflicts and loop-carried
+// dependences.
+func MinInitiationInterval(g *Graph, s *Schedule, cfg Config) (int, error) {
+	return sim.MinInitiationInterval(g, s, cfg)
+}
+
+// Simulate executes `iterations` repetitions of the schedule cycle by
+// cycle at initiation interval ii, re-verifying FU occupancy and data
+// availability dynamically, and reports throughput and utilization. Use
+// ii = s.Length for the paper's non-overlapped execution.
+func Simulate(g *Graph, t *Table, s *Schedule, cfg Config, iterations, ii int) (SimStats, error) {
+	return sim.Run(g, t, s, cfg, iterations, ii)
+}
+
+// ListSchedule schedules under a FIXED configuration (classic resource-
+// constrained list scheduling): the schedule length is whatever the given
+// FU counts allow.
+func ListSchedule(g *Graph, t *Table, a Assignment, cfg Config) (*Schedule, error) {
+	return sched.ListSchedule(g, t, a, cfg)
+}
+
+// MinConfigSearch is the search-based alternative to BuildSchedule: grow
+// the configuration one FU at a time until the list schedule meets the
+// deadline. Exists as an ablation comparator for Min_R_Scheduling.
+func MinConfigSearch(g *Graph, t *Table, a Assignment, deadline int) (*Schedule, Config, error) {
+	return sched.MinConfigSearch(g, t, a, deadline)
+}
+
+// ForceDirected is the time-constrained scheduler of Paulin and Knight
+// (the paper's reference [15]): it balances expected FU concurrency across
+// control steps before committing nodes, an alternative to BuildSchedule's
+// Min_R_Scheduling. The returned configuration is the per-step concurrency
+// maximum of the final schedule.
+func ForceDirected(g *Graph, t *Table, a Assignment, deadline int) (*Schedule, Config, error) {
+	return sched.ForceDirected(g, t, a, deadline)
+}
+
+// RegisterDemand reports how many registers the datapath needs to hold
+// intermediate values when the schedule repeats with initiation interval
+// ii (Ito–Parhi register minimization, the paper's reference [12]).
+func RegisterDemand(g *Graph, s *Schedule, ii int) (int, error) {
+	return sched.RegisterDemand(g, s, ii)
+}
+
+// AnnealOptions tunes the simulated-annealing assignment solver.
+type AnnealOptions = hap.AnnealOptions
+
+// Anneal is a generic metaheuristic assignment solver (simulated
+// annealing), an extended-ablation baseline for the structured heuristics.
+func Anneal(p Problem, opts AnnealOptions) (Solution, error) { return hap.Anneal(p, opts) }
+
+// RotationResult is the outcome of rotation scheduling (see Rotate).
+type RotationResult = rotate.Result
+
+// Rotate runs rotation scheduling (Chao–LaPaugh–Sha, the paper's reference
+// [4]): repeatedly retime the first-row nodes of the current schedule and
+// re-run resource-constrained list scheduling, keeping the shortest static
+// schedule found. maxRotations <= 0 defaults to 2·|V|.
+func Rotate(g *Graph, t *Table, a Assignment, cfg Config, maxRotations int) (RotationResult, error) {
+	return rotate.Rotate(g, t, a, cfg, maxRotations)
+}
+
+// Unfold returns the f-unfolded DFG: f copies of every node, one block
+// executing f consecutive loop iterations (Chao–Sha, the paper's reference
+// [6]).
+func Unfold(g *Graph, f int) (*Graph, error) { return unfold.Unfold(g, f) }
+
+// UnfoldTable expands a per-node table onto the f copies of each node so
+// the assignment algorithms run unchanged on the unfolded graph.
+func UnfoldTable(t *Table, f int) *Table { return unfold.LiftTable(t, f) }
+
+// IterationBound returns the loop's throughput floor — the maximum over
+// cycles of (cycle time / cycle delays) — as a num/den pair on a grid fine
+// enough to separate all cycle ratios, and 0/1 for acyclic graphs.
+func IterationBound(g *Graph, times []int) (num, den int, err error) {
+	return unfold.IterationBound(g, times)
+}
+
+// FrontierPoint is one point of a cost/deadline tradeoff curve.
+type FrontierPoint = hap.FrontierPoint
+
+// TreeFrontier computes the complete optimal cost-versus-deadline curve of
+// a tree-shaped problem, from the minimum makespan up to p.Deadline, as the
+// breakpoints of the (non-increasing) step function.
+func TreeFrontier(p Problem) ([]FrontierPoint, error) { return hap.TreeFrontier(p) }
+
+// PruneDominated collapses dominated FU-type options (no faster AND no
+// cheaper than another option) in a table; the optimum is unaffected.
+// Returns the rewritten table and the number of collapsed options.
+func PruneDominated(t *Table) (*Table, int) { return hap.PruneDominated(t) }
+
+// ValueBinding records the register allocated to one value (see
+// BindRegisters).
+type ValueBinding = sched.ValueBinding
+
+// BindRegisters allocates registers to the intra-iteration values of a
+// schedule with the left-edge algorithm and returns the bindings plus the
+// register count.
+func BindRegisters(g *Graph, s *Schedule) ([]ValueBinding, int, error) {
+	return sched.BindRegisters(g, s)
+}
+
+// MuxDemand estimates interconnect complexity: distinct sources feeding
+// each FU instance (input multiplexer widths) and the widest one.
+func MuxDemand(g *Graph, s *Schedule, cfg Config) (perInstance []int, widest int) {
+	return sched.MuxDemand(g, s, cfg)
+}
+
+// WriteVCD dumps the simulated FU occupancy as a Value Change Dump
+// waveform (GTKWave-compatible).
+func WriteVCD(w io.Writer, g *Graph, lib *Library, s *Schedule, cfg Config, iterations, ii int) error {
+	return sim.WriteVCD(w, g, lib, s, cfg, iterations, ii)
+}
+
+// RTLOptions tunes the Verilog backend.
+type RTLOptions = rtl.Options
+
+// EmitRTL generates a Verilog-2001 skeleton of the synthesized
+// architecture: control FSM, minimal register file (left-edge binding),
+// loop-carried state registers, and per-step register transfers. See
+// internal/rtl for the documented simplifications.
+func EmitRTL(g *Graph, lib *Library, s *Schedule, cfg Config, opts RTLOptions) (string, error) {
+	return rtl.Emit(g, lib, s, cfg, opts)
+}
+
+// Catalog is a named FU library with per-operation-class timing/cost rows.
+type Catalog = fu.Catalog
+
+// Catalogs lists the bundled FU catalogs ("generic3", "lowpower",
+// "reliable").
+func Catalogs() []string { return fu.Catalogs() }
+
+// LookupCatalog resolves a bundled FU catalog by name.
+func LookupCatalog(name string) (Catalog, error) { return fu.LookupCatalog(name) }
+
+// DesignPoint is one explored architecture (see ExploreArchitectures).
+type DesignPoint = archopt.Point
+
+// ExploreOptions bounds an architecture exploration.
+type ExploreOptions = archopt.Options
+
+// ExploreArchitectures sweeps deadlines and FU-library subsets, running
+// the full two-phase flow at every point, and returns the explored designs
+// plus the index of the one with the minimum total cost
+// (execution cost + per-instance area of the configuration) — the "total
+// cost" direction the paper's conclusion points at.
+func ExploreArchitectures(g *Graph, t *Table, areas []int64, opts ExploreOptions) ([]DesignPoint, int, error) {
+	return archopt.Explore(g, t, areas, opts)
+}
+
+// GraphMetrics summarizes the shape of a DFG's DAG portion.
+type GraphMetrics = dfg.Metrics
+
+// ComputeMetrics returns the shape metrics of a DFG.
+func ComputeMetrics(g *Graph) (GraphMetrics, error) { return dfg.ComputeMetrics(g) }
+
+// AssignmentExplanation describes an assignment's slack structure (see
+// Explain).
+type AssignmentExplanation = hap.Explanation
+
+// Explain analyzes a feasible assignment against its deadline: the
+// critical path and per-node slack (how much longer each node could run
+// without breaking any path's deadline).
+func Explain(p Problem, a Assignment) (AssignmentExplanation, error) { return hap.Explain(p, a) }

@@ -1,0 +1,63 @@
+package hetsynth
+
+import (
+	"testing"
+)
+
+func TestForceDirectedFacadeVsMinR(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	sol, err := Solve(p, AlgoRepeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sF, cF, err := ForceDirected(p.Graph, p.Table, sol.Assign, p.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sM, cM, err := BuildSchedule(p, sol.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sF.Length > p.Deadline || sM.Length > p.Deadline {
+		t.Fatal("a phase-2 algorithm missed the deadline")
+	}
+	t.Logf("force-directed config %v (total %d), min_r config %v (total %d)",
+		cF, cF.Total(), cM, cM.Total())
+}
+
+func TestRegisterDemandFacade(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	res, err := Synthesize(p, AlgoRepeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := RegisterDemand(p.Graph, res.Schedule, res.Schedule.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs < 1 {
+		t.Fatalf("register demand %d, want >= 1 (values flow between FUs)", regs)
+	}
+}
+
+func TestAnnealFacadeBeatsOrMatchesGreedy(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	gs, err := Solve(p, AlgoGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Anneal(p, AnnealOptions{Seed: 1, Moves: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Cost > gs.Cost {
+		t.Fatalf("anneal %d worse than greedy %d", as.Cost, gs.Cost)
+	}
+	exact, err := Solve(p, AlgoExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Cost < exact.Cost {
+		t.Fatalf("anneal %d beat the optimum %d", as.Cost, exact.Cost)
+	}
+}

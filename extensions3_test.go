@@ -1,0 +1,131 @@
+package hetsynth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTreeFrontierFacadeOnBenchmark(t *testing.T) {
+	g, err := BenchmarkDFG("volterra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := RandomTable(2004, g.N(), 3)
+	min, err := MinMakespan(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := TreeFrontier(Problem{Graph: g, Table: tab, Deadline: 2 * min})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 3 {
+		t.Fatalf("frontier too coarse: %+v", front)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Cost >= front[i-1].Cost {
+			t.Fatalf("frontier not strictly decreasing: %+v", front)
+		}
+	}
+}
+
+func TestPruneDominatedFacadeOnCatalogTable(t *testing.T) {
+	c, err := LookupCatalog("generic3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BenchmarkDFG("diffeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := c.TableFor(g.N(), func(v int) string { return g.Node(NodeID(v)).Op })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, collapsed := PruneDominated(tab)
+	if collapsed != 0 {
+		t.Fatalf("catalog rows are pareto; %d collapsed", collapsed)
+	}
+	min, err := MinMakespan(g, pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(Problem{Graph: g, Table: pruned, Deadline: min + 3}, AlgoRepeat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindingAndMuxFacade(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	res, err := Synthesize(p, AlgoRepeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, regs, err := BindRegisters(p.Graph, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs < 1 || len(vals) < 1 {
+		t.Fatalf("binding degenerate: %d regs, %d values", regs, len(vals))
+	}
+	per, widest := MuxDemand(p.Graph, res.Schedule, res.Config)
+	if len(per) != res.Config.Total() || widest < 1 {
+		t.Fatalf("mux demand degenerate: %v widest %d", per, widest)
+	}
+}
+
+func TestWriteVCDFacade(t *testing.T) {
+	p, lib := buildQuickstart(t)
+	res, err := Synthesize(p, AlgoRepeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, p.Graph, lib, res.Schedule, res.Config, 3, res.Schedule.Length); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$enddefinitions") {
+		t.Fatal("VCD header missing")
+	}
+}
+
+func TestComputeMetricsFacade(t *testing.T) {
+	g, err := BenchmarkDFG("elliptic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeMetrics(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 34 || m.Depth < 5 || m.MaxFanin != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestCatalogEndToEnd(t *testing.T) {
+	c, err := LookupCatalog("lowpower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BenchmarkDFG("8-stage-lattice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := c.TableFor(g.N(), func(v int) string { return g.Node(NodeID(v)).Op })
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := MinMakespan(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(Problem{Graph: g, Table: tab, Deadline: min + 10}, AlgoAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Length > min+10 {
+		t.Fatal("deadline violated")
+	}
+}

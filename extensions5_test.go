@@ -1,0 +1,26 @@
+package hetsynth
+
+import "testing"
+
+func TestExplainFacade(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	sol, err := Solve(p, AlgoExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Explain(p, sol.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Length != sol.Length {
+		t.Fatalf("explanation length %d != solution %d", ex.Length, sol.Length)
+	}
+	if len(ex.Critical) == 0 || len(ex.Slack) != p.Graph.N() {
+		t.Fatalf("degenerate explanation: %+v", ex)
+	}
+	for _, s := range ex.Slack {
+		if s < 0 {
+			t.Fatalf("negative slack on a feasible assignment: %v", ex.Slack)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package hetsynth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileKernelToSynthesisFlow(t *testing.T) {
+	k, err := CompileKernel(`
+		# two-stage lattice section
+		e1 = x - k1*b0@1
+		b1 = b0@1 - k1*e1
+		e2 = e1 - k2*b1
+		b0 = b1 - k2*e2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Graph
+	tab := RandomTable(5, g.N(), 3)
+	min, err := MinMakespan(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(Problem{Graph: g, Table: tab, Deadline: min + 3}, AlgoAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Length > min+3 {
+		t.Fatalf("schedule length %d over deadline", res.Schedule.Length)
+	}
+	// And the synthesized datapath simulates.
+	st, err := Simulate(g, tab, res.Schedule, res.Config, 8, res.Schedule.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 8*g.N() {
+		t.Fatalf("simulated %d ops, want %d", st.Ops, 8*g.N())
+	}
+}
+
+func TestSolveILPAgreesWithExactOnFacade(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	a, err := Solve(p, AlgoExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveILP(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("exact %d != ILP %d", a.Cost, b.Cost)
+	}
+}
+
+func TestSimulateAtMinII(t *testing.T) {
+	p, lib := buildQuickstart(t)
+	res, err := Synthesize(p, AlgoRepeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, err := MinInitiationInterval(p.Graph, res.Schedule, res.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii > res.Schedule.Length {
+		t.Fatalf("min II %d exceeds schedule length %d", ii, res.Schedule.Length)
+	}
+	st, err := Simulate(p.Graph, p.Table, res.Schedule, res.Config, 20, ii)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.Report(lib), "utilized") {
+		t.Fatal("report broken")
+	}
+	// Overlap must never lower per-type utilization below the
+	// non-overlapped run (same work, fewer cycles).
+	slow, err := Simulate(p.Graph, p.Table, res.Schedule, res.Config, 20, res.Schedule.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range st.Utilization {
+		if st.Utilization[k]+1e-9 < slow.Utilization[k] {
+			t.Fatalf("overlap lowered utilization of type %d: %.3f < %.3f",
+				k, st.Utilization[k], slow.Utilization[k])
+		}
+	}
+}
+
+func TestListScheduleAndConfigSearchFacade(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	sol, err := Solve(p, AlgoRepeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, cfg, err := MinConfigSearch(p.Graph, p.Table, sol.Assign, p.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length > p.Deadline {
+		t.Fatalf("config search misses deadline: %d", s.Length)
+	}
+	s2, err := ListSchedule(p.Graph, p.Table, sol.Assign, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Length != s.Length {
+		t.Fatalf("list schedule of found config differs: %d vs %d", s2.Length, s.Length)
+	}
+}
+
+func TestRotateFacadeOnCyclicKernel(t *testing.T) {
+	k, err := CompileKernel(`
+		a = in + d@1
+		b = a * k1
+		c = b * k2
+		d = c + a
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Graph
+	tab := RandomTable(3, g.N(), 2)
+	assign := make(Assignment, g.N())
+	for v := range assign {
+		assign[v] = 0
+	}
+	// One FU per node: resources never bottleneck the rotation.
+	res, err := Rotate(g, tab, assign, Config{g.N(), 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Length > res.InitialLength {
+		t.Fatalf("rotation worsened schedule: %d > %d", res.Schedule.Length, res.InitialLength)
+	}
+}
+
+func TestUnfoldFacade(t *testing.T) {
+	k, err := CompileKernel(`s = in + k*s@2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Graph
+	u, err := Unfold(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 2*g.N() {
+		t.Fatalf("unfolded %d nodes, want %d", u.N(), 2*g.N())
+	}
+	tab := RandomTable(9, g.N(), 2)
+	lifted := UnfoldTable(tab, 2)
+	if lifted.N() != u.N() {
+		t.Fatalf("lifted table covers %d, want %d", lifted.N(), u.N())
+	}
+	times := make([]int, g.N())
+	for v := range times {
+		times[v] = tab.MinTime(v)
+	}
+	num, den, err := IterationBound(g, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num <= 0 || den <= 0 {
+		t.Fatalf("iteration bound %d/%d", num, den)
+	}
+}

@@ -1,0 +1,3 @@
+module hetsynth
+
+go 1.22

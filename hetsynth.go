@@ -1,0 +1,217 @@
+// Package hetsynth is a library for high-level synthesis of real-time DSP
+// applications onto architectures built from heterogeneous functional units
+// (FUs), reproducing Shao, Zhuge, He, Xue, Liu and Sha, "Assignment and
+// Scheduling of Real-time DSP Applications for Heterogeneous Functional
+// Units" (IPPS/IPDPS 2004).
+//
+// The flow has two phases:
+//
+//  1. Heterogeneous assignment: pick an FU type for every operation of a
+//     data-flow graph so that the total cost (energy, reliability, price) is
+//     minimized while every dependence chain meets a timing constraint.
+//     Solvers: optimal dynamic programs for simple paths (Path_Assign) and
+//     trees (Tree_Assign), the critical-path-tree heuristics for general
+//     DFGs (DFG_Assign_Once, DFG_Assign_Repeat), a speed-driven greedy
+//     baseline and a branch-and-bound optimum for small graphs.
+//
+//  2. Minimum-resource scheduling: turn the assignment into a static
+//     schedule plus an FU configuration (how many instances of each type),
+//     growing the configuration beyond the ASAP/ALAP lower bound only when
+//     a node would otherwise miss its deadline.
+//
+// The quickest route is Synthesize, which runs both phases:
+//
+//	g := hetsynth.NewGraph()
+//	// ... add nodes and edges ...
+//	table := hetsynth.RandomTable(seed, g.N(), 3)
+//	res, err := hetsynth.Synthesize(hetsynth.Problem{
+//		Graph: g, Table: table, Deadline: 20,
+//	}, hetsynth.AlgoAuto)
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// mapping from the paper's sections to packages.
+package hetsynth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/cptree"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/retime"
+	"hetsynth/internal/sched"
+)
+
+// Core types, re-exported from the implementation packages. The aliases
+// carry every method of the underlying types.
+type (
+	// Graph is a data-flow graph: operations, precedence edges, and
+	// inter-iteration delays.
+	Graph = dfg.Graph
+	// NodeID identifies a node within one Graph.
+	NodeID = dfg.NodeID
+	// Node is one operation of a Graph.
+	Node = dfg.Node
+	// Edge is one precedence of a Graph.
+	Edge = dfg.Edge
+	// Library describes the available FU types.
+	Library = fu.Library
+	// FUType describes one FU type.
+	FUType = fu.Type
+	// TypeID indexes an FU type within a Library.
+	TypeID = fu.TypeID
+	// Table holds per-(node, type) execution times and costs.
+	Table = fu.Table
+	// Problem is one heterogeneous assignment instance.
+	Problem = hap.Problem
+	// Assignment maps each node to an FU type.
+	Assignment = hap.Assignment
+	// Solution is an assignment with its cost and schedule length.
+	Solution = hap.Solution
+	// Algorithm selects an assignment solver.
+	Algorithm = hap.Algorithm
+	// Config counts FU instances per type.
+	Config = sched.Config
+	// Schedule is a static schedule of one DFG iteration.
+	Schedule = sched.Schedule
+	// CriticalPathTree is a DFG expanded into a tree carrying all of its
+	// critical paths.
+	CriticalPathTree = cptree.Tree
+)
+
+// Assignment algorithms.
+const (
+	// AlgoAuto picks per graph shape: Path_Assign on simple paths,
+	// Tree_Assign on trees, DFG_Assign_Repeat otherwise.
+	AlgoAuto = hap.AlgoAuto
+	// AlgoPath is the optimal DP for simple paths.
+	AlgoPath = hap.AlgoPath
+	// AlgoTree is the optimal DP for trees (out- or in-forests).
+	AlgoTree = hap.AlgoTree
+	// AlgoOnce is DFG_Assign_Once.
+	AlgoOnce = hap.AlgoOnce
+	// AlgoRepeat is DFG_Assign_Repeat, the paper's recommendation.
+	AlgoRepeat = hap.AlgoRepeat
+	// AlgoGreedy is the speed-driven greedy baseline.
+	AlgoGreedy = hap.AlgoGreedy
+	// AlgoGreedyRatio is the cost-aware greedy baseline (ablation).
+	AlgoGreedyRatio = hap.AlgoGreedyRatio
+	// AlgoExact is the branch-and-bound optimum for small graphs.
+	AlgoExact = hap.AlgoExact
+)
+
+// ErrInfeasible reports that no assignment can meet the timing constraint.
+var ErrInfeasible = hap.ErrInfeasible
+
+// ErrShape reports that a shape-restricted solver got the wrong graph shape.
+var ErrShape = hap.ErrShape
+
+// NewGraph returns an empty data-flow graph.
+func NewGraph() *Graph { return dfg.New() }
+
+// NewLibrary builds an FU library from type descriptors.
+func NewLibrary(types ...FUType) (*Library, error) { return fu.NewLibrary(types...) }
+
+// StandardLibrary returns the paper's three-type library P1 (fastest, most
+// expensive) to P3 (slowest, cheapest).
+func StandardLibrary() *Library { return fu.StandardLibrary() }
+
+// NewTable allocates an empty n-node, k-type time/cost table.
+func NewTable(n, k int) *Table { return fu.NewTable(n, k) }
+
+// RandomTable draws a paper-style random table (times increase, costs
+// decrease across types) with a deterministic seed.
+func RandomTable(seed int64, n, k int) *Table {
+	return fu.RandomTable(rand.New(rand.NewSource(seed)), n, k)
+}
+
+// ReliabilityCosts derives a reliability-cost table from execution times
+// and the library's per-type failure rates (§2 of the paper).
+func ReliabilityCosts(lib *Library, times [][]int, scale float64) (*Table, error) {
+	return fu.ReliabilityCosts(lib, times, scale)
+}
+
+// SystemReliability converts a summed reliability cost back to the survival
+// probability of one DFG execution.
+func SystemReliability(totalCost int64, scale float64) float64 {
+	return fu.SystemReliability(totalCost, scale)
+}
+
+// ParseAlgorithm resolves a CLI algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) { return hap.ParseAlgorithm(s) }
+
+// Solve runs phase one: the selected assignment algorithm on the problem.
+func Solve(p Problem, algo Algorithm) (Solution, error) { return hap.Solve(p, algo) }
+
+// MinMakespan returns the smallest deadline for which the problem is
+// feasible (every node on its fastest type).
+func MinMakespan(g *Graph, t *Table) (int, error) { return hap.MinMakespan(g, t) }
+
+// Expand builds the critical-path tree of a DFG (Algorithm DFG_Expand),
+// choosing the smaller of the two orientations like DFG_Assign_Once does.
+func Expand(g *Graph) (*CriticalPathTree, error) { return cptree.ExpandBoth(g) }
+
+// ResourceLowerBound computes the per-type FU lower bound of any schedule
+// meeting the deadline (Algorithm Lower_Bound_R).
+func ResourceLowerBound(g *Graph, t *Table, a Assignment, deadline int) (Config, error) {
+	return sched.LowerBoundR(g, t, a, deadline)
+}
+
+// BuildSchedule runs phase two on an assignment: minimum-resource list
+// scheduling (Algorithm Min_R_Scheduling), returning the schedule and the
+// FU configuration.
+func BuildSchedule(p Problem, a Assignment) (*Schedule, Config, error) {
+	return sched.MinRSchedule(p.Graph, p.Table, a, p.Deadline)
+}
+
+// Gantt renders a schedule as a text chart, one row per FU instance.
+func Gantt(g *Graph, lib *Library, s *Schedule, cfg Config) string {
+	return sched.Gantt(g, lib, s, cfg)
+}
+
+// Result is the outcome of the full two-phase flow.
+type Result struct {
+	Solution Solution
+	Schedule *Schedule
+	Config   Config
+}
+
+// Synthesize runs both phases: assignment, then minimum-resource
+// scheduling of the chosen assignment.
+func Synthesize(p Problem, algo Algorithm) (Result, error) {
+	sol, err := Solve(p, algo)
+	if err != nil {
+		return Result{}, err
+	}
+	s, cfg, err := BuildSchedule(p, sol.Assign)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Solution: sol, Schedule: s, Config: cfg}, nil
+}
+
+// MinimizePeriod retimes a (possibly cyclic) DFG to its minimum cycle
+// period under the given node execution times, returning the retimed graph,
+// the retiming vector, and the achieved period.
+func MinimizePeriod(g *Graph, times []int) (*Graph, []int, int, error) {
+	return retime.Minimize(g, times)
+}
+
+// CyclePeriod returns the longest zero-delay path time of a DFG.
+func CyclePeriod(g *Graph, times []int) (int, error) { return retime.Period(g, times) }
+
+// BenchmarkDFG builds one of the bundled benchmark DFGs by registry name
+// (see BenchmarkNames).
+func BenchmarkDFG(name string) (*Graph, error) {
+	b, ok := benchdfg.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("hetsynth: unknown benchmark %q (known: %v)", name, benchdfg.Names())
+	}
+	return b.Build(), nil
+}
+
+// BenchmarkNames lists the bundled benchmark DFGs.
+func BenchmarkNames() []string { return benchdfg.Names() }

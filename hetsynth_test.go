@@ -1,0 +1,197 @@
+package hetsynth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildQuickstart assembles the façade-level version of the motivational
+// example: a five-node DFG over the standard three-type library.
+func buildQuickstart(t testing.TB) (Problem, *Library) {
+	t.Helper()
+	g := NewGraph()
+	a := g.MustAddNode("A", "mul")
+	b := g.MustAddNode("B", "mul")
+	c := g.MustAddNode("C", "add")
+	d := g.MustAddNode("D", "mul")
+	e := g.MustAddNode("E", "add")
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, e, 0)
+	g.MustAddEdge(d, e, 0)
+	tab := NewTable(5, 3)
+	tab.MustSet(0, []int{1, 2, 4}, []int64{10, 6, 2})
+	tab.MustSet(1, []int{2, 3, 6}, []int64{9, 6, 1})
+	tab.MustSet(2, []int{1, 2, 3}, []int64{8, 4, 2})
+	tab.MustSet(3, []int{2, 4, 7}, []int64{9, 5, 2})
+	tab.MustSet(4, []int{1, 3, 5}, []int64{7, 4, 1})
+	return Problem{Graph: g, Table: tab, Deadline: 6}, StandardLibrary()
+}
+
+func TestSynthesizeEndToEnd(t *testing.T) {
+	p, lib := buildQuickstart(t)
+	res, err := Synthesize(p, AlgoAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Length > p.Deadline {
+		t.Fatalf("length %d > deadline %d", res.Solution.Length, p.Deadline)
+	}
+	if res.Schedule.Length > p.Deadline {
+		t.Fatalf("schedule length %d > deadline %d", res.Schedule.Length, p.Deadline)
+	}
+	if res.Config.Total() < 1 {
+		t.Fatalf("empty configuration %v", res.Config)
+	}
+	lb, err := ResourceLowerBound(p.Graph, p.Table, res.Solution.Assign, p.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Config.Covers(lb) {
+		t.Fatalf("config %v below lower bound %v", res.Config, lb)
+	}
+	chart := Gantt(p.Graph, lib, res.Schedule, res.Config)
+	for _, name := range []string{"A", "B", "C", "D", "E"} {
+		if !strings.Contains(chart, name) {
+			t.Errorf("Gantt missing node %s:\n%s", name, chart)
+		}
+	}
+}
+
+func TestSolveAlgorithmsAgreeOnOptimumDirection(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	exact, err := Solve(p, AlgoExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoOnce, AlgoRepeat, AlgoGreedy, AlgoGreedyRatio} {
+		s, err := Solve(p, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if s.Cost < exact.Cost {
+			t.Fatalf("%v beat the exact optimum: %d < %d", algo, s.Cost, exact.Cost)
+		}
+	}
+}
+
+func TestSynthesizeInfeasible(t *testing.T) {
+	p, _ := buildQuickstart(t)
+	p.Deadline = 1
+	if _, err := Synthesize(p, AlgoAuto); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestBenchmarkRegistryFacade(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) < 8 {
+		t.Fatalf("only %d benchmarks", len(names))
+	}
+	g, err := BenchmarkDFG("elliptic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 34 {
+		t.Fatalf("elliptic has %d nodes", g.N())
+	}
+	if _, err := BenchmarkDFG("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarkSynthesisFullFlow(t *testing.T) {
+	for _, name := range []string{"4-stage-lattice", "diffeq", "elliptic"} {
+		g, err := BenchmarkDFG(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := RandomTable(42, g.N(), 3)
+		min, err := MinMakespan(g, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Problem{Graph: g, Table: tab, Deadline: min + 4}
+		res, err := Synthesize(p, AlgoRepeat)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Solution.Length > p.Deadline || res.Schedule.Length > p.Deadline {
+			t.Fatalf("%s: deadline violated", name)
+		}
+	}
+}
+
+func TestExpandFacade(t *testing.T) {
+	g, err := BenchmarkDFG("diffeq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.Duplicated()); got != 3 {
+		t.Fatalf("diffeq duplicated nodes = %d, want 3", got)
+	}
+}
+
+func TestReliabilityFacade(t *testing.T) {
+	lib, err := NewLibrary(
+		FUType{Name: "fast", FailureRate: 0.002},
+		FUType{Name: "slow", FailureRate: 0.0005},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := [][]int{{1, 3}, {2, 4}, {1, 2}}
+	tab, err := ReliabilityCosts(lib, times, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph()
+	n0 := g.MustAddNode("x", "")
+	n1 := g.MustAddNode("y", "")
+	g.MustAddNode("z", "")
+	g.MustAddEdge(n0, n1, 0)
+	p := Problem{Graph: g, Table: tab, Deadline: 7}
+	s, err := Solve(p, AlgoAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := SystemReliability(s.Cost, 1e6)
+	if rel <= 0 || rel > 1 {
+		t.Fatalf("reliability %g out of range", rel)
+	}
+}
+
+func TestRetimingFacade(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 2)
+	times := []int{2, 2}
+	before, err := CyclePeriod(g, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 4 {
+		t.Fatalf("period = %d, want 4", before)
+	}
+	_, _, after, err := MinimizePeriod(g, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 2 {
+		t.Fatalf("retimed period = %d, want 2", after)
+	}
+}
+
+func TestParseAlgorithmFacade(t *testing.T) {
+	a, err := ParseAlgorithm("repeat")
+	if err != nil || a != AlgoRepeat {
+		t.Fatalf("ParseAlgorithm(repeat) = %v, %v", a, err)
+	}
+}

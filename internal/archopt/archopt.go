@@ -1,0 +1,178 @@
+// Package archopt explores total architecture cost, the direction the
+// paper's conclusion points at: phase one minimizes execution cost (energy,
+// reliability) under a timing constraint and phase two minimizes FU count,
+// but a designer ultimately pays for both — the operations' execution cost
+// AND the silicon of the FU instances the configuration buys.
+//
+// Explore sweeps the two discrete knobs the flow exposes:
+//
+//   - the timing constraint, from the minimum makespan up to a cap
+//     (looser deadlines trade latency for cheaper assignments and fewer
+//     FUs), and
+//   - the library subset: restricting which FU types may be used at all
+//     (a type that appears in no node's assignment still costs nothing,
+//     but forbidding a type can steer the assignment toward
+//     configurations with fewer distinct instances).
+//
+// Every point runs the full two-phase flow; the result is the exact
+// latency/total-cost frontier over the swept space plus the single best
+// point.
+package archopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/sched"
+)
+
+// Point is one explored design: a deadline, a type subset, and the
+// resulting costs.
+type Point struct {
+	Deadline int
+	// Types lists the allowed FU types (indices into the full table).
+	Types    []fu.TypeID
+	ExecCost int64
+	Config   sched.Config // over the FULL type set
+	AreaCost int64
+	Total    int64
+	Assign   hap.Assignment
+}
+
+// Options bounds the exploration.
+type Options struct {
+	// MaxDeadline caps the deadline sweep; 0 means 2x the minimum
+	// makespan.
+	MaxDeadline int
+	// Step is the deadline increment; 0 means max(1, min makespan / 6).
+	Step int
+	// FullSetOnly disables the library-subset sweep.
+	FullSetOnly bool
+}
+
+// Explore runs the sweep and returns every feasible point (deadline
+// ascending, then subset order) plus the index of the minimum-total point.
+// areas[k] is the silicon cost of one FU instance of type k.
+func Explore(g *dfg.Graph, tab *fu.Table, areas []int64, opts Options) (points []Point, best int, err error) {
+	if len(areas) != tab.K() {
+		return nil, 0, fmt.Errorf("archopt: %d areas for %d types", len(areas), tab.K())
+	}
+	for k, a := range areas {
+		if a < 0 {
+			return nil, 0, fmt.Errorf("archopt: negative area for type %d", k)
+		}
+	}
+	min, err := hap.MinMakespan(g, tab)
+	if err != nil {
+		return nil, 0, err
+	}
+	maxL := opts.MaxDeadline
+	if maxL == 0 {
+		maxL = 2 * min
+	}
+	step := opts.Step
+	if step == 0 {
+		step = min / 6
+		if step < 1 {
+			step = 1
+		}
+	}
+
+	subsets := [][]fu.TypeID{allTypes(tab.K())}
+	if !opts.FullSetOnly {
+		subsets = typeSubsets(tab.K())
+	}
+
+	bestTotal := int64(math.MaxInt64)
+	best = -1
+	for L := min; L <= maxL; L += step {
+		for _, subset := range subsets {
+			sub, back := restrict(tab, subset)
+			p := hap.Problem{Graph: g, Table: sub, Deadline: L}
+			sol, err := hap.Solve(p, hap.AlgoAuto)
+			if errors.Is(err, hap.ErrInfeasible) {
+				continue // this subset cannot meet this deadline
+			}
+			if err != nil {
+				return nil, 0, err
+			}
+			assign := make(hap.Assignment, len(sol.Assign))
+			for v, k := range sol.Assign {
+				assign[v] = back[k]
+			}
+			_, cfg, err := sched.MinRSchedule(g, tab, assign, L)
+			if err != nil {
+				return nil, 0, err
+			}
+			var area int64
+			for k, n := range cfg {
+				area += areas[k] * int64(n)
+			}
+			pt := Point{
+				Deadline: L,
+				Types:    subset,
+				ExecCost: sol.Cost,
+				Config:   cfg,
+				AreaCost: area,
+				Total:    sol.Cost + area,
+				Assign:   assign,
+			}
+			points = append(points, pt)
+			if pt.Total < bestTotal {
+				bestTotal = pt.Total
+				best = len(points) - 1
+			}
+		}
+	}
+	if best < 0 {
+		return nil, 0, hap.ErrInfeasible
+	}
+	return points, best, nil
+}
+
+func allTypes(k int) []fu.TypeID {
+	out := make([]fu.TypeID, k)
+	for i := range out {
+		out[i] = fu.TypeID(i)
+	}
+	return out
+}
+
+// typeSubsets enumerates every non-empty subset of the K types, full set
+// first (so ties favor the unrestricted library).
+func typeSubsets(k int) [][]fu.TypeID {
+	var out [][]fu.TypeID
+	out = append(out, allTypes(k))
+	full := (1 << k) - 1
+	for mask := 1; mask <= full; mask++ {
+		if mask == full {
+			continue
+		}
+		var s []fu.TypeID
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, fu.TypeID(i))
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// restrict builds a table over just the given types plus the map from the
+// restricted type index back to the full index.
+func restrict(t *fu.Table, subset []fu.TypeID) (*fu.Table, []fu.TypeID) {
+	out := fu.NewTable(t.N(), len(subset))
+	for v := 0; v < t.N(); v++ {
+		for i, k := range subset {
+			out.Time[v][i] = t.Time[v][k]
+			out.Cost[v][i] = t.Cost[v][k]
+		}
+	}
+	back := append([]fu.TypeID(nil), subset...)
+	return out, back
+}

@@ -1,0 +1,132 @@
+package archopt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/sched"
+)
+
+func TestExploreFindsCheaperTotalThanTightest(t *testing.T) {
+	g := benchdfg.DiffEq()
+	rng := rand.New(rand.NewSource(2))
+	tab := fu.RandomTable(rng, g.N(), 3)
+	areas := []int64{50, 20, 5} // fast FUs are big
+	points, best, err := Explore(g, tab, areas, Options{FullSetOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("only %d points", len(points))
+	}
+	// The tightest point pays for speed twice (exec cost and area); the
+	// best total must be at least as good and is found at a looser
+	// deadline here.
+	if points[best].Total > points[0].Total {
+		t.Fatalf("best %d worse than tightest %d", points[best].Total, points[0].Total)
+	}
+	for _, p := range points {
+		if p.Total != p.ExecCost+p.AreaCost {
+			t.Fatalf("inconsistent point %+v", p)
+		}
+	}
+}
+
+func TestExploreSubsetsCoverFullSetFirst(t *testing.T) {
+	subs := typeSubsets(3)
+	if len(subs) != 7 {
+		t.Fatalf("%d subsets, want 7", len(subs))
+	}
+	if len(subs[0]) != 3 {
+		t.Fatalf("first subset not the full set: %v", subs[0])
+	}
+}
+
+func TestExploreValidatesInput(t *testing.T) {
+	g := dfg.Chain(3)
+	tab := fu.UniformTable(3, []int{1, 2}, []int64{5, 1})
+	if _, _, err := Explore(g, tab, []int64{1}, Options{}); err == nil {
+		t.Error("short areas accepted")
+	}
+	if _, _, err := Explore(g, tab, []int64{1, -1}, Options{}); err == nil {
+		t.Error("negative area accepted")
+	}
+}
+
+func TestExploreInfeasibleRange(t *testing.T) {
+	// MaxDeadline below the minimum makespan leaves no feasible point.
+	g := dfg.Chain(4)
+	tab := fu.UniformTable(4, []int{3, 5}, []int64{5, 1})
+	_, _, err := Explore(g, tab, []int64{1, 1}, Options{MaxDeadline: 2})
+	if !errors.Is(err, hap.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestExploreProperties: every point's assignment is feasible at its
+// deadline, uses only its subset's types, and its config covers the usage.
+func TestExploreProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 3)
+		areas := []int64{int64(rng.Intn(40)), int64(rng.Intn(20)), int64(rng.Intn(8))}
+		points, best, err := Explore(g, tab, areas, Options{})
+		if err != nil {
+			return errors.Is(err, hap.ErrInfeasible)
+		}
+		if best < 0 || best >= len(points) {
+			return false
+		}
+		for _, pt := range points {
+			s, err := hap.Evaluate(hap.Problem{Graph: g, Table: tab, Deadline: pt.Deadline}, pt.Assign)
+			if err != nil || s.Length > pt.Deadline || s.Cost != pt.ExecCost {
+				return false
+			}
+			allowed := map[fu.TypeID]bool{}
+			for _, k := range pt.Types {
+				allowed[k] = true
+			}
+			for _, k := range pt.Assign {
+				if !allowed[k] {
+					return false
+				}
+			}
+			// Config covers per-type usage needs (validated by scheduling).
+			if _, err := sched.ListSchedule(g, tab, pt.Assign, pt.Config); err != nil {
+				return false
+			}
+			if pt.Total < points[best].Total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubsetRestrictionCanWin: with extreme areas, forbidding the fast
+// expensive type must be at least as good as the full library.
+func TestSubsetRestrictionCanWin(t *testing.T) {
+	g := benchdfg.RLSLaguerre()
+	rng := rand.New(rand.NewSource(5))
+	tab := fu.RandomTable(rng, g.N(), 3)
+	areas := []int64{1000, 10, 1} // type 0 is prohibitively large
+	points, best, err := Explore(g, tab, areas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := points[best]
+	if bp.Config[0] != 0 {
+		t.Fatalf("best design still buys the 1000-area type: %+v", bp)
+	}
+}

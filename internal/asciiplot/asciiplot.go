@@ -1,0 +1,94 @@
+// Package asciiplot renders small line charts as plain text, used by
+// cmd/experiments to draw cost-versus-deadline curves (the Pareto view of
+// the evaluation) without any graphics dependency.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve; X and Y must have equal lengths.
+type Series struct {
+	Name   string
+	Marker byte // single character used for the points
+	X      []float64
+	Y      []float64
+}
+
+// Plot renders the series into a width x height character grid with Y
+// scaled to the data range and X mapped linearly. Points from later series
+// overwrite earlier ones where they collide.
+func Plot(title string, width, height int, series ...Series) (string, error) {
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("asciiplot: grid %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("asciiplot: no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("asciiplot: series %q has %d x and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("asciiplot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		for i := range s.X {
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			r := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-r][c] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yLabelW := len(fmt.Sprintf("%.0f", maxY))
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", yLabelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.0f", yLabelW, maxY)
+		case height - 1:
+			label = fmt.Sprintf("%*.0f", yLabelW, minY)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.0f%*.0f\n", strings.Repeat(" ", yLabelW), width/2, minX, width-width/2, maxX)
+	var legend []string
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", m, s.Name))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	return b.String(), nil
+}

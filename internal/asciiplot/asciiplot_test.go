@@ -1,0 +1,61 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	out, err := Plot("demo", 40, 10,
+		Series{Name: "up", Marker: 'u', X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+		Series{Name: "down", Marker: 'd', X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "u=up", "d=down", "u", "d", "+-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Axis labels carry the data range.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "1") {
+		t.Errorf("y labels missing:\n%s", out)
+	}
+}
+
+func TestPlotValidation(t *testing.T) {
+	if _, err := Plot("t", 5, 2, Series{X: []float64{1}, Y: []float64{1}}); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	if _, err := Plot("t", 40, 10); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Plot("t", 40, 10, Series{X: []float64{1}, Y: []float64{}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if _, err := Plot("t", 40, 10, Series{X: nil, Y: nil}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out, err := Plot("flat", 30, 6, Series{Name: "c", X: []float64{5, 5}, Y: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("marker missing:\n%s", out)
+	}
+}
+
+func TestPlotDefaultMarker(t *testing.T) {
+	out, err := Plot("m", 30, 6, Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*=s") {
+		t.Fatalf("default marker not applied:\n%s", out)
+	}
+}

@@ -1,0 +1,356 @@
+// Package benchdfg constructs the benchmark data-flow graphs of the paper's
+// evaluation (§7) plus a few extras used by the wider test and benchmark
+// suites.
+//
+// The paper's six benchmarks are classic high-level-synthesis workloads:
+// 4-stage and 8-stage lattice filters and the Volterra filter (tree-shaped
+// DFGs), and the differential-equation solver, RLS-Laguerre lattice filter
+// and 5th-order elliptic wave filter (general DFGs). The paper does not
+// publish the exact netlists, so the constructors below rebuild the
+// standard published structures, shaped to the structural facts the paper
+// does state: the first three are trees; the differential-equation solver
+// and RLS-Laguerre filter have 3 duplicated nodes each and the elliptic
+// filter has 9, where a duplicated node is one with more than one copy in
+// the critical-path tree chosen by DFG_Expand. Tests pin those counts.
+//
+// All graphs are fan-in oriented: edges point from producers (inputs,
+// multipliers) toward the consumers that merge them, the usual drawing of
+// filter DFGs. Node op classes are "mul", "add", "sub" and "cmp".
+package benchdfg
+
+import (
+	"fmt"
+	"sort"
+
+	"hetsynth/internal/dfg"
+)
+
+// LatticeFilter builds the tree DFG of an n-stage normalized lattice
+// filter. Each stage contributes two multipliers and two adders:
+//
+//	out_i = add2_i( mul2_i, add1_i( mul1_i, out_{i−1} ) )
+//
+// with a single input node seeding out_0. The result is an in-tree with
+// 4n+1 nodes; 4 stages give the paper's "4-stage lattice filter" (17
+// nodes), 8 stages the "8-stage lattice filter" (33 nodes).
+func LatticeFilter(stages int) *dfg.Graph {
+	if stages < 1 {
+		panic("benchdfg: lattice filter needs at least one stage")
+	}
+	g := dfg.New()
+	prev := g.MustAddNode("in", "add") // input conditioning op
+	for s := 1; s <= stages; s++ {
+		m1 := g.MustAddNode(fmt.Sprintf("mul1_%d", s), "mul")
+		m2 := g.MustAddNode(fmt.Sprintf("mul2_%d", s), "mul")
+		a1 := g.MustAddNode(fmt.Sprintf("add1_%d", s), "add")
+		a2 := g.MustAddNode(fmt.Sprintf("add2_%d", s), "add")
+		g.MustAddEdge(m1, a1, 0)
+		g.MustAddEdge(prev, a1, 0)
+		g.MustAddEdge(m2, a2, 0)
+		g.MustAddEdge(a1, a2, 0)
+		prev = a2
+	}
+	return g
+}
+
+// Volterra builds the tree DFG of a second-order Volterra filter section:
+// ten product terms x_i·x_j, each scaled by a kernel coefficient, summed by
+// a binary adder tree. 10 data multipliers + 10 coefficient multipliers +
+// 9 adders = 29 nodes, an in-tree.
+func Volterra() *dfg.Graph {
+	g := dfg.New()
+	var terms []dfg.NodeID
+	for i := 0; i < 10; i++ {
+		d := g.MustAddNode(fmt.Sprintf("xprod%d", i), "mul") // x_i * x_j
+		c := g.MustAddNode(fmt.Sprintf("kcoef%d", i), "mul") // h_ij * xprod
+		g.MustAddEdge(d, c, 0)
+		terms = append(terms, c)
+	}
+	// Left-to-right binary adder tree over the ten scaled terms.
+	level := 0
+	for len(terms) > 1 {
+		var next []dfg.NodeID
+		for i := 0; i+1 < len(terms); i += 2 {
+			a := g.MustAddNode(fmt.Sprintf("sum%d_%d", level, i/2), "add")
+			g.MustAddEdge(terms[i], a, 0)
+			g.MustAddEdge(terms[i+1], a, 0)
+			next = append(next, a)
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+		level++
+	}
+	return g
+}
+
+// DiffEq builds the DFG of the differential-equation solver (the HAL
+// benchmark of Paulin and Knight): one Euler step of y” + 3xy' + 3y = 0,
+//
+//	u' = u − 3·x·(u·dx) − 3·y·dx ;  x' = x + dx ;  y' = y + u·dx ;  x' < a
+//
+// The shared subexpression u·dx feeds both the u' chain and the y' update,
+// which makes the graph a proper DFG rather than a tree: the critical-path
+// tree duplicates 3 nodes, matching the count the paper reports.
+func DiffEq() *dfg.Graph {
+	g := dfg.New()
+	uld := g.MustAddNode("ld_u", "add")   // load/condition u
+	dxld := g.MustAddNode("ld_dx", "add") // load/condition dx
+	m1 := g.MustAddNode("mul1", "mul")    // 3 * x
+	m2 := g.MustAddNode("mul2", "mul")    // u * dx (shared subexpression)
+	m3 := g.MustAddNode("mul3", "mul")    // (3x) * (u·dx)
+	m4 := g.MustAddNode("mul4", "mul")    // 3 * y
+	m5 := g.MustAddNode("mul5", "mul")    // (3y) * dx
+	s1 := g.MustAddNode("sub1", "sub")    // u − mul3
+	s2 := g.MustAddNode("sub2", "sub")    // sub1 − mul5  (u')
+	a1 := g.MustAddNode("add1", "add")    // x + dx      (x')
+	a2 := g.MustAddNode("add2", "add")    // y + u·dx    (y')
+	cmp := g.MustAddNode("cmp", "cmp")    // x' < a
+	g.MustAddEdge(uld, m2, 0)
+	g.MustAddEdge(dxld, m2, 0)
+	g.MustAddEdge(m1, m3, 0)
+	g.MustAddEdge(m2, m3, 0)
+	g.MustAddEdge(m3, s1, 0)
+	g.MustAddEdge(m4, m5, 0)
+	g.MustAddEdge(s1, s2, 0)
+	g.MustAddEdge(m5, s2, 0)
+	g.MustAddEdge(m2, a2, 0) // the shared u·dx
+	g.MustAddEdge(a1, cmp, 0)
+	return g
+}
+
+// RLSLaguerre builds the DFG of one section of an RLS-Laguerre lattice
+// filter: two lattice butterflies whose cross-coupling shares a forward
+// error term. The shared term makes it a general DFG; its critical-path
+// tree duplicates 3 nodes, matching the paper.
+func RLSLaguerre() *dfg.Graph {
+	g := dfg.New()
+	// Laguerre all-pass pre-stage driving the backward path.
+	ap1 := g.MustAddNode("ap_mul1", "mul")
+	ap2 := g.MustAddNode("ap_mul2", "mul")
+	apa := g.MustAddNode("ap_add", "add")
+	g.MustAddEdge(ap1, apa, 0)
+	g.MustAddEdge(ap2, apa, 0)
+	// Butterfly 1: forward error f1 = e + k1·b, backward b1 = b + k1·e.
+	ein := g.MustAddNode("e_in", "add") // input conditioning of e
+	k1f := g.MustAddNode("k1_mulf", "mul")
+	k1b := g.MustAddNode("k1_mulb", "mul")
+	f1 := g.MustAddNode("f1_add", "add")
+	b1 := g.MustAddNode("b1_add", "add")
+	g.MustAddEdge(ein, f1, 0)
+	g.MustAddEdge(k1f, f1, 0)
+	g.MustAddEdge(apa, k1b, 0) // all-pass output drives the backward leg
+	g.MustAddEdge(k1b, b1, 0)
+	// Butterfly 2 consumes f1 twice (forward path and gain update): the
+	// shared fan-out that breaks tree-ness.
+	k2f := g.MustAddNode("k2_mulf", "mul")
+	k2b := g.MustAddNode("k2_mulb", "mul")
+	f2 := g.MustAddNode("f2_add", "add")
+	b2 := g.MustAddNode("b2_add", "add")
+	g.MustAddEdge(f1, k2f, 0)
+	g.MustAddEdge(k2f, f2, 0)
+	g.MustAddEdge(f1, k2b, 0)
+	g.MustAddEdge(k2b, b2, 0)
+	g.MustAddEdge(b1, b2, 0)
+	// RLS gain update chain on the forward output.
+	gm := g.MustAddNode("gain_mul", "mul")
+	ga := g.MustAddNode("gain_add", "add")
+	gs := g.MustAddNode("gain_sub", "sub")
+	g.MustAddEdge(f2, gm, 0)
+	g.MustAddEdge(gm, ga, 0)
+	g.MustAddEdge(ga, gs, 0)
+	return g
+}
+
+// Elliptic builds the DFG of the 5th-order elliptic wave filter, the
+// classic 34-node HLS benchmark (26 additions, 8 multiplications). The
+// structure below follows the usual drawing — two input adder chains
+// feeding a multiplier ladder with shared feedback adders; the shared
+// adders give its critical-path tree 9 duplicated nodes, as the paper
+// reports.
+func Elliptic() *dfg.Graph {
+	g := dfg.New()
+	add := func(name string) dfg.NodeID { return g.MustAddNode(name, "add") }
+	mul := func(name string) dfg.NodeID { return g.MustAddNode(name, "mul") }
+	e := func(u, v dfg.NodeID) { g.MustAddEdge(u, v, 0) }
+
+	// Input section: two adder chains (delayed-state sums) ending in the
+	// multiplier pair that drives the shared center adder a8.
+	a1, a2, a3, a4 := add("a1"), add("a2"), add("a3"), add("a4")
+	e(a1, a2)
+	e(a2, a3)
+	e(a3, a4)
+	a5, a6, a7 := add("a5"), add("a6"), add("a7")
+	e(a5, a6)
+	e(a6, a7)
+	m1, m2 := mul("m1"), mul("m2")
+	e(a4, m1)
+	e(a7, m2)
+	a8 := add("a8")
+	e(m1, a8)
+	e(m2, a8) // a8 merges both input halves: the shared feedback adder
+	// Center ladder below a8: two symmetric branches. These nine nodes
+	// (a8..a14 and the two multipliers) are what the critical-path tree
+	// duplicates.
+	a9, a10 := add("a9"), add("a10")
+	e(a8, a9)
+	e(a8, a10)
+	m3, m4 := mul("m3"), mul("m4")
+	e(a9, m3)
+	e(a10, m4)
+	a11, a12 := add("a11"), add("a12")
+	e(m3, a11)
+	e(m4, a12)
+	a13, a14 := add("a13"), add("a14")
+	e(a11, a13)
+	e(a13, a14)
+	// Output branches tapped off the input chains (feed-forward paths of
+	// the wave filter).
+	a15, a17, a19 := add("a15"), add("a17"), add("a19")
+	m5 := mul("m5")
+	e(a4, a15)
+	e(a15, m5)
+	e(m5, a17)
+	e(a17, a19)
+	a16, a18, a20 := add("a16"), add("a18"), add("a20")
+	m6 := mul("m6")
+	e(a7, a16)
+	e(a16, m6)
+	e(m6, a18)
+	e(a18, a20)
+	a21, a23 := add("a21"), add("a23")
+	m7 := mul("m7")
+	e(a2, a21)
+	e(a21, m7)
+	e(m7, a23)
+	a22, a24 := add("a22"), add("a24")
+	m8 := mul("m8")
+	e(a6, a22)
+	e(a22, m8)
+	e(m8, a24)
+	a25, a26 := add("a25"), add("a26")
+	e(a19, a25)
+	e(a20, a26)
+	return g
+}
+
+// FIR builds a transposed-form FIR filter with the given number of taps:
+// one multiplier per tap feeding a chain of accumulating adders — a tree,
+// used by the extended experiments.
+func FIR(taps int) *dfg.Graph {
+	if taps < 2 {
+		panic("benchdfg: FIR needs at least two taps")
+	}
+	g := dfg.New()
+	prev := g.MustAddNode("tap_mul0", "mul")
+	for i := 1; i < taps; i++ {
+		m := g.MustAddNode(fmt.Sprintf("tap_mul%d", i), "mul")
+		a := g.MustAddNode(fmt.Sprintf("acc_add%d", i), "add")
+		g.MustAddEdge(prev, a, 0)
+		g.MustAddEdge(m, a, 0)
+		prev = a
+	}
+	return g
+}
+
+// IIRBiquad builds a cascade of direct-form-II biquad sections. Each
+// section's center node fans out to its feed-forward taps, so the cascade
+// is a general DFG with duplicated nodes, used by the extended experiments
+// and the retiming example (the section feedback edges carry delays).
+func IIRBiquad(sections int) *dfg.Graph {
+	if sections < 1 {
+		panic("benchdfg: IIR cascade needs at least one section")
+	}
+	g := dfg.New()
+	var prevOut dfg.NodeID = dfg.None
+	for s := 0; s < sections; s++ {
+		n := func(name, op string) dfg.NodeID {
+			return g.MustAddNode(fmt.Sprintf("s%d_%s", s, name), op)
+		}
+		center := n("center_add", "add") // w[n] = x − a1·w[n−1] − a2·w[n−2]
+		fb1 := n("fb_mul1", "mul")
+		fb2 := n("fb_mul2", "mul")
+		g.MustAddEdge(center, fb1, 1) // w feeds back through one delay
+		g.MustAddEdge(center, fb2, 2) // and through two delays
+		g.MustAddEdge(fb1, center, 1)
+		g.MustAddEdge(fb2, center, 1)
+		ff0 := n("ff_mul0", "mul")
+		ff1 := n("ff_mul1", "mul")
+		ff2 := n("ff_mul2", "mul")
+		g.MustAddEdge(center, ff0, 0) // b0·w[n]
+		g.MustAddEdge(center, ff1, 0) // b1·w[n] (delayed at the adder)
+		g.MustAddEdge(center, ff2, 0)
+		out1 := n("out_add1", "add")
+		out2 := n("out_add2", "add")
+		g.MustAddEdge(ff0, out1, 0)
+		g.MustAddEdge(ff1, out1, 0)
+		g.MustAddEdge(ff2, out2, 0)
+		g.MustAddEdge(out1, out2, 0)
+		if prevOut != dfg.None {
+			g.MustAddEdge(prevOut, center, 0)
+		}
+		prevOut = out2
+	}
+	return g
+}
+
+// Benchmark couples a registry name with its constructor and the structural
+// facts the paper states (used by tests and table headers).
+type Benchmark struct {
+	Name  string
+	Build func() *dfg.Graph
+	// Tree reports whether the paper classifies the DFG as a tree.
+	Tree bool
+	// PaperDuplicated is the duplicated-node count the paper reports for
+	// non-tree benchmarks (0 for trees).
+	PaperDuplicated int
+}
+
+// paper6 lists the six benchmarks of Tables 1 and 2, in table order.
+var paper6 = []Benchmark{
+	{Name: "4-stage-lattice", Build: func() *dfg.Graph { return LatticeFilter(4) }, Tree: true},
+	{Name: "8-stage-lattice", Build: func() *dfg.Graph { return LatticeFilter(8) }, Tree: true},
+	{Name: "volterra", Build: Volterra, Tree: true},
+	{Name: "diffeq", Build: DiffEq, PaperDuplicated: 3},
+	{Name: "rls-laguerre", Build: RLSLaguerre, PaperDuplicated: 3},
+	{Name: "elliptic", Build: Elliptic, PaperDuplicated: 9},
+}
+
+// extra lists additional workloads beyond the paper's set.
+var extra = []Benchmark{
+	{Name: "fir16", Build: func() *dfg.Graph { return FIR(16) }, Tree: true},
+	{Name: "iir4", Build: func() *dfg.Graph { return IIRBiquad(4) }},
+	{Name: "fft8", Build: func() *dfg.Graph { return FFT(8) }},
+	{Name: "wdf5", Build: func() *dfg.Graph { return WDF(5) }},
+}
+
+// Paper returns the paper's six benchmarks in table order.
+func Paper() []Benchmark {
+	return append([]Benchmark(nil), paper6...)
+}
+
+// All returns every registered benchmark, the paper's six first.
+func All() []Benchmark {
+	return append(Paper(), extra...)
+}
+
+// Lookup finds a benchmark by registry name.
+func Lookup(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names returns all registry names, sorted.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+package benchdfg
+
+import (
+	"testing"
+
+	"hetsynth/internal/cptree"
+)
+
+func TestAllBenchmarksValidate(t *testing.T) {
+	for _, b := range All() {
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if g.N() == 0 {
+			t.Errorf("%s: empty graph", b.Name)
+		}
+	}
+}
+
+func TestPaperStructuralFacts(t *testing.T) {
+	// The paper states: the two lattice filters and the Volterra filter
+	// are trees; diffeq and RLS-Laguerre have 3 duplicated nodes, elliptic
+	// has 9, where duplicated means >1 copy in the critical-path tree
+	// chosen by DFG_Expand (the smaller of the two orientations).
+	for _, b := range Paper() {
+		g := b.Build()
+		isTree := g.IsInForest() || g.IsOutForest()
+		if isTree != b.Tree {
+			t.Errorf("%s: tree=%v, paper says %v", b.Name, isTree, b.Tree)
+		}
+		tree, err := cptree.ExpandBoth(g)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if got := len(tree.Duplicated()); got != b.PaperDuplicated {
+			t.Errorf("%s: %d duplicated nodes, paper says %d", b.Name, got, b.PaperDuplicated)
+		}
+	}
+}
+
+func TestBenchmarkSizes(t *testing.T) {
+	sizes := map[string]int{
+		"4-stage-lattice": 17,
+		"8-stage-lattice": 33,
+		"volterra":        29,
+		"diffeq":          12,
+		"rls-laguerre":    15,
+		"elliptic":        34,
+		"fir16":           31,
+		"iir4":            32,
+	}
+	for name, want := range sizes {
+		b, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("benchmark %s not registered", name)
+		}
+		if got := b.Build().N(); got != want {
+			t.Errorf("%s: %d nodes, want %d", name, got, want)
+		}
+	}
+}
+
+func TestEllipticOpMix(t *testing.T) {
+	// The classic 5th-order elliptic wave filter: 26 additions and 8
+	// multiplications.
+	g := Elliptic()
+	counts := map[string]int{}
+	for _, n := range g.Nodes() {
+		counts[n.Op]++
+	}
+	if counts["add"] != 26 || counts["mul"] != 8 {
+		t.Fatalf("op mix = %v, want 26 add / 8 mul", counts)
+	}
+}
+
+func TestLatticeStagesScaleLinearly(t *testing.T) {
+	for _, stages := range []int{1, 2, 4, 8, 16} {
+		g := LatticeFilter(stages)
+		if g.N() != 4*stages+1 {
+			t.Errorf("%d stages: %d nodes, want %d", stages, g.N(), 4*stages+1)
+		}
+		if !g.IsInForest() {
+			t.Errorf("%d stages: not a fan-in tree", stages)
+		}
+	}
+}
+
+func TestConstructorPanicsOnBadArgs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lattice0": func() { LatticeFilter(0) },
+		"fir1":     func() { FIR(1) },
+		"iir0":     func() { IIRBiquad(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIIRHasDelayEdges(t *testing.T) {
+	g := IIRBiquad(2)
+	delayed := 0
+	for _, e := range g.Edges() {
+		if e.Delays > 0 {
+			delayed++
+		}
+	}
+	if delayed != 8 { // 4 delay edges per section
+		t.Fatalf("%d delayed edges, want 8", delayed)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("DAG portion invalid: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Paper()) != 6 {
+		t.Fatalf("paper set has %d entries", len(Paper()))
+	}
+	if len(All()) < 8 {
+		t.Fatalf("registry has %d entries", len(All()))
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	// Mutating the returned slices must not corrupt the registry.
+	p := Paper()
+	p[0].Name = "clobbered"
+	if All()[0].Name != "4-stage-lattice" {
+		t.Fatal("registry aliased by Paper()")
+	}
+}
+
+func TestFIRIsTree(t *testing.T) {
+	g := FIR(16)
+	if !g.IsInForest() {
+		t.Fatal("FIR not a fan-in tree")
+	}
+	if _, err := cptree.ExpandBoth(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolterraShape(t *testing.T) {
+	g := Volterra()
+	if !g.IsInForest() {
+		t.Fatal("Volterra not a fan-in tree")
+	}
+	// Ten product leaves, one summed root.
+	leaves := 0
+	for _, n := range g.Nodes() {
+		if g.InDegree(n.ID) == 0 {
+			leaves++
+		}
+	}
+	if leaves != 10 {
+		t.Fatalf("%d roots (product inputs), want 10", leaves)
+	}
+	sinks := g.Leaves()
+	if len(sinks) != 1 {
+		t.Fatalf("%d sinks, want 1", len(sinks))
+	}
+}

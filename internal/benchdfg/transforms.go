@@ -1,0 +1,80 @@
+package benchdfg
+
+import (
+	"fmt"
+
+	"hetsynth/internal/dfg"
+)
+
+// FFT builds the data-flow graph of a radix-2 decimation-in-time FFT of
+// the given size (a power of two >= 2): log2(n) butterfly stages, each
+// butterfly one complex multiplier (twiddle) feeding an add and a sub.
+// FFT graphs are the classic many-critical-paths stress test for
+// DFG_Expand: every output depends on every input.
+func FFT(size int) *dfg.Graph {
+	if size < 2 || size&(size-1) != 0 {
+		panic("benchdfg: FFT size must be a power of two >= 2")
+	}
+	g := dfg.New()
+	// cur[i]: node currently producing line i (None = primary input).
+	cur := make([]dfg.NodeID, size)
+	for i := range cur {
+		cur[i] = dfg.None
+	}
+	link := func(from, to dfg.NodeID) {
+		if from != dfg.None {
+			g.MustAddEdge(from, to, 0)
+		}
+	}
+	stage := 0
+	for span := 1; span < size; span *= 2 {
+		for base := 0; base < size; base += 2 * span {
+			for off := 0; off < span; off++ {
+				i, j := base+off, base+off+span
+				tw := g.MustAddNode(fmt.Sprintf("s%d_tw_%d_%d", stage, i, j), "mul")
+				add := g.MustAddNode(fmt.Sprintf("s%d_add_%d", stage, i), "add")
+				sub := g.MustAddNode(fmt.Sprintf("s%d_sub_%d", stage, j), "sub")
+				link(cur[j], tw) // twiddle scales the lower line
+				link(cur[i], add)
+				g.MustAddEdge(tw, add, 0)
+				link(cur[i], sub)
+				g.MustAddEdge(tw, sub, 0)
+				cur[i], cur[j] = add, sub
+			}
+		}
+		stage++
+	}
+	return g
+}
+
+// WDF builds an n-section wave digital filter ladder: each section is a
+// two-port adaptor (one multiplier, three adders) with a delayed
+// reflection, the classic low-sensitivity filter structure. The delayed
+// reflections make the graph cyclic; its DAG portion is a ladder with
+// shared adaptor outputs.
+func WDF(sections int) *dfg.Graph {
+	if sections < 1 {
+		panic("benchdfg: WDF needs at least one section")
+	}
+	g := dfg.New()
+	var prev dfg.NodeID = dfg.None
+	for s := 0; s < sections; s++ {
+		n := func(name, op string) dfg.NodeID {
+			return g.MustAddNode(fmt.Sprintf("w%d_%s", s, name), op)
+		}
+		in := n("in_add", "add")    // incident wave summer
+		gm := n("gamma_mul", "mul") // adaptor coefficient
+		fw := n("fwd_add", "add")   // transmitted wave
+		bk := n("bck_add", "add")   // reflected wave
+		g.MustAddEdge(in, gm, 0)
+		g.MustAddEdge(gm, fw, 0)
+		g.MustAddEdge(gm, bk, 0)
+		g.MustAddEdge(in, bk, 0)
+		g.MustAddEdge(bk, in, 1) // reflection through the port delay
+		if prev != dfg.None {
+			g.MustAddEdge(prev, in, 0)
+		}
+		prev = fw
+	}
+	return g
+}

@@ -1,0 +1,95 @@
+package benchdfg
+
+import (
+	"testing"
+
+	"hetsynth/internal/cptree"
+)
+
+func TestFFTShape(t *testing.T) {
+	g := FFT(8)
+	// 3 stages x 4 butterflies x 3 nodes = 36 nodes.
+	if g.N() != 36 {
+		t.Fatalf("FFT(8) has %d nodes, want 36", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, n := range g.Nodes() {
+		counts[n.Op]++
+	}
+	if counts["mul"] != 12 || counts["add"] != 12 || counts["sub"] != 12 {
+		t.Fatalf("op mix = %v, want 12/12/12", counts)
+	}
+	// Full connectivity: many critical paths.
+	if n := g.CriticalPathCount(); n < 16 {
+		t.Fatalf("only %d critical paths", n)
+	}
+}
+
+func TestFFTPanicsOnBadSize(t *testing.T) {
+	for _, size := range []int{0, 1, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FFT(%d): no panic", size)
+				}
+			}()
+			FFT(size)
+		}()
+	}
+}
+
+func TestFFTExpansionIsBoundedForSmallSizes(t *testing.T) {
+	// FFT(4) expands without hitting the node guard; the tree is larger
+	// than the DFG (that is the point of the stress test).
+	g := FFT(4)
+	tree, err := cptree.ExpandBoth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Graph.N() <= g.N() {
+		t.Fatalf("expansion did not grow: %d <= %d", tree.Graph.N(), g.N())
+	}
+}
+
+func TestWDFShape(t *testing.T) {
+	g := WDF(5)
+	if g.N() != 20 {
+		t.Fatalf("WDF(5) has %d nodes, want 20", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	delayed := 0
+	for _, e := range g.Edges() {
+		if e.Delays > 0 {
+			delayed++
+		}
+	}
+	if delayed != 5 {
+		t.Fatalf("%d delayed edges, want 5", delayed)
+	}
+}
+
+func TestWDFPanicsOnBadSections(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	WDF(0)
+}
+
+func TestNewBenchmarksRegistered(t *testing.T) {
+	for _, name := range []string{"fft8", "wdf5"} {
+		b, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if b.Build().N() == 0 {
+			t.Fatalf("%s builds empty graph", name)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package cli holds the plumbing shared by the command-line tools:
+// resolving a DFG from one of the three input sources (JSON graph file,
+// bundled benchmark, kernel source) and building display libraries.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/expr"
+	"hetsynth/internal/fu"
+)
+
+// LoadGraph resolves a DFG from exactly one of the three sources: a JSON
+// graph file (path), a bundled benchmark name (bench), or a kernel source
+// file (src).
+func LoadGraph(path, bench, src string) (*dfg.Graph, error) {
+	given := 0
+	for _, s := range []string{path, bench, src} {
+		if s != "" {
+			given++
+		}
+	}
+	switch {
+	case given == 0:
+		return nil, fmt.Errorf("one of -graph, -bench or -src is required")
+	case given > 1:
+		return nil, fmt.Errorf("use only one of -graph, -bench, -src")
+	case src != "":
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+		k, err := expr.Compile(string(data))
+		if err != nil {
+			return nil, err
+		}
+		return k.Graph, nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dfg.ReadJSON(f)
+	default:
+		b, ok := benchdfg.Lookup(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (known: %v)", bench, benchdfg.Names())
+		}
+		return b.Build(), nil
+	}
+}
+
+// LibraryFor builds a display library with the paper's P1..Pk naming.
+func LibraryFor(types int) (*fu.Library, error) {
+	if types < 1 {
+		return nil, fmt.Errorf("need at least one FU type, got %d", types)
+	}
+	fts := make([]fu.Type, types)
+	for i := range fts {
+		fts[i] = fu.Type{Name: fmt.Sprintf("P%d", i+1)}
+	}
+	return fu.NewLibrary(fts...)
+}

@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadGraphFromBench(t *testing.T) {
+	g, err := LoadGraph("", "diffeq", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("diffeq has %d nodes", g.N())
+	}
+	if _, err := LoadGraph("", "nope", ""); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestLoadGraphFromJSON(t *testing.T) {
+	p := writeFile(t, "g.json", `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":"a","to":"b"}]}`)
+	g, err := LoadGraph(p, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("graph misread: %s", g.String())
+	}
+	if _, err := LoadGraph(filepath.Join(t.TempDir(), "missing.json"), "", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := writeFile(t, "bad.json", `{"nodes": [`)
+	if _, err := LoadGraph(bad, "", ""); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestLoadGraphFromKernelSource(t *testing.T) {
+	p := writeFile(t, "k.k", "y = a*x + b*y@1\n")
+	g, err := LoadGraph("", "", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 { // two muls and one add
+		t.Fatalf("kernel graph has %d nodes, want 3", g.N())
+	}
+	bad := writeFile(t, "bad.k", "y = $")
+	if _, err := LoadGraph("", "", bad); err == nil {
+		t.Fatal("bad kernel accepted")
+	}
+	if _, err := LoadGraph("", "", filepath.Join(t.TempDir(), "missing.k")); err == nil {
+		t.Fatal("missing kernel file accepted")
+	}
+}
+
+func TestLoadGraphSourceExclusivity(t *testing.T) {
+	if _, err := LoadGraph("", "", ""); err == nil || !strings.Contains(err.Error(), "required") {
+		t.Fatalf("no-source error wrong: %v", err)
+	}
+	if _, err := LoadGraph("x", "y", ""); err == nil || !strings.Contains(err.Error(), "only one") {
+		t.Fatalf("multi-source error wrong: %v", err)
+	}
+}
+
+func TestLibraryFor(t *testing.T) {
+	lib, err := LibraryFor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.K() != 3 || lib.Name(2) != "P3" {
+		t.Fatalf("library misbuilt")
+	}
+	if _, err := LibraryFor(0); err == nil {
+		t.Fatal("zero types accepted")
+	}
+}

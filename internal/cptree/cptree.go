@@ -1,0 +1,213 @@
+// Package cptree implements Algorithm DFG_Expand of the paper: extracting a
+// critical-path tree from a data-flow graph.
+//
+// A critical-path tree of a DFG G is a tree (out-forest) that contains every
+// critical (root-to-leaf) path of the DAG portion of G exactly once. It is
+// obtained by walking the nodes children-before-parents and, for every node
+// with p > 1 parents, duplicating the (already tree-shaped) subtree rooted
+// at that node p−1 times so that each parent keeps a private copy.
+//
+// Tree_Assign solves the heterogeneous assignment problem optimally on such
+// a tree; because the tree carries all critical paths, any assignment that
+// is feasible on the tree is feasible on the DFG once each duplicated node
+// is collapsed to a single choice (DFG_Assign_Once/Repeat do the
+// collapsing).
+//
+// The second flavor the paper describes — duplicating subtrees connected to
+// common nodes with multiple child nodes, top-down — is obtained by
+// expanding the transpose of G; ExpandBoth builds both trees and returns the
+// smaller, which is the selection rule of DFG_Assign_Once and
+// DFG_Assign_Repeat.
+package cptree
+
+import (
+	"errors"
+	"fmt"
+
+	"hetsynth/internal/dfg"
+)
+
+// MaxTreeNodes bounds the size of an expanded tree. Expansion can be
+// exponential in pathological DFGs (it enumerates critical paths); the
+// benchmarks of the paper stay tiny, but the guard turns a runaway expansion
+// into an error instead of an OOM.
+const MaxTreeNodes = 1 << 20
+
+// Tree is a critical-path tree together with the copy bookkeeping needed to
+// map tree assignments back to the DFG.
+type Tree struct {
+	// Graph is the expanded out-forest. Edge direction follows the source
+	// graph passed to Expand; when Reversed is set, the source was the
+	// transpose of the caller's DFG, so an edge u->v here means v precedes
+	// u in the original. Longest-path lengths are direction-independent,
+	// so Tree_Assign runs on Graph unchanged either way.
+	Graph *dfg.Graph
+	// Orig maps each tree node to the DFG node it is a copy of.
+	Orig []dfg.NodeID
+	// Copies maps each DFG node to its tree copies (at least one each).
+	Copies [][]dfg.NodeID
+	// Reversed records whether Graph was expanded from the transpose.
+	Reversed bool
+}
+
+// Duplicated returns the DFG nodes having more than one copy in the tree,
+// sorted by copy count descending (ties: smaller node ID first). This is the
+// processing order of DFG_Assign_Repeat, which fixes the most-copied node
+// first because it influences the most paths.
+func (t *Tree) Duplicated() []dfg.NodeID {
+	var out []dfg.NodeID
+	for v, copies := range t.Copies {
+		if len(copies) > 1 {
+			out = append(out, dfg.NodeID(v))
+		}
+	}
+	// Insertion sort keeps this dependency-free; the list is always short.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if len(t.Copies[a]) > len(t.Copies[b]) ||
+				(len(t.Copies[a]) == len(t.Copies[b]) && a < b) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}
+
+// workNode is one node of the mutable expansion workspace.
+type workNode struct {
+	orig     dfg.NodeID
+	parent   int   // index of parent work node, or -1
+	children []int // indices of child work nodes
+}
+
+// Expand builds the critical-path tree of the DAG portion of g, duplicating
+// multi-parent nodes bottom-up. The result preserves g's edge orientation.
+func Expand(g *dfg.Graph) (*Tree, error) {
+	rev, err := g.ReverseTopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("cptree: %w", err)
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("cptree: empty graph")
+	}
+
+	// Seed the workspace with the DAG portion itself: work node i mirrors
+	// DFG node i. Multi-parent nodes temporarily record parent -1 and are
+	// fixed up as they are processed.
+	work := make([]workNode, n)
+	parents := make([][]int, n) // current parent work-node indices, per original position
+	for i := 0; i < n; i++ {
+		work[i] = workNode{orig: dfg.NodeID(i), parent: -1}
+	}
+	for i := 0; i < n; i++ {
+		seen := make(map[dfg.NodeID]bool)
+		for _, c := range g.Succ(dfg.NodeID(i)) {
+			if seen[c] {
+				continue // parallel edges carry no extra precedence
+			}
+			seen[c] = true
+			work[i].children = append(work[i].children, int(c))
+			parents[c] = append(parents[c], i)
+		}
+	}
+
+	// cloneSubtree deep-copies the tree rooted at work node w and returns
+	// the new root index. Every node below w already has a single parent
+	// when this is called (children are processed before parents).
+	var cloneSubtree func(w int) (int, error)
+	cloneSubtree = func(w int) (int, error) {
+		if len(work) >= MaxTreeNodes {
+			return -1, fmt.Errorf("cptree: expansion exceeds %d nodes; the DFG has too many critical paths", MaxTreeNodes)
+		}
+		idx := len(work)
+		work = append(work, workNode{orig: work[w].orig, parent: -1})
+		for _, c := range work[w].children {
+			cc, err := cloneSubtree(c)
+			if err != nil {
+				return -1, err
+			}
+			work[cc].parent = idx
+			work[idx].children = append(work[idx].children, cc)
+		}
+		return idx, nil
+	}
+
+	for _, v := range rev {
+		ps := parents[v]
+		if len(ps) == 0 {
+			continue
+		}
+		// The first parent keeps the original; every further parent gets a
+		// fresh copy of the (now tree-shaped) subtree rooted at v.
+		work[v].parent = ps[0]
+		for _, p := range ps[1:] {
+			clone, err := cloneSubtree(int(v))
+			if err != nil {
+				return nil, err
+			}
+			work[clone].parent = p
+			// Rewire p's child entry from v to the clone.
+			for i, c := range work[p].children {
+				if c == int(v) {
+					work[p].children[i] = clone
+					break
+				}
+			}
+		}
+		work[v].children = work[v].children[:len(work[v].children):len(work[v].children)]
+	}
+
+	// Materialize the workspace as a dfg.Graph. Tree nodes are emitted in
+	// workspace order, which keeps the original nodes at their original IDs
+	// and appends clones after them — convenient and deterministic.
+	tree := dfg.New()
+	t := &Tree{Graph: tree, Copies: make([][]dfg.NodeID, n)}
+	nameCount := make(map[dfg.NodeID]int, n)
+	for _, w := range work {
+		nameCount[w.orig]++
+		name := g.Node(w.orig).Name
+		if nameCount[w.orig] > 1 {
+			name = fmt.Sprintf("%s#%d", name, nameCount[w.orig])
+		}
+		id := tree.MustAddNode(name, g.Node(w.orig).Op)
+		t.Orig = append(t.Orig, w.orig)
+		t.Copies[w.orig] = append(t.Copies[w.orig], id)
+	}
+	for i, w := range work {
+		if w.parent >= 0 {
+			tree.MustAddEdge(dfg.NodeID(w.parent), dfg.NodeID(i), 0)
+		}
+	}
+	if !tree.IsOutForest() {
+		// Unreachable by construction; guards against future edits.
+		return nil, errors.New("cptree: internal error: expansion is not an out-forest")
+	}
+	return t, nil
+}
+
+// ExpandBoth expands both g and its transpose and returns the tree with
+// fewer nodes (ties favor the forward expansion), implementing the selection
+// step of DFG_Assign_Once: the smaller tree duplicates fewer nodes, so
+// collapsing duplicated assignments loses less optimality.
+func ExpandBoth(g *dfg.Graph) (*Tree, error) {
+	fwd, errF := Expand(g)
+	bwd, errB := Expand(g.Transpose())
+	if errF != nil && errB != nil {
+		return nil, errF
+	}
+	if errB != nil {
+		return fwd, nil
+	}
+	if errF != nil {
+		bwd.Reversed = true
+		return bwd, nil
+	}
+	if bwd.Graph.N() < fwd.Graph.N() {
+		bwd.Reversed = true
+		return bwd, nil
+	}
+	return fwd, nil
+}

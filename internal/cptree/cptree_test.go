@@ -1,0 +1,310 @@
+package cptree
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+)
+
+// paperDFG is the Figure 9 example: roots A, B; common nodes C, D; leaves
+// E, F; critical paths {A,B} x C x D x {E,F}.
+func paperDFG(t testing.TB) *dfg.Graph {
+	t.Helper()
+	g := dfg.New()
+	a := g.MustAddNode("A", "")
+	b := g.MustAddNode("B", "")
+	c := g.MustAddNode("C", "")
+	d := g.MustAddNode("D", "")
+	e := g.MustAddNode("E", "")
+	f := g.MustAddNode("F", "")
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, d, 0)
+	g.MustAddEdge(d, e, 0)
+	g.MustAddEdge(d, f, 0)
+	return g
+}
+
+// pathSet collects all root-to-leaf name sequences of the DAG portion. Tree
+// copies are canonicalized by stripping the "#n" suffix.
+func pathSet(g *dfg.Graph) map[string]int {
+	out := make(map[string]int)
+	var walk func(v dfg.NodeID, prefix []string)
+	walk = func(v dfg.NodeID, prefix []string) {
+		name := g.Node(v).Name
+		if i := strings.IndexByte(name, '#'); i >= 0 {
+			name = name[:i]
+		}
+		prefix = append(prefix, name)
+		succ := g.Succ(v)
+		if len(succ) == 0 {
+			out[strings.Join(prefix, "-")]++
+			return
+		}
+		for _, c := range succ {
+			walk(c, prefix)
+		}
+	}
+	for _, r := range g.Roots() {
+		walk(r, nil)
+	}
+	return out
+}
+
+func reversedPathSet(paths map[string]int) map[string]int {
+	out := make(map[string]int, len(paths))
+	for p, c := range paths {
+		parts := strings.Split(p, "-")
+		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		out[strings.Join(parts, "-")] += c
+	}
+	return out
+}
+
+func TestExpandPaperExample(t *testing.T) {
+	g := paperDFG(t)
+	tree, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Graph.IsOutForest() {
+		t.Fatal("expansion is not an out-forest")
+	}
+	// Figure 11(a): duplicating C's subtree gives A-C-D-E/F and B-C#2-D#2-
+	// E#2/F#2 — 10 nodes.
+	if tree.Graph.N() != 10 {
+		t.Fatalf("forward tree has %d nodes, want 10", tree.Graph.N())
+	}
+	want := map[string]int{"A-C-D-E": 1, "A-C-D-F": 1, "B-C-D-E": 1, "B-C-D-F": 1}
+	got := pathSet(tree.Graph)
+	if len(got) != len(want) {
+		t.Fatalf("tree paths = %v, want %v", got, want)
+	}
+	for p, c := range want {
+		if got[p] != c {
+			t.Fatalf("tree paths = %v, want %v", got, want)
+		}
+	}
+	// C and D are duplicated, sorted by copy count.
+	dups := tree.Duplicated()
+	names := make([]string, len(dups))
+	for i, v := range dups {
+		names[i] = g.Node(v).Name
+	}
+	sort.Strings(names)
+	if strings.Join(names, ",") != "C,D,E,F" {
+		t.Fatalf("duplicated = %v", names)
+	}
+}
+
+func TestExpandTransposeIsSmallerOnPaperExample(t *testing.T) {
+	// Figure 11(b): expanding the transpose duplicates D's fan-in side:
+	// E-D-C-A/B and F-D#2-C#2-A#2/B#2 — also 10 nodes here (the figure's
+	// two trees have the same size for this symmetric example), so
+	// ExpandBoth must keep the forward orientation on ties.
+	g := paperDFG(t)
+	both, err := ExpandBoth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Reversed {
+		t.Fatal("tie should keep forward expansion")
+	}
+}
+
+func TestExpandBothPrefersSmaller(t *testing.T) {
+	// Wide fan-in: x1..x4 -> y -> z. Forward expansion duplicates {y,z}
+	// per parent (4+8=12 nodes); transpose is already a tree (6 nodes).
+	g := dfg.New()
+	y := g.MustAddNode("y", "")
+	z := g.MustAddNode("z", "")
+	g.MustAddEdge(y, z, 0)
+	for _, n := range []string{"x1", "x2", "x3", "x4"} {
+		x := g.MustAddNode(n, "")
+		g.MustAddEdge(x, y, 0)
+	}
+	fwd, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Graph.N() != 12 {
+		t.Fatalf("forward tree has %d nodes, want 12", fwd.Graph.N())
+	}
+	both, err := ExpandBoth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both.Reversed || both.Graph.N() != 6 {
+		t.Fatalf("ExpandBoth picked %d-node tree (reversed=%v), want 6-node transpose", both.Graph.N(), both.Reversed)
+	}
+}
+
+func TestExpandIdentityOnTrees(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.RandomTree(rng, 1+rng.Intn(25))
+		tree, err := Expand(g)
+		if err != nil {
+			return false
+		}
+		if tree.Graph.N() != g.N() || len(tree.Duplicated()) != 0 {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			if len(tree.Copies[v]) != 1 || tree.Orig[tree.Copies[v][0]] != dfg.NodeID(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandPreservesCriticalPathMultiset(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.RandomDAG(rng, 2+rng.Intn(12), 0.3)
+		want := pathSet(g)
+		tree, err := Expand(g)
+		if err != nil {
+			return false
+		}
+		got := pathSet(tree.Graph)
+		if len(got) != len(want) {
+			return false
+		}
+		for p, c := range want {
+			if got[p] != c {
+				return false
+			}
+		}
+		return tree.Graph.IsOutForest()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandBothPreservesPathsModuloReversal(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.RandomDAG(rng, 2+rng.Intn(12), 0.3)
+		want := pathSet(g)
+		tree, err := ExpandBoth(g)
+		if err != nil {
+			return false
+		}
+		got := pathSet(tree.Graph)
+		if tree.Reversed {
+			got = reversedPathSet(got)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for p, c := range want {
+			if got[p] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandCopiesBookkeeping(t *testing.T) {
+	g := paperDFG(t)
+	tree, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for v, copies := range tree.Copies {
+		if len(copies) == 0 {
+			t.Fatalf("node %d has no copies", v)
+		}
+		total += len(copies)
+		for _, w := range copies {
+			if tree.Orig[w] != dfg.NodeID(v) {
+				t.Fatalf("copy %d of node %d maps back to %d", w, v, tree.Orig[w])
+			}
+			if base := strings.SplitN(tree.Graph.Node(w).Name, "#", 2)[0]; base != g.Node(dfg.NodeID(v)).Name {
+				t.Fatalf("copy name %q does not match original %q", tree.Graph.Node(w).Name, g.Node(dfg.NodeID(v)).Name)
+			}
+		}
+	}
+	if total != tree.Graph.N() {
+		t.Fatalf("copies cover %d nodes, tree has %d", total, tree.Graph.N())
+	}
+}
+
+func TestExpandRejectsEmptyAndCyclic(t *testing.T) {
+	if _, err := Expand(dfg.New()); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g := dfg.New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if _, err := Expand(g); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+	if _, err := ExpandBoth(g); err == nil {
+		t.Error("cyclic graph accepted by ExpandBoth")
+	}
+}
+
+func TestExpandSizeGuard(t *testing.T) {
+	// A chain of diamonds has 2^k critical paths; 25 diamonds overflow the
+	// MaxTreeNodes guard and must error out instead of exhausting memory.
+	g := dfg.New()
+	prev := g.MustAddNode("s", "")
+	for i := 0; i < 25; i++ {
+		l := g.MustAddNode(name2("l", i), "")
+		r := g.MustAddNode(name2("r", i), "")
+		j := g.MustAddNode(name2("j", i), "")
+		g.MustAddEdge(prev, l, 0)
+		g.MustAddEdge(prev, r, 0)
+		g.MustAddEdge(l, j, 0)
+		g.MustAddEdge(r, j, 0)
+		prev = j
+	}
+	if _, err := Expand(g); err == nil {
+		t.Fatal("exponential expansion not guarded")
+	}
+	if _, err := ExpandBoth(g); err == nil {
+		t.Fatal("ExpandBoth not guarded")
+	}
+}
+
+func TestExpandIgnoresParallelAndDelayEdges(t *testing.T) {
+	g := dfg.New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	c := g.MustAddNode("c", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, b, 0) // parallel: no extra path
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, a, 1) // loop-carried: not part of the DAG portion
+	tree, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Graph.N() != 3 {
+		t.Fatalf("tree has %d nodes, want 3", tree.Graph.N())
+	}
+}
+
+func name2(prefix string, i int) string {
+	return prefix + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

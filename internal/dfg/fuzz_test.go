@@ -1,0 +1,40 @@
+package dfg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON checks the graph decoder never panics and that everything
+// it accepts re-encodes to an equivalent graph.
+func FuzzReadJSON(f *testing.F) {
+	seeds := []string{
+		`{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":"a","to":"b"}]}`,
+		`{"nodes":[{"name":"a","op":"mul"}],"edges":[{"from":"a","to":"a","delays":2}]}`,
+		`{"nodes":[],"edges":[]}`,
+		`{"nodes":[{"name":""}]}`,
+		`{"edges":[{"from":"x","to":"y"}]}`,
+		`[]`,
+		`{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted graph fails to encode: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if g.String() != back.String() {
+			t.Fatalf("round-trip changed graph:\n%s\nvs\n%s", g.String(), back.String())
+		}
+	})
+}

@@ -1,0 +1,387 @@
+package dfg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// paperExample builds the DFG of Figure 9 in the paper: roots A and B,
+// leaves E and F, common nodes C and D, and four critical paths
+// A-C-D-E, A-C-D-F, B-C-D-E, B-C-D-F.
+func paperExample(t testing.TB) *Graph {
+	t.Helper()
+	g := New()
+	a := g.MustAddNode("A", "")
+	b := g.MustAddNode("B", "")
+	c := g.MustAddNode("C", "")
+	d := g.MustAddNode("D", "")
+	e := g.MustAddNode("E", "")
+	f := g.MustAddNode("F", "")
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, d, 0)
+	g.MustAddEdge(d, e, 0)
+	g.MustAddEdge(d, f, 0)
+	return g
+}
+
+func ids(vs []NodeID) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func TestAddNodeRejectsDuplicatesAndEmpty(t *testing.T) {
+	g := New()
+	if _, err := g.AddNode("", "mul"); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := g.AddNode("A", "mul"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddNode("A", "add"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("A", "")
+	b := g.MustAddNode("B", "")
+	if err := g.AddEdge(a, NodeID(7), 0); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := g.AddEdge(NodeID(-1), b, 0); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := g.AddEdge(a, b, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := g.AddEdge(a, a, 0); err == nil {
+		t.Error("zero-delay self-loop accepted")
+	}
+	if err := g.AddEdge(a, a, 1); err != nil {
+		t.Errorf("delayed self-loop rejected: %v", err)
+	}
+	if err := g.AddEdge(a, b, 0); err != nil {
+		t.Errorf("plain edge rejected: %v", err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := paperExample(t)
+	id, ok := g.Lookup("C")
+	if !ok || g.Node(id).Name != "C" {
+		t.Fatalf("Lookup(C) = %d, %v", id, ok)
+	}
+	if id, ok := g.Lookup("nope"); ok || id != None {
+		t.Fatalf("Lookup(nope) = %d, %v", id, ok)
+	}
+}
+
+func TestRootsLeavesDegrees(t *testing.T) {
+	g := paperExample(t)
+	if got := ids(g.Roots()); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Roots = %v, want [0 1]", got)
+	}
+	if got := ids(g.Leaves()); !reflect.DeepEqual(got, []int{4, 5}) {
+		t.Errorf("Leaves = %v, want [4 5]", got)
+	}
+	c, _ := g.Lookup("C")
+	if g.InDegree(c) != 2 || g.OutDegree(c) != 1 {
+		t.Errorf("C degrees = %d/%d, want 2/1", g.InDegree(c), g.OutDegree(c))
+	}
+}
+
+func TestDelayedEdgesExcludedFromDAGPortion(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("A", "")
+	b := g.MustAddNode("B", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 2) // feedback through two delays: legal cycle
+	if err := g.Validate(); err != nil {
+		t.Fatalf("cyclic DFG with delayed back edge should validate: %v", err)
+	}
+	if got := len(g.Pred(a)); got != 0 {
+		t.Errorf("Pred(A) over zero-delay edges = %d, want 0", got)
+	}
+	if got := len(g.PredAll(a)); got != 1 {
+		t.Errorf("PredAll(A) = %d, want 1", got)
+	}
+	if got := len(g.SuccAll(b)); got != 1 {
+		t.Errorf("SuccAll(B) = %d, want 1", got)
+	}
+}
+
+func TestValidateRejectsZeroDelayCycle(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("A", "")
+	b := g.MustAddNode("B", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero-delay cycle validated")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := paperExample(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if e.Delays == 0 && pos[e.From] >= pos[e.To] {
+			t.Errorf("edge (%d,%d) violated by order %v", e.From, e.To, order)
+		}
+	}
+	rev, err := g.ReverseTopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rev {
+		if rev[i] != order[len(order)-1-i] {
+			t.Fatalf("ReverseTopoOrder mismatch at %d", i)
+		}
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := paperExample(t)
+	o1, _ := g.TopoOrder()
+	o2, _ := g.TopoOrder()
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatalf("nondeterministic topo order: %v vs %v", o1, o2)
+	}
+}
+
+func TestShapePredicates(t *testing.T) {
+	if !Chain(4).IsSimplePath() {
+		t.Error("Chain(4) not recognized as simple path")
+	}
+	if !Chain(4).IsOutForest() {
+		t.Error("Chain(4) not recognized as out-forest")
+	}
+	if Chain(0).IsSimplePath() {
+		t.Error("empty graph accepted as simple path")
+	}
+	g := paperExample(t)
+	if g.IsSimplePath() {
+		t.Error("paper example accepted as simple path")
+	}
+	if g.IsOutForest() {
+		t.Error("paper example accepted as out-forest (C has two parents)")
+	}
+	tree := New()
+	r := tree.MustAddNode("r", "")
+	x := tree.MustAddNode("x", "")
+	y := tree.MustAddNode("y", "")
+	tree.MustAddEdge(r, x, 0)
+	tree.MustAddEdge(r, y, 0)
+	if !tree.IsOutForest() {
+		t.Error("small tree not recognized as out-forest")
+	}
+	if tree.IsSimplePath() {
+		t.Error("branching tree accepted as simple path")
+	}
+}
+
+func TestCommonNodesMatchPaperExample(t *testing.T) {
+	g := paperExample(t)
+	got := make([]string, 0, 2)
+	for _, v := range g.CommonNodes() {
+		got = append(got, g.Node(v).Name)
+	}
+	if !reflect.DeepEqual(got, []string{"C", "D"}) {
+		t.Fatalf("CommonNodes = %v, want [C D]", got)
+	}
+	if n := g.CriticalPathCount(); n != 4 {
+		t.Fatalf("CriticalPathCount = %d, want 4", n)
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	g := paperExample(t)
+	// A=3 B=1 C=2 D=2 E=5 F=1: longest is A-C-D-E = 12.
+	w := []int{3, 1, 2, 2, 5, 1}
+	length, path, err := g.LongestPath(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 12 {
+		t.Fatalf("length = %d, want 12", length)
+	}
+	names := make([]string, len(path))
+	for i, v := range path {
+		names[i] = g.Node(v).Name
+	}
+	if !reflect.DeepEqual(names, []string{"A", "C", "D", "E"}) {
+		t.Fatalf("path = %v, want A C D E", names)
+	}
+	if _, _, err := g.LongestPath([]int{1}); err == nil {
+		t.Error("short weight slice accepted")
+	}
+}
+
+func TestLongestPathEmptyGraph(t *testing.T) {
+	length, path, err := New().LongestPath(nil)
+	if err != nil || length != 0 || path != nil {
+		t.Fatalf("empty graph: %d %v %v", length, path, err)
+	}
+}
+
+func TestOnLongestPath(t *testing.T) {
+	g := paperExample(t)
+	w := []int{3, 3, 2, 2, 5, 5} // both roots and both leaves tie
+	mask, length, err := g.OnLongestPath(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 12 {
+		t.Fatalf("length = %d, want 12", length)
+	}
+	for id, on := range mask {
+		if !on {
+			t.Errorf("node %d should lie on a longest path", id)
+		}
+	}
+	w = []int{3, 1, 2, 2, 5, 1}
+	mask, _, _ = g.OnLongestPath(w)
+	want := []bool{true, false, true, true, true, false}
+	if !reflect.DeepEqual(mask, want) {
+		t.Fatalf("mask = %v, want %v", mask, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := paperExample(t)
+	c := g.Clone()
+	c.MustAddNode("Z", "")
+	c.MustAddEdge(0, c.NodeID("Z"), 0)
+	if g.N() != 6 || g.M() != 5 {
+		t.Fatalf("mutating clone changed original: %d nodes %d edges", g.N(), g.M())
+	}
+}
+
+// NodeID is a test helper resolving a name that must exist.
+func (g *Graph) NodeID(name string) NodeID {
+	id, ok := g.Lookup(name)
+	if !ok {
+		panic("unknown node " + name)
+	}
+	return id
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomDAG(rng, 2+rng.Intn(20), 0.3)
+		tt := g.Transpose().Transpose()
+		return g.String() == tt.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeSwapsRootsAndLeaves(t *testing.T) {
+	g := paperExample(t)
+	tr := g.Transpose()
+	if !reflect.DeepEqual(ids(g.Roots()), ids(tr.Leaves())) {
+		t.Errorf("roots %v != transposed leaves %v", g.Roots(), tr.Leaves())
+	}
+	if !reflect.DeepEqual(ids(g.Leaves()), ids(tr.Roots())) {
+		t.Errorf("leaves %v != transposed roots %v", g.Leaves(), tr.Roots())
+	}
+}
+
+func TestLongestPathInvariantUnderTranspose(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomDAG(rng, 2+rng.Intn(20), 0.3)
+		w := make([]int, g.N())
+		for i := range w {
+			w[i] = 1 + rng.Intn(9)
+		}
+		l1, _, err1 := g.LongestPath(w)
+		l2, _, err2 := g.Transpose().LongestPath(w)
+		return err1 == nil && err2 == nil && l1 == l2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTreeIsOutForest(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return RandomTree(rng, 1+rng.Intn(30)).IsOutForest()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDAGIsAcyclic(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return RandomDAG(rng, 2+rng.Intn(30), rng.Float64()).Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDelays(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("A", "")
+	b := g.MustAddNode("B", "")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, a, 2)
+	if err := g.SetDelays(0, 0); err != nil {
+		t.Errorf("clearing delay on plain edge: %v", err)
+	}
+	if err := g.SetDelays(1, 0); err == nil {
+		t.Error("self-loop delay cleared to zero")
+	}
+	if err := g.SetDelays(0, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := g.SetDelays(9, 1); err == nil {
+		t.Error("out-of-range edge index accepted")
+	}
+	if g.Edge(0).Delays != 0 {
+		t.Errorf("Delays = %d, want 0", g.Edge(0).Delays)
+	}
+}
+
+func TestCriticalPathCountSaturates(t *testing.T) {
+	// 2^70 paths: a chain of 70 diamonds. The count must clamp, not wrap.
+	g := New()
+	prev := g.MustAddNode("s", "")
+	for i := 0; i < 70; i++ {
+		l := g.MustAddNode(fmt2("l", i), "")
+		r := g.MustAddNode(fmt2("r", i), "")
+		j := g.MustAddNode(fmt2("j", i), "")
+		g.MustAddEdge(prev, l, 0)
+		g.MustAddEdge(prev, r, 0)
+		g.MustAddEdge(l, j, 0)
+		g.MustAddEdge(r, j, 0)
+		prev = j
+	}
+	if n := g.CriticalPathCount(); n != maxInt64 {
+		t.Fatalf("count = %d, want saturation at %d", n, maxInt64)
+	}
+}
+
+func fmt2(prefix string, i int) string {
+	return prefix + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

@@ -1,0 +1,156 @@
+package dfg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonGraph is the on-disk form of a Graph. Nodes are referenced by name so
+// that files stay readable and stable under reordering.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Name string `json:"name"`
+	Op   string `json:"op,omitempty"`
+}
+
+type jsonEdge struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Delays int    `json:"delays,omitempty"`
+}
+
+// MarshalJSON serializes the graph with nodes in ID order and edges in
+// insertion order.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{
+		Nodes: make([]jsonNode, 0, len(g.nodes)),
+		Edges: make([]jsonEdge, 0, len(g.edges)),
+	}
+	for _, n := range g.nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{Name: n.Name, Op: n.Op})
+	}
+	for _, e := range g.edges {
+		jg.Edges = append(jg.Edges, jsonEdge{
+			From:   g.nodes[e.From].Name,
+			To:     g.nodes[e.To].Name,
+			Delays: e.Delays,
+		})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON replaces the receiver with the decoded graph.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("dfg: decode: %w", err)
+	}
+	fresh := New()
+	for _, n := range jg.Nodes {
+		if _, err := fresh.AddNode(n.Name, n.Op); err != nil {
+			return err
+		}
+	}
+	for _, e := range jg.Edges {
+		u, ok := fresh.Lookup(e.From)
+		if !ok {
+			return fmt.Errorf("dfg: edge references unknown node %q", e.From)
+		}
+		v, ok := fresh.Lookup(e.To)
+		if !ok {
+			return fmt.Errorf("dfg: edge references unknown node %q", e.To)
+		}
+		if err := fresh.AddEdge(u, v, e.Delays); err != nil {
+			return err
+		}
+	}
+	*g = *fresh
+	return nil
+}
+
+// ReadJSON decodes a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dfg: read: %w", err)
+	}
+	g := New()
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteJSON encodes the graph to w with indentation.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, data, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// DOT renders the graph in Graphviz dot syntax. Labels carry an optional
+// annotation per node (e.g. the assigned FU type); pass nil for plain names.
+// Delayed edges are drawn dashed with the delay count as label.
+func (g *Graph) DOT(title string, annotate func(NodeID) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle, fontsize=11];\n")
+	for _, n := range g.nodes {
+		label := n.Name
+		if n.Op != "" {
+			label += "\\n" + n.Op
+		}
+		if annotate != nil {
+			if extra := annotate(n.ID); extra != "" {
+				label += "\\n" + extra
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", n.ID, label)
+	}
+	for _, e := range g.edges {
+		if e.Delays == 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"%d\"];\n", e.From, e.To, e.Delays)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String gives a compact one-line description, useful in test failures.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dfg{%d nodes", len(g.nodes))
+	names := make([]string, 0, len(g.edges))
+	for _, e := range g.edges {
+		s := fmt.Sprintf("%s->%s", g.nodes[e.From].Name, g.nodes[e.To].Name)
+		if e.Delays > 0 {
+			s += fmt.Sprintf("[%d]", e.Delays)
+		}
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		b.WriteString("; ")
+		b.WriteString(strings.Join(names, " "))
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package dfg
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomDAG(rng, 2+rng.Intn(15), 0.3)
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		return g.String() == back.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"syntax":         `{"nodes": [`,
+		"unknown target": `{"nodes":[{"name":"A"}],"edges":[{"from":"A","to":"B"}]}`,
+		"unknown source": `{"nodes":[{"name":"A"}],"edges":[{"from":"B","to":"A"}]}`,
+		"dup name":       `{"nodes":[{"name":"A"},{"name":"A"}],"edges":[]}`,
+		"neg delay":      `{"nodes":[{"name":"A"},{"name":"B"}],"edges":[{"from":"A","to":"B","delays":-1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+func TestUnmarshalDoesNotClobberOnError(t *testing.T) {
+	g := Chain(3)
+	if err := json.Unmarshal([]byte(`{"nodes":[{"name":"A"},{"name":"A"}]}`), g); err == nil {
+		t.Fatal("bad input accepted")
+	}
+	if g.N() != 3 {
+		t.Fatalf("failed decode clobbered receiver: %d nodes", g.N())
+	}
+}
+
+func TestDOTMentionsEveryNodeAndEdge(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("A", "mul")
+	b := g.MustAddNode("B", "add")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 2)
+	dot := g.DOT("demo", func(v NodeID) string {
+		if v == a {
+			return "P1"
+		}
+		return ""
+	})
+	for _, want := range []string{"digraph \"demo\"", "A\\nmul\\nP1", "B\\nadd", "n0 -> n1;", "n1 -> n0 [style=dashed, label=\"2\"]"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStringIsStable(t *testing.T) {
+	g := paperExample(t)
+	want := "dfg{6 nodes; A->C B->C C->D D->E D->F}"
+	if got := g.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeMetricsOnPaperExample(t *testing.T) {
+	g := paperExample(t)
+	m, err := ComputeMetrics(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Metrics{
+		Nodes: 6, Edges: 5, Roots: 2, Leaves: 2,
+		Depth: 4, Width: 2, MaxFanout: 2, MaxFanin: 2,
+	}
+	if m != want {
+		t.Fatalf("metrics = %+v, want %+v", m, want)
+	}
+}
+
+func TestComputeMetricsCountsDelayEdges(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 2)
+	m, err := ComputeMetrics(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Edges != 1 || m.DelayEdges != 1 {
+		t.Fatalf("edge split = %d/%d, want 1/1", m.Edges, m.DelayEdges)
+	}
+}
+
+func TestComputeMetricsRejectsCycle(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 0)
+	if _, err := ComputeMetrics(g); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestComputeMetricsInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomDAG(rng, 2+rng.Intn(20), 0.3)
+		m, err := ComputeMetrics(g)
+		if err != nil {
+			return false
+		}
+		// Depth equals the unit-weight longest path.
+		w := make([]int, g.N())
+		for i := range w {
+			w[i] = 1
+		}
+		l, _, err := g.LongestPath(w)
+		if err != nil {
+			return false
+		}
+		return m.Depth == l &&
+			m.Depth*m.Width >= m.Nodes && // levels partition the nodes
+			m.Roots >= 1 && m.Leaves >= 1 &&
+			m.Nodes == g.N()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

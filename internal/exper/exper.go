@@ -1,0 +1,290 @@
+// Package exper is the experiment harness that regenerates the paper's
+// evaluation (§7, Tables 1 and 2): for each benchmark DFG and a ladder of
+// timing constraints starting at the minimum makespan, it runs the greedy
+// baseline and the paper's algorithms, reports system costs and percentage
+// reductions, and attaches the minimum-resource configuration produced by
+// phase two.
+//
+// The paper's random per-node time/cost tables are not published; we draw
+// them from fu.RandomTable with a fixed seed (three FU types, times
+// strictly increasing and costs strictly decreasing across types, the same
+// monotone structure the paper describes). Absolute costs therefore differ
+// from the paper, but the comparisons the paper's conclusions rest on —
+// tree algorithms are optimal, Once and Repeat beat greedy by double-digit
+// percentages on average, Repeat >= Once, especially with many duplicated
+// nodes — are reproduced; see EXPERIMENTS.md.
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/sched"
+	"hetsynth/internal/texttab"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Seed      int64 // seed for the random time/cost tables (default 2004)
+	Types     int   // FU types (default 3, the paper's setting)
+	Deadlines int   // timing constraints per benchmark (default 6)
+	// Exact additionally runs the branch-and-bound optimum when the graph
+	// is small enough; used by the ablation study.
+	Exact bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 2004
+	}
+	if o.Types == 0 {
+		o.Types = 3
+	}
+	if o.Deadlines == 0 {
+		o.Deadlines = 6
+	}
+	return o
+}
+
+// Row is one table line: one benchmark at one timing constraint.
+type Row struct {
+	Deadline int
+	Greedy   int64
+	Tree     int64 // optimal tree cost; -1 when the graph is not a tree
+	Once     int64
+	Repeat   int64
+	Exact    int64 // -1 unless Options.Exact and the search finished
+	Config   sched.Config
+}
+
+// ReductionOnce is the percentage cost reduction of DFG_Assign_Once versus
+// the greedy baseline.
+func (r Row) ReductionOnce() float64 { return reduction(r.Greedy, r.Once) }
+
+// ReductionRepeat is the percentage cost reduction of DFG_Assign_Repeat
+// versus the greedy baseline.
+func (r Row) ReductionRepeat() float64 { return reduction(r.Greedy, r.Repeat) }
+
+func reduction(base, x int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-x) / float64(base)
+}
+
+// Result aggregates the rows of one benchmark.
+type Result struct {
+	Bench benchdfg.Benchmark
+	Graph *dfg.Graph
+	Table *fu.Table
+	Rows  []Row
+}
+
+// AvgReductionOnce averages ReductionOnce over all rows.
+func (res Result) AvgReductionOnce() float64 {
+	var s float64
+	for _, r := range res.Rows {
+		s += r.ReductionOnce()
+	}
+	return s / float64(len(res.Rows))
+}
+
+// AvgReductionRepeat averages ReductionRepeat over all rows.
+func (res Result) AvgReductionRepeat() float64 {
+	var s float64
+	for _, r := range res.Rows {
+		s += r.ReductionRepeat()
+	}
+	return s / float64(len(res.Rows))
+}
+
+// Deadlines builds the ladder of timing constraints for a benchmark: the
+// minimum makespan first (the paper's first row), then evenly spaced looser
+// constraints.
+func Deadlines(g *dfg.Graph, t *fu.Table, count int) ([]int, error) {
+	min, err := hap.MinMakespan(g, t)
+	if err != nil {
+		return nil, err
+	}
+	step := min / 5
+	if step < 1 {
+		step = 1
+	}
+	out := make([]int, count)
+	for i := range out {
+		out[i] = min + i*step
+	}
+	return out, nil
+}
+
+// Run executes the experiment for one benchmark.
+func Run(b benchdfg.Benchmark, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	g := b.Build()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	tab := fu.RandomTable(rng, g.N(), opt.Types)
+	res := Result{Bench: b, Graph: g, Table: tab}
+
+	deadlines, err := Deadlines(g, tab, opt.Deadlines)
+	if err != nil {
+		return Result{}, fmt.Errorf("exper: %s: %w", b.Name, err)
+	}
+	isTree := g.IsInForest() || g.IsOutForest()
+
+	for _, L := range deadlines {
+		p := hap.Problem{Graph: g, Table: tab, Deadline: L}
+		row := Row{Deadline: L, Tree: -1, Exact: -1}
+
+		gs, err := hap.Greedy(p)
+		if err != nil {
+			return Result{}, fmt.Errorf("exper: %s greedy at L=%d: %w", b.Name, L, err)
+		}
+		row.Greedy = gs.Cost
+
+		if isTree {
+			ts, err := hap.TreeAssign(p)
+			if err != nil {
+				return Result{}, fmt.Errorf("exper: %s tree at L=%d: %w", b.Name, L, err)
+			}
+			row.Tree = ts.Cost
+		}
+		once, err := hap.AssignOnce(p)
+		if err != nil {
+			return Result{}, fmt.Errorf("exper: %s once at L=%d: %w", b.Name, L, err)
+		}
+		row.Once = once.Cost
+		rep, err := hap.AssignRepeat(p)
+		if err != nil {
+			return Result{}, fmt.Errorf("exper: %s repeat at L=%d: %w", b.Name, L, err)
+		}
+		row.Repeat = rep.Cost
+
+		if opt.Exact {
+			if xs, err := hap.Exact(p, hap.ExactOptions{}); err == nil {
+				row.Exact = xs.Cost
+			}
+		}
+
+		// Phase two: minimum-resource configuration for the recommended
+		// algorithm's assignment (Repeat; equals Tree_Assign on trees).
+		_, cfg, err := sched.MinRSchedule(g, tab, rep.Assign, L)
+		if err != nil {
+			return Result{}, fmt.Errorf("exper: %s schedule at L=%d: %w", b.Name, L, err)
+		}
+		row.Config = cfg
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunAll executes Run for each benchmark in order.
+func RunAll(benches []benchdfg.Benchmark, opt Options) ([]Result, error) {
+	out := make([]Result, 0, len(benches))
+	for _, b := range benches {
+		r, err := Run(b, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table1 runs the tree benchmarks of the paper's Table 1 (4-stage lattice,
+// 8-stage lattice, Volterra).
+func Table1(opt Options) ([]Result, error) {
+	var trees []benchdfg.Benchmark
+	for _, b := range benchdfg.Paper() {
+		if b.Tree {
+			trees = append(trees, b)
+		}
+	}
+	return RunAll(trees, opt)
+}
+
+// Table2 runs the general-DFG benchmarks of the paper's Table 2 (diffeq,
+// RLS-Laguerre, elliptic).
+func Table2(opt Options) ([]Result, error) {
+	var dags []benchdfg.Benchmark
+	for _, b := range benchdfg.Paper() {
+		if !b.Tree {
+			dags = append(dags, b)
+		}
+	}
+	return RunAll(dags, opt)
+}
+
+// Summary aggregates the headline numbers of §7: the average percentage
+// reduction of Once and Repeat versus greedy over all rows of all results.
+func Summary(results []Result) (avgOnce, avgRepeat float64) {
+	n := 0
+	for _, res := range results {
+		for _, r := range res.Rows {
+			avgOnce += r.ReductionOnce()
+			avgRepeat += r.ReductionRepeat()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return avgOnce / float64(n), avgRepeat / float64(n)
+}
+
+// RenderTable renders results in the paper's table layout. Tree benchmarks
+// get the Tree_Assign column (Table 1); general DFGs omit it (Table 2).
+func RenderTable(results []Result) string {
+	var b strings.Builder
+	for _, res := range results {
+		isTree := res.Bench.Tree
+		fmt.Fprintf(&b, "%s (%d nodes", res.Bench.Name, res.Graph.N())
+		if isTree {
+			b.WriteString(", tree)\n")
+		} else {
+			fmt.Fprintf(&b, ", DFG, %d duplicated nodes)\n", res.Bench.PaperDuplicated)
+		}
+		var tbl *texttab.Table
+		if isTree {
+			tbl = texttab.New("T", "Greedy", "Tree_Assign", "Once", "Repeat", "Reduction", "Config").
+				AlignRight(0, 1, 2, 3, 4, 5)
+		} else {
+			tbl = texttab.New("T", "Greedy", "Once", "Repeat", "Reduction", "Config").
+				AlignRight(0, 1, 2, 3, 4)
+		}
+		for _, r := range res.Rows {
+			reduction := fmt.Sprintf("%.1f%%", r.ReductionRepeat())
+			if isTree {
+				tbl.Row(r.Deadline, r.Greedy, r.Tree, r.Once, r.Repeat, reduction, r.Config)
+			} else {
+				tbl.Row(r.Deadline, r.Greedy,
+					fmt.Sprintf("%d (%.1f%%)", r.Once, r.ReductionOnce()),
+					fmt.Sprintf("%d (%.1f%%)", r.Repeat, r.ReductionRepeat()),
+					reduction, r.Config)
+			}
+		}
+		b.WriteString(tbl.String())
+		fmt.Fprintf(&b, "Average reduction: Once %.1f%%  Repeat %.1f%%\n\n",
+			res.AvgReductionOnce(), res.AvgReductionRepeat())
+	}
+	return b.String()
+}
+
+// RenderCSV renders results as CSV for downstream plotting.
+func RenderCSV(results []Result) string {
+	var b strings.Builder
+	b.WriteString("benchmark,nodes,deadline,greedy,tree,once,repeat,exact,once_pct,repeat_pct,config\n")
+	for _, res := range results {
+		for _, r := range res.Rows {
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%.2f,%.2f,%s\n",
+				res.Bench.Name, res.Graph.N(), r.Deadline, r.Greedy, r.Tree,
+				r.Once, r.Repeat, r.Exact,
+				r.ReductionOnce(), r.ReductionRepeat(), r.Config)
+		}
+	}
+	return b.String()
+}

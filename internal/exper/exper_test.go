@@ -1,0 +1,225 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/hap"
+)
+
+func TestTable1TreeBenchmarksAreOptimal(t *testing.T) {
+	results, err := Table1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("Table 1 has %d benchmarks, want 3", len(results))
+	}
+	for _, res := range results {
+		if len(res.Rows) != 6 {
+			t.Fatalf("%s: %d rows, want 6", res.Bench.Name, len(res.Rows))
+		}
+		for _, r := range res.Rows {
+			// §7: "Algorithm DFG_Assign_Once and Algorithm
+			// DFG_Assign_Repeat give the same results as Tree_Assign" on
+			// the tree benchmarks, and Tree_Assign is optimal there.
+			if r.Tree < 0 {
+				t.Fatalf("%s: missing Tree_Assign column", res.Bench.Name)
+			}
+			if r.Once != r.Tree || r.Repeat != r.Tree {
+				t.Errorf("%s L=%d: once=%d repeat=%d tree=%d (must match)",
+					res.Bench.Name, r.Deadline, r.Once, r.Repeat, r.Tree)
+			}
+			if r.Greedy < r.Tree {
+				t.Errorf("%s L=%d: greedy %d beats the optimum %d",
+					res.Bench.Name, r.Deadline, r.Greedy, r.Tree)
+			}
+			if len(r.Config) != 3 || r.Config.Total() < 1 {
+				t.Errorf("%s L=%d: bad config %v", res.Bench.Name, r.Deadline, r.Config)
+			}
+		}
+	}
+}
+
+func TestTable2DFGBenchmarks(t *testing.T) {
+	results, err := Table2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("Table 2 has %d benchmarks, want 3", len(results))
+	}
+	for _, res := range results {
+		// The heuristics are not pointwise dominant (a single row may lose
+		// to greedy by a little, as §7's near-zero rows show); the paper's
+		// claim is about the averages per benchmark, so that is what we
+		// pin: Repeat beats greedy on average and never trails Once.
+		var greedy, once, rep int64
+		for _, r := range res.Rows {
+			greedy += r.Greedy
+			once += r.Once
+			rep += r.Repeat
+		}
+		if rep > greedy {
+			t.Errorf("%s: repeat aggregate %d worse than greedy %d", res.Bench.Name, rep, greedy)
+		}
+		if rep > once {
+			t.Errorf("%s: repeat aggregate %d worse than once %d", res.Bench.Name, rep, once)
+		}
+		if res.AvgReductionRepeat() <= 0 {
+			t.Errorf("%s: repeat average reduction %.1f%% not positive", res.Bench.Name, res.AvgReductionRepeat())
+		}
+	}
+}
+
+func TestSummaryMatchesPaperDirection(t *testing.T) {
+	// Headline of the paper (§7/abstract): double-digit average reductions
+	// over greedy; Repeat at least as good as Once. The exact figures
+	// (13.% / 19.7%) depend on the authors' unpublished random tables, so
+	// we assert sign and rough magnitude; EXPERIMENTS.md records the
+	// measured values.
+	t1, err := Table1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Table2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgOnce, avgRepeat := Summary(append(t1, t2...))
+	if avgOnce <= 0 || avgRepeat <= 0 {
+		t.Fatalf("average reductions not positive: once=%.1f repeat=%.1f", avgOnce, avgRepeat)
+	}
+	if avgRepeat < avgOnce {
+		t.Fatalf("repeat average %.1f below once average %.1f", avgRepeat, avgOnce)
+	}
+	if avgRepeat < 5 {
+		t.Fatalf("repeat average %.1f%% is not a meaningful reduction", avgRepeat)
+	}
+	t.Logf("measured: once=%.1f%% repeat=%.1f%% (paper: 13.%% / 19.7%%)", avgOnce, avgRepeat)
+}
+
+func TestRowReductionMath(t *testing.T) {
+	r := Row{Greedy: 200, Once: 150, Repeat: 100}
+	if got := r.ReductionOnce(); got != 25 {
+		t.Errorf("ReductionOnce = %v, want 25", got)
+	}
+	if got := r.ReductionRepeat(); got != 50 {
+		t.Errorf("ReductionRepeat = %v, want 50", got)
+	}
+	zero := Row{}
+	if zero.ReductionOnce() != 0 {
+		t.Error("zero-greedy reduction must be 0")
+	}
+}
+
+func TestDeadlinesLadder(t *testing.T) {
+	b, _ := benchdfg.Lookup("4-stage-lattice")
+	g := b.Build()
+	res, err := Run(b, Options{Deadlines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := hap.MinMakespan(g, res.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(res.Rows))
+	}
+	if res.Rows[0].Deadline != min {
+		t.Fatalf("first deadline %d, want minimum makespan %d", res.Rows[0].Deadline, min)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Deadline <= res.Rows[i-1].Deadline {
+			t.Fatalf("deadlines not increasing: %v", res.Rows)
+		}
+	}
+}
+
+func TestCostsWeaklyDecreaseWithDeadline(t *testing.T) {
+	for _, b := range benchdfg.Paper() {
+		res, err := Run(b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i].Repeat > res.Rows[i-1].Repeat {
+				t.Errorf("%s: repeat cost rose from %d to %d as deadline loosened",
+					b.Name, res.Rows[i-1].Repeat, res.Rows[i].Repeat)
+			}
+		}
+	}
+}
+
+func TestExactOptionTightensRows(t *testing.T) {
+	b, _ := benchdfg.Lookup("diffeq")
+	res, err := Run(b, Options{Exact: true, Deadlines: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Exact < 0 {
+			t.Fatalf("exact column missing at L=%d", r.Deadline)
+		}
+		if r.Exact > r.Repeat || r.Exact > r.Once || r.Exact > r.Greedy {
+			t.Fatalf("exact %d worse than a heuristic (g=%d o=%d r=%d)",
+				r.Exact, r.Greedy, r.Once, r.Repeat)
+		}
+	}
+}
+
+func TestRenderTableAndCSV(t *testing.T) {
+	t1, err := Table1(Options{Deadlines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := RenderTable(t1)
+	for _, want := range []string{"4-stage-lattice", "Tree_Assign", "Average reduction"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("table missing %q:\n%s", want, txt)
+		}
+	}
+	t2, err := Table2(Options{Deadlines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt2 := RenderTable(t2)
+	if strings.Contains(txt2, "Tree_Assign") {
+		t.Error("Table 2 must not have a Tree_Assign column")
+	}
+	if !strings.Contains(txt2, "duplicated nodes") {
+		t.Error("Table 2 header missing duplicated-node count")
+	}
+	csv := RenderCSV(append(t1, t2...))
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+6*2 {
+		t.Fatalf("CSV has %d lines, want 13", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRunIsDeterministicPerSeed(t *testing.T) {
+	b, _ := benchdfg.Lookup("elliptic")
+	r1, err := Run(b, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(b, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderCSV([]Result{r1}) != RenderCSV([]Result{r2}) {
+		t.Fatal("same seed produced different results")
+	}
+	r3, err := Run(b, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderCSV([]Result{r1}) == RenderCSV([]Result{r3}) {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}

@@ -1,0 +1,30 @@
+package exper
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGoldenTables locks the complete Tables 1-2 output for the default
+// seed: any change to the algorithms, the benchmark DFGs, the random-table
+// generator or the deadline ladder shows up as a diff here. Regenerate the
+// golden file deliberately (see EXPERIMENTS.md) when such a change is
+// intended.
+func TestGoldenTables(t *testing.T) {
+	t1, err := Table1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Table2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderCSV(append(t1, t2...))
+	want, err := os.ReadFile("testdata/tables_seed2004.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("experiment output drifted from the golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

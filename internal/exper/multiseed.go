@@ -1,0 +1,86 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"hetsynth/internal/texttab"
+)
+
+var errNeedSeed = errors.New("exper: need at least one seed")
+
+// SeedStats aggregates the headline reductions over several random-table
+// seeds: the robustness check that the conclusions do not hinge on one
+// lucky draw (the paper reports a single unpublished draw; we report the
+// distribution).
+type SeedStats struct {
+	Seeds      int
+	MeanOnce   float64
+	MeanRepeat float64
+	StdOnce    float64
+	StdRepeat  float64
+	MinRepeat  float64
+	MaxRepeat  float64
+}
+
+// MultiSeed reruns the full Tables 1+2 protocol for `seeds` different
+// random tables (seeds baseSeed, baseSeed+1, ...) and aggregates the
+// average reductions.
+func MultiSeed(baseSeed int64, seeds int, opt Options) (SeedStats, error) {
+	if seeds < 1 {
+		return SeedStats{}, errNeedSeed
+	}
+	var onces, repeats []float64
+	for i := 0; i < seeds; i++ {
+		o := opt
+		o.Seed = baseSeed + int64(i)
+		t1, err := Table1(o)
+		if err != nil {
+			return SeedStats{}, err
+		}
+		t2, err := Table2(o)
+		if err != nil {
+			return SeedStats{}, err
+		}
+		avgOnce, avgRepeat := Summary(append(t1, t2...))
+		onces = append(onces, avgOnce)
+		repeats = append(repeats, avgRepeat)
+	}
+	st := SeedStats{Seeds: seeds, MinRepeat: math.Inf(1), MaxRepeat: math.Inf(-1)}
+	st.MeanOnce, st.StdOnce = meanStd(onces)
+	st.MeanRepeat, st.StdRepeat = meanStd(repeats)
+	for _, r := range repeats {
+		st.MinRepeat = math.Min(st.MinRepeat, r)
+		st.MaxRepeat = math.Max(st.MaxRepeat, r)
+	}
+	return st, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) > 1 {
+		for _, x := range xs {
+			std += (x - mean) * (x - mean)
+		}
+		std = math.Sqrt(std / float64(len(xs)-1))
+	}
+	return mean, std
+}
+
+// RenderSeedStats renders the robustness summary.
+func RenderSeedStats(st SeedStats) string {
+	tbl := texttab.New("metric", "mean", "stddev", "min", "max").AlignRight(1, 2, 3, 4)
+	tbl.Row("once reduction", pct(st.MeanOnce), pct(st.StdOnce), "", "")
+	tbl.Row("repeat reduction", pct(st.MeanRepeat), pct(st.StdRepeat), pct(st.MinRepeat), pct(st.MaxRepeat))
+	var b strings.Builder
+	fmt.Fprintf(&b, "over %d random-table seeds:\n", st.Seeds)
+	b.WriteString(tbl.String())
+	return b.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x) }

@@ -1,0 +1,42 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiSeedRobustness(t *testing.T) {
+	st, err := MultiSeed(100, 5, Options{Deadlines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seeds != 5 {
+		t.Fatalf("seeds = %d", st.Seeds)
+	}
+	// The qualitative conclusion must hold across every seed: Repeat's
+	// average reduction stays positive and its mean is meaningfully so.
+	if st.MinRepeat <= 0 {
+		t.Fatalf("some seed gave non-positive repeat reduction: min %.2f%%", st.MinRepeat)
+	}
+	if st.MeanRepeat < 5 {
+		t.Fatalf("mean repeat reduction %.2f%% too small", st.MeanRepeat)
+	}
+	if st.MeanRepeat+1e-9 < st.MeanOnce {
+		t.Fatalf("repeat mean %.2f%% below once mean %.2f%%", st.MeanRepeat, st.MeanOnce)
+	}
+	if st.StdRepeat < 0 || st.MaxRepeat < st.MinRepeat {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	out := RenderSeedStats(st)
+	for _, want := range []string{"5 random-table seeds", "repeat reduction", "stddev"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiSeedValidation(t *testing.T) {
+	if _, err := MultiSeed(1, 0, Options{}); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/sched"
+	"hetsynth/internal/texttab"
+)
+
+// Phase2Row compares the three phase-2 schedulers on one benchmark at one
+// deadline: total FU counts (lower is better) plus the register demand of
+// the Min_R schedule.
+type Phase2Row struct {
+	Bench     string
+	Deadline  int
+	LowerB    int // Lower_Bound_R total
+	MinR      int // Min_R_Scheduling total
+	FDS       int // force-directed scheduling total
+	Search    int // config-search total
+	Registers int // register demand of the Min_R schedule, non-overlapped
+}
+
+// Phase2 runs the phase-2 comparison over the paper benchmarks: assign
+// with DFG_Assign_Repeat, then schedule with Min_R_Scheduling,
+// force-directed scheduling and the config search, recording total FU
+// counts. This experiment has no counterpart in the paper (which only
+// reports Min_R configurations); it quantifies how the paper's scheduler
+// compares against the classic alternative it cites ([15]).
+func Phase2(opt Options) ([]Phase2Row, error) {
+	opt = opt.withDefaults()
+	var out []Phase2Row
+	for _, b := range benchdfg.Paper() {
+		g := b.Build()
+		rng := rand.New(rand.NewSource(opt.Seed))
+		tab := fu.RandomTable(rng, g.N(), opt.Types)
+		deadlines, err := Deadlines(g, tab, opt.Deadlines)
+		if err != nil {
+			return nil, err
+		}
+		for _, L := range deadlines {
+			p := hap.Problem{Graph: g, Table: tab, Deadline: L}
+			sol, err := hap.AssignRepeat(p)
+			if err != nil {
+				return nil, fmt.Errorf("exper: %s at L=%d: %w", b.Name, L, err)
+			}
+			lb, err := sched.LowerBoundR(g, tab, sol.Assign, L)
+			if err != nil {
+				return nil, err
+			}
+			ms, cfgM, err := sched.MinRSchedule(g, tab, sol.Assign, L)
+			if err != nil {
+				return nil, err
+			}
+			_, cfgF, err := sched.ForceDirected(g, tab, sol.Assign, L)
+			if err != nil {
+				return nil, err
+			}
+			_, cfgS, err := sched.MinConfigSearch(g, tab, sol.Assign, L)
+			if err != nil {
+				return nil, err
+			}
+			regs, err := sched.RegisterDemand(g, ms, ms.Length)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Phase2Row{
+				Bench: b.Name, Deadline: L,
+				LowerB: lb.Total(), MinR: cfgM.Total(),
+				FDS: cfgF.Total(), Search: cfgS.Total(),
+				Registers: regs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderPhase2 renders the comparison as a text table.
+func RenderPhase2(rows []Phase2Row) string {
+	tbl := texttab.New("benchmark", "T", "LowerBound", "Min_R", "ForceDir", "Search", "Registers").
+		AlignRight(1, 2, 3, 4, 5, 6)
+	last := ""
+	for _, r := range rows {
+		if last != "" && r.Bench != last {
+			tbl.Separator()
+		}
+		last = r.Bench
+		tbl.Row(r.Bench, r.Deadline, r.LowerB, r.MinR, r.FDS, r.Search, r.Registers)
+	}
+	return tbl.String()
+}
+
+// RandomSuiteRow aggregates one (size, density) random-DAG population.
+type RandomSuiteRow struct {
+	Nodes     int
+	Density   float64
+	Instances int
+	// Average percentage reductions vs the greedy baseline.
+	AvgOnce   float64
+	AvgRepeat float64
+	// OptimalHits counts instances (of those small enough to solve
+	// exactly) where Repeat matched the optimum; OptTried is the base.
+	OptimalHits int
+	OptTried    int
+}
+
+// RandomSuite measures the heuristics on random DAG populations — the
+// generality check the paper's six fixed benchmarks cannot give. Each
+// population draws `instances` DAGs of the given size/density with fresh
+// random tables; deadlines sit one third above the minimum makespan.
+func RandomSuite(seed int64, sizes []int, density float64, instances int) ([]RandomSuiteRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var out []RandomSuiteRow
+	for _, n := range sizes {
+		row := RandomSuiteRow{Nodes: n, Density: density, Instances: instances}
+		for i := 0; i < instances; i++ {
+			g := dfg.RandomDAG(rng, n, density)
+			tab := fu.RandomTable(rng, n, 3)
+			min, err := hap.MinMakespan(g, tab)
+			if err != nil {
+				return nil, err
+			}
+			p := hap.Problem{Graph: g, Table: tab, Deadline: min + min/3 + 1}
+			gs, err := hap.Greedy(p)
+			if err != nil {
+				return nil, err
+			}
+			once, err := hap.AssignOnce(p)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := hap.AssignRepeat(p)
+			if err != nil {
+				return nil, err
+			}
+			row.AvgOnce += 100 * float64(gs.Cost-once.Cost) / float64(gs.Cost)
+			row.AvgRepeat += 100 * float64(gs.Cost-rep.Cost) / float64(gs.Cost)
+			if n <= 14 {
+				if opt, err := hap.Exact(p, hap.ExactOptions{}); err == nil {
+					row.OptTried++
+					if opt.Cost == rep.Cost {
+						row.OptimalHits++
+					}
+				}
+			}
+		}
+		row.AvgOnce /= float64(instances)
+		row.AvgRepeat /= float64(instances)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderRandomSuite renders the population results.
+func RenderRandomSuite(rows []RandomSuiteRow) string {
+	tbl := texttab.New("nodes", "density", "instances", "once", "repeat", "repeat=optimal").
+		AlignRight(0, 1, 2, 3, 4, 5)
+	for _, r := range rows {
+		opt := "n/a"
+		if r.OptTried > 0 {
+			opt = fmt.Sprintf("%d/%d", r.OptimalHits, r.OptTried)
+		}
+		tbl.Row(r.Nodes, fmt.Sprintf("%.2f", r.Density), r.Instances,
+			fmt.Sprintf("%.1f%%", r.AvgOnce), fmt.Sprintf("%.1f%%", r.AvgRepeat), opt)
+	}
+	var b strings.Builder
+	b.WriteString(tbl.String())
+	return b.String()
+}

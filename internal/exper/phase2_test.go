@@ -1,0 +1,56 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhase2Comparison(t *testing.T) {
+	rows, err := Phase2(Options{Deadlines: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6*3 {
+		t.Fatalf("%d rows, want 18", len(rows))
+	}
+	for _, r := range rows {
+		// Every scheduler's total must be at least the lower bound's.
+		if r.MinR < r.LowerB || r.FDS < r.LowerB || r.Search < r.LowerB {
+			t.Errorf("%s T=%d: some scheduler beat the lower bound: %+v", r.Bench, r.Deadline, r)
+		}
+		if r.Registers < 1 {
+			t.Errorf("%s T=%d: register demand %d", r.Bench, r.Deadline, r.Registers)
+		}
+	}
+	out := RenderPhase2(rows)
+	for _, want := range []string{"Min_R", "ForceDir", "Search", "elliptic", "Registers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRandomSuite(t *testing.T) {
+	rows, err := RandomSuite(7, []int{8, 14}, 0.3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgRepeat < 0 {
+			t.Errorf("n=%d: repeat average %.1f%% negative (worse than greedy on average)", r.Nodes, r.AvgRepeat)
+		}
+		if r.AvgRepeat+1e-9 < r.AvgOnce {
+			t.Errorf("n=%d: repeat %.2f%% below once %.2f%%", r.Nodes, r.AvgRepeat, r.AvgOnce)
+		}
+		if r.OptTried > 0 && r.OptimalHits*2 < r.OptTried {
+			t.Errorf("n=%d: repeat matched optimum only %d/%d times", r.Nodes, r.OptimalHits, r.OptTried)
+		}
+	}
+	out := RenderRandomSuite(rows)
+	if !strings.Contains(out, "repeat=optimal") {
+		t.Errorf("render missing optimal column:\n%s", out)
+	}
+}

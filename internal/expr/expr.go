@@ -1,0 +1,474 @@
+// Package expr compiles small DSP kernel descriptions into data-flow
+// graphs: a frontend so that users can write the computation the way the
+// paper's benchmarks are specified in the literature —
+//
+//	# one Euler step of the differential equation solver
+//	u' = u - 3*x*(u*dx) - 3*y*dx;
+//	x' = x + dx;
+//	y' = y + u*dx;
+//
+// — instead of hand-wiring nodes and edges.
+//
+// Language:
+//
+//   - a program is a list of assignments "name = expression;" (semicolon
+//     or newline terminated; "#" starts a line comment);
+//   - expressions use +, -, * (with the usual precedence), parentheses
+//     and unary minus;
+//   - an identifier names either a signal defined by some assignment
+//     (its uses become precedence edges from the defining operation) or,
+//     if never assigned, an external input, which contributes no node;
+//   - numeric literals are external constants (no node);
+//   - "name@d" reads the value a signal had d iterations ago: the edge it
+//     induces carries d delays, which is how loop-carried dependences
+//     (filter state) are expressed. Signals may be used before they are
+//     defined; only zero-delay cycles are rejected.
+//
+// Every arithmetic operator becomes one DFG node with op class "mul",
+// "add", "sub" or "neg", ready for the heterogeneous assignment flow.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsynth/internal/dfg"
+)
+
+// Program is a compiled kernel.
+type Program struct {
+	Graph *dfg.Graph
+	// Signals maps each assigned name to the node computing it.
+	Signals map[string]dfg.NodeID
+	// Inputs lists the external identifiers (used but never assigned),
+	// sorted by first use.
+	Inputs []string
+}
+
+// Compile parses and compiles a kernel description.
+func Compile(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmts, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return build(stmts)
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokAssign // =
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokLParen // (
+	tokRParen // )
+	tokAt     // @
+	tokSemi   // ; or newline
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokKind, text string) { toks = append(toks, token{kind: k, text: text, line: line}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\n':
+			// Newlines terminate statements like semicolons, but only when
+			// a statement is in progress (avoids empty-statement noise).
+			if n := len(toks); n > 0 && toks[n-1].kind != tokSemi {
+				emit(tokSemi, ";")
+			}
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';':
+			if n := len(toks); n > 0 && toks[n-1].kind != tokSemi {
+				emit(tokSemi, ";")
+			}
+			i++
+		case c == '=':
+			emit(tokAssign, "=")
+			i++
+		case c == '+':
+			emit(tokPlus, "+")
+			i++
+		case c == '-':
+			emit(tokMinus, "-")
+			i++
+		case c == '*':
+			emit(tokStar, "*")
+			i++
+		case c == '(':
+			emit(tokLParen, "(")
+			i++
+		case c == ')':
+			emit(tokRParen, ")")
+			i++
+		case c == '@':
+			emit(tokAt, "@")
+			i++
+		case isDigit(c):
+			j := i
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.') {
+				j++
+			}
+			emit(tokNumber, src[i:j])
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			emit(tokIdent, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("expr: line %d: unexpected character %q", line, c)
+		}
+	}
+	if n := len(toks); n > 0 && toks[n-1].kind != tokSemi {
+		emit(tokSemi, ";")
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '\'' }
+
+// ---- parser ----
+
+// ast nodes: binary op, unary neg, reference, constant.
+type ast interface{ astNode() }
+
+type binOp struct {
+	op   string // "add", "sub", "mul"
+	l, r ast
+}
+type unOp struct {
+	op string // "neg"
+	x  ast
+}
+type ref struct {
+	name  string
+	delay int
+	line  int
+}
+type lit struct{ text string }
+
+func (binOp) astNode() {}
+func (unOp) astNode()  {}
+func (ref) astNode()   {}
+func (lit) astNode()   {}
+
+type stmt struct {
+	name string
+	rhs  ast
+	line int
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(k tokKind) bool {
+	if p.peek().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseProgram() ([]stmt, error) {
+	var stmts []stmt
+	for {
+		for p.accept(tokSemi) {
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("expr: empty program")
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return stmt{}, fmt.Errorf("expr: line %d: expected signal name, got %q", t.line, t.text)
+	}
+	if eq := p.next(); eq.kind != tokAssign {
+		return stmt{}, fmt.Errorf("expr: line %d: expected '=' after %q, got %q", t.line, t.text, eq.text)
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return stmt{}, err
+	}
+	if end := p.next(); end.kind != tokSemi && end.kind != tokEOF {
+		return stmt{}, fmt.Errorf("expr: line %d: expected end of statement, got %q", end.line, end.text)
+	}
+	return stmt{name: t.text, rhs: rhs, line: t.line}, nil
+}
+
+func (p *parser) parseExpr() (ast, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPlus):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = binOp{op: "add", l: l, r: r}
+		case p.accept(tokMinus):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = binOp{op: "sub", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (ast, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokStar) {
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp{op: "mul", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (ast, error) {
+	t := p.next()
+	switch t.kind {
+	case tokMinus:
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return unOp{op: "neg", x: x}, nil
+	case tokLParen:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen) {
+			return nil, fmt.Errorf("expr: line %d: missing ')'", t.line)
+		}
+		return x, nil
+	case tokNumber:
+		return lit{text: t.text}, nil
+	case tokIdent:
+		r := ref{name: t.text, line: t.line}
+		if p.accept(tokAt) {
+			d := p.next()
+			if d.kind != tokNumber || strings.Contains(d.text, ".") {
+				return nil, fmt.Errorf("expr: line %d: '@' needs an integer delay, got %q", t.line, d.text)
+			}
+			n := 0
+			for _, c := range d.text {
+				n = n*10 + int(c-'0')
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("expr: line %d: delay must be >= 1 (use the bare name for the current value)", t.line)
+			}
+			r.delay = n
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("expr: line %d: unexpected %q in expression", t.line, t.text)
+	}
+}
+
+// ---- code generation ----
+
+func build(stmts []stmt) (*Program, error) {
+	g := dfg.New()
+	signals := make(map[string]dfg.NodeID)
+	defined := make(map[string]bool)
+	for _, s := range stmts {
+		if defined[s.name] {
+			return nil, fmt.Errorf("expr: line %d: signal %q assigned twice", s.line, s.name)
+		}
+		defined[s.name] = true
+	}
+
+	counters := map[string]int{}
+	newNode := func(op string) dfg.NodeID {
+		counters[op]++
+		return g.MustAddNode(fmt.Sprintf("%s%d", op, counters[op]), op)
+	}
+
+	// Pass one: materialize nodes for every operator and remember, per
+	// statement, the root node; signal-to-signal aliases resolve later.
+	type pendingEdge struct {
+		fromSignal string
+		to         dfg.NodeID
+		delay      int
+		line       int
+	}
+	var edges []pendingEdge
+	var inputs []string
+	seenInput := map[string]bool{}
+
+	// operand wires the value of an ast into consumer `to`.
+	var genExpr func(a ast) (node dfg.NodeID, signal string, isValue bool, err error)
+	operand := func(a ast, to dfg.NodeID) error {
+		node, signal, isValue, err := genExpr(a)
+		if err != nil {
+			return err
+		}
+		switch {
+		case !isValue:
+			// external input or constant: no edge
+			return nil
+		case signal != "":
+			edges = append(edges, pendingEdge{fromSignal: signal, to: to, delay: delayOf(a)})
+			return nil
+		default:
+			return g.AddEdge(node, to, 0)
+		}
+	}
+	genExpr = func(a ast) (dfg.NodeID, string, bool, error) {
+		switch x := a.(type) {
+		case lit:
+			return dfg.None, "", false, nil
+		case ref:
+			if !defined[x.name] {
+				if x.delay > 0 {
+					return dfg.None, "", false, fmt.Errorf("expr: line %d: delayed read of external input %q (inputs have no producing node)", x.line, x.name)
+				}
+				if !seenInput[x.name] {
+					seenInput[x.name] = true
+					inputs = append(inputs, x.name)
+				}
+				return dfg.None, "", false, nil
+			}
+			return dfg.None, x.name, true, nil
+		case unOp:
+			n := newNode(x.op)
+			if err := operand(x.x, n); err != nil {
+				return dfg.None, "", false, err
+			}
+			return n, "", true, nil
+		case binOp:
+			n := newNode(x.op)
+			if err := operand(x.l, n); err != nil {
+				return dfg.None, "", false, err
+			}
+			if err := operand(x.r, n); err != nil {
+				return dfg.None, "", false, err
+			}
+			return n, "", true, nil
+		}
+		return dfg.None, "", false, fmt.Errorf("expr: unknown ast node %T", a)
+	}
+
+	aliases := map[string]string{} // signal -> signal it aliases
+	for _, s := range stmts {
+		if r, ok := s.rhs.(ref); ok && r.delay > 0 {
+			return nil, fmt.Errorf("expr: line %d: %q aliases a delayed value; read %s@%d where it is used instead", s.line, s.name, r.name, r.delay)
+		}
+		node, signal, isValue, err := genExpr(s.rhs)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case !isValue:
+			return nil, fmt.Errorf("expr: line %d: %q is a constant or bare input; nothing to synthesize", s.line, s.name)
+		case signal != "":
+			aliases[s.name] = signal
+		default:
+			signals[s.name] = node
+		}
+	}
+	// Resolve alias chains (a = b; b = expr).
+	resolve := func(name string) (dfg.NodeID, error) {
+		seen := map[string]bool{}
+		for {
+			if id, ok := signals[name]; ok {
+				return id, nil
+			}
+			next, ok := aliases[name]
+			if !ok || seen[name] {
+				return dfg.None, fmt.Errorf("expr: signal %q has no defining operation (alias cycle?)", name)
+			}
+			seen[name] = true
+			name = next
+		}
+	}
+	for name := range aliases {
+		id, err := resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		signals[name] = id
+	}
+	// Pass two: wire signal reads.
+	for _, e := range edges {
+		from, err := resolve(e.fromSignal)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(from, e.to, e.delay); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("expr: combinational loop (add a delay with '@'): %w", err)
+	}
+	return &Program{Graph: g, Signals: signals, Inputs: inputs}, nil
+}
+
+func delayOf(a ast) int {
+	if r, ok := a.(ref); ok {
+		return r.delay
+	}
+	return 0
+}

@@ -1,0 +1,45 @@
+package expr
+
+import (
+	"testing"
+)
+
+// FuzzCompile checks that arbitrary input never panics the compiler and
+// that accepted programs always yield structurally valid graphs with every
+// signal bound. Run with `go test -fuzz=FuzzCompile ./internal/expr` to
+// explore beyond the seed corpus.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"y = a + b",
+		"u = u@1 - 3*x@1*(u@1*dx) - 3*y@1*dx\nx = x@1 + dx",
+		"a = b\nb = c * d",
+		"s = in + k*s@1;",
+		"# comment only\ny = -(-a)*b",
+		"y = ((((a))))",
+		"x = 1 + y@2\ny = x * x",
+		"' = ' + '",
+		"y = a @ 1",
+		"@@@",
+		"y == a",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if p.Graph == nil {
+			t.Fatal("accepted program with nil graph")
+		}
+		if err := p.Graph.Validate(); err != nil {
+			t.Fatalf("accepted program with invalid graph: %v", err)
+		}
+		for name, id := range p.Signals {
+			if int(id) < 0 || int(id) >= p.Graph.N() {
+				t.Fatalf("signal %q bound to out-of-range node %d", name, id)
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package fu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog bundles a named FU library with per-operation-class rows, the
+// way vendor cell libraries ship: look one up by name, derive a Table for
+// any graph via TableFor. The numbers are representative, not measured —
+// they encode the structure the paper assumes (faster types cost more)
+// with different spreads per catalog.
+type Catalog struct {
+	Name    string
+	Library *Library
+	// Ops maps an operation class to its per-type rows; "" is the
+	// fallback row for unknown classes.
+	Ops map[string]Rows
+}
+
+var catalogs = map[string]Catalog{
+	// generic3 mirrors the paper's experimental setup: three anonymous FU
+	// types, P1 fastest/most expensive, P3 slowest/cheapest, moderate
+	// spread. Multipliers are uniformly slower than adders.
+	"generic3": {
+		Name: "generic3",
+		Library: MustLibrary(
+			Type{Name: "P1"}, Type{Name: "P2"}, Type{Name: "P3"},
+		),
+		Ops: map[string]Rows{
+			"mul": {Times: []int{2, 4, 7}, Costs: []int64{32, 14, 4}},
+			"add": {Times: []int{1, 2, 4}, Costs: []int64{12, 6, 2}},
+			"sub": {Times: []int{1, 2, 4}, Costs: []int64{12, 6, 2}},
+			"cmp": {Times: []int{1, 2, 3}, Costs: []int64{8, 4, 2}},
+			"":    {Times: []int{1, 2, 4}, Costs: []int64{10, 5, 2}},
+		},
+	},
+	// lowpower widens the energy spread: the slow types are an order of
+	// magnitude cheaper, the regime where heterogeneous assignment pays
+	// off most.
+	"lowpower": {
+		Name: "lowpower",
+		Library: MustLibrary(
+			Type{Name: "turbo"}, Type{Name: "nominal"}, Type{Name: "eco"},
+		),
+		Ops: map[string]Rows{
+			"mul": {Times: []int{2, 5, 9}, Costs: []int64{90, 25, 6}},
+			"add": {Times: []int{1, 3, 6}, Costs: []int64{30, 9, 2}},
+			"sub": {Times: []int{1, 3, 6}, Costs: []int64{30, 9, 2}},
+			"cmp": {Times: []int{1, 2, 4}, Costs: []int64{18, 6, 2}},
+			"":    {Times: []int{1, 3, 6}, Costs: []int64{24, 8, 2}},
+		},
+	},
+	// reliable models the §2 reliability regime: costs are scaled failure
+	// probabilities (fast units fail more per executed step). Failure
+	// rates are attached to the library so ReliabilityCosts can rebuild
+	// the table from times alone.
+	"reliable": {
+		Name: "reliable",
+		Library: MustLibrary(
+			Type{Name: "fast", FailureRate: 4e-4},
+			Type{Name: "mid", FailureRate: 1.5e-4},
+			Type{Name: "slow", FailureRate: 0.5e-4},
+		),
+		Ops: map[string]Rows{
+			"mul": {Times: []int{2, 4, 6}, Costs: []int64{800, 600, 300}},
+			"add": {Times: []int{1, 2, 4}, Costs: []int64{400, 300, 200}},
+			"sub": {Times: []int{1, 2, 4}, Costs: []int64{400, 300, 200}},
+			"cmp": {Times: []int{1, 2, 3}, Costs: []int64{400, 300, 150}},
+			"":    {Times: []int{1, 2, 4}, Costs: []int64{400, 300, 200}},
+		},
+	},
+}
+
+// Catalogs lists the available catalog names, sorted.
+func Catalogs() []string {
+	out := make([]string, 0, len(catalogs))
+	for name := range catalogs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupCatalog resolves a catalog by name.
+func LookupCatalog(name string) (Catalog, error) {
+	c, ok := catalogs[name]
+	if !ok {
+		return Catalog{}, fmt.Errorf("fu: unknown catalog %q (known: %v)", name, Catalogs())
+	}
+	return c, nil
+}
+
+// TableFor derives the per-node table for a graph with n nodes whose
+// operation classes are given by opOf.
+func (c Catalog) TableFor(n int, opOf func(v int) string) (*Table, error) {
+	return OpClassTable(n, c.Library.K(), opOf, c.Ops)
+}

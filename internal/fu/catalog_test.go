@@ -1,0 +1,78 @@
+package fu
+
+import (
+	"testing"
+)
+
+func TestCatalogsListedAndResolvable(t *testing.T) {
+	names := Catalogs()
+	if len(names) < 3 {
+		t.Fatalf("only %d catalogs", len(names))
+	}
+	for _, name := range names {
+		c, err := LookupCatalog(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Library == nil || c.Library.K() != 3 {
+			t.Errorf("%s: bad library", name)
+		}
+		if _, ok := c.Ops[""]; !ok {
+			t.Errorf("%s: no fallback op row", name)
+		}
+	}
+	if _, err := LookupCatalog("nope"); err == nil {
+		t.Fatal("unknown catalog resolved")
+	}
+}
+
+func TestCatalogRowsAreMonotone(t *testing.T) {
+	// Every catalog must respect the paper's structure: strictly
+	// increasing times, strictly decreasing costs across types.
+	for _, name := range Catalogs() {
+		c, _ := LookupCatalog(name)
+		for op, rows := range c.Ops {
+			if len(rows.Times) != c.Library.K() || len(rows.Costs) != c.Library.K() {
+				t.Fatalf("%s/%s: ragged rows", name, op)
+			}
+			for j := 1; j < c.Library.K(); j++ {
+				if rows.Times[j] <= rows.Times[j-1] {
+					t.Errorf("%s/%s: times not increasing: %v", name, op, rows.Times)
+				}
+				if rows.Costs[j] >= rows.Costs[j-1] {
+					t.Errorf("%s/%s: costs not decreasing: %v", name, op, rows.Costs)
+				}
+			}
+		}
+	}
+}
+
+func TestCatalogTableFor(t *testing.T) {
+	c, err := LookupCatalog("generic3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []string{"mul", "add", "weird"}
+	tab, err := c.TableFor(3, func(v int) string { return ops[v] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Time[0][0] != 2 { // mul on P1
+		t.Errorf("mul row wrong: %v", tab.Time[0])
+	}
+	if tab.Time[2][0] != 1 { // fallback row
+		t.Errorf("fallback row wrong: %v", tab.Time[2])
+	}
+}
+
+func TestReliableCatalogFailureRates(t *testing.T) {
+	c, _ := LookupCatalog("reliable")
+	fast := c.Library.Type(0)
+	slow := c.Library.Type(2)
+	if fast.FailureRate <= slow.FailureRate {
+		t.Fatalf("fast rate %g should exceed slow rate %g", fast.FailureRate, slow.FailureRate)
+	}
+}

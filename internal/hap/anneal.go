@@ -1,0 +1,105 @@
+package hap
+
+import (
+	"math"
+	"math/rand"
+
+	"hetsynth/internal/fu"
+)
+
+// AnnealOptions tunes the simulated-annealing solver.
+type AnnealOptions struct {
+	Seed  int64   // RNG seed; runs are deterministic per seed
+	Moves int     // total proposed moves (default 20000)
+	T0    float64 // initial temperature (default: cost spread estimate)
+	Alpha float64 // geometric cooling factor per move (default 0.9995)
+}
+
+// Anneal is a randomized assignment solver used by the extended ablations:
+// simulated annealing over type vectors with single-node moves. Infeasible
+// states are allowed during the walk but charged a penalty proportional to
+// the deadline violation, so the search can tunnel through tight regions;
+// only feasible states are ever recorded as the incumbent.
+//
+// It is not part of the paper; it exists to show where the structured
+// heuristics (Once/Repeat) sit relative to a generic metaheuristic given
+// comparable effort.
+func Anneal(p Problem, opts AnnealOptions) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	moves := opts.Moves
+	if moves <= 0 {
+		moves = 20000
+	}
+	alpha := opts.Alpha
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.9995
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	t := p.Table
+	n, K := p.Graph.N(), t.K()
+
+	// Penalized energy: cost + λ·max(0, length − L). λ is the largest
+	// single-node cost, making one step of lateness never cheaper than the
+	// most expensive upgrade.
+	var lambda int64 = 1
+	for v := 0; v < n; v++ {
+		for k := 0; k < K; k++ {
+			if t.Cost[v][k] > lambda {
+				lambda = t.Cost[v][k]
+			}
+		}
+	}
+	energy := func(a Assignment) (float64, int64, int) {
+		cost := CostOf(t, a)
+		length, _, _ := p.Graph.LongestPath(Times(t, a))
+		e := float64(cost)
+		if length > p.Deadline {
+			e += float64(lambda) * float64(length-p.Deadline)
+		}
+		return e, cost, length
+	}
+
+	// Start from the greedy solution when feasible, else all-fastest.
+	cur := minTimeAssignment(t)
+	if s, err := Greedy(p); err == nil {
+		cur = s.Assign.Clone()
+	}
+	curE, curCost, curLen := energy(cur)
+
+	var bestA Assignment
+	var bestCost int64 = math.MaxInt64
+	if curLen <= p.Deadline {
+		bestA, bestCost = cur.Clone(), curCost
+	}
+
+	temp := opts.T0
+	if temp <= 0 {
+		temp = float64(lambda) * 2
+	}
+	for i := 0; i < moves; i++ {
+		v := rng.Intn(n)
+		k := fu.TypeID(rng.Intn(K))
+		if k == cur[v] {
+			continue
+		}
+		old := cur[v]
+		cur[v] = k
+		newE, newCost, newLen := energy(cur)
+		accept := newE <= curE || rng.Float64() < math.Exp((curE-newE)/temp)
+		if accept {
+			curE, curCost, curLen = newE, newCost, newLen
+			if curLen <= p.Deadline && curCost < bestCost {
+				bestA, bestCost = cur.Clone(), curCost
+			}
+		} else {
+			cur[v] = old
+		}
+		temp *= alpha
+	}
+	if bestA == nil {
+		return Solution{}, ErrInfeasible
+	}
+	return Evaluate(p, bestA)
+}

@@ -1,0 +1,83 @@
+package hap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+func TestAnnealFindsFeasibleSolutions(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 10, false)
+		s, err := Anneal(p, AnnealOptions{Seed: seed, Moves: 4000})
+		opt, errB := BruteForce(p)
+		if errors.Is(errB, ErrInfeasible) {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if err != nil {
+			return false
+		}
+		return s.Length <= p.Deadline && s.Cost >= opt.Cost
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	p := motivational()
+	a, err := Anneal(p, AnnealOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(p, AnnealOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("same seed, different costs: %d vs %d", a.Cost, b.Cost)
+	}
+}
+
+func TestAnnealNeverWorseThanGreedySeed(t *testing.T) {
+	// Anneal starts from Greedy, so with any budget its incumbent can only
+	// improve on it.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		p := randomProblem(rng, 12, false)
+		gs, errG := Greedy(p)
+		as, errA := Anneal(p, AnnealOptions{Seed: int64(trial), Moves: 3000})
+		if errG != nil {
+			if !errors.Is(errA, ErrInfeasible) && errA != nil {
+				t.Fatalf("anneal error: %v", errA)
+			}
+			continue
+		}
+		if errA != nil {
+			t.Fatalf("greedy feasible but anneal failed: %v", errA)
+		}
+		if as.Cost > gs.Cost {
+			t.Fatalf("anneal %d worse than its greedy seed %d", as.Cost, gs.Cost)
+		}
+	}
+}
+
+func TestAnnealInfeasible(t *testing.T) {
+	p := pathProblem()
+	p.Deadline = 3
+	if _, err := Anneal(p, AnnealOptions{Moves: 500}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestAnnealValidatesProblem(t *testing.T) {
+	bad := Problem{Graph: dfg.New(), Table: fu.NewTable(0, 0), Deadline: 1}
+	if _, err := Anneal(bad, AnnealOptions{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}

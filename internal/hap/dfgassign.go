@@ -1,0 +1,139 @@
+package hap
+
+import (
+	"fmt"
+
+	"hetsynth/internal/cptree"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// liftTable projects a table over DFG nodes onto the nodes of a critical-
+// path tree: every copy of a node inherits the node's rows.
+func liftTable(t *fu.Table, orig []dfg.NodeID) *fu.Table {
+	lifted := fu.NewTable(len(orig), t.K())
+	for w, v := range orig {
+		lifted.MustSet(w, t.Time[v], t.Cost[v])
+	}
+	return lifted
+}
+
+// minTimeChoice picks, among the tree copies of DFG node v, the assigned
+// type with the smallest execution time (ties: smaller cost, then smaller
+// type index). Collapsing a duplicated node to its fastest copy can only
+// shorten paths, so the collapsed assignment stays feasible — this is the
+// selection rule shared by DFG_Assign_Once and DFG_Assign_Repeat.
+func minTimeChoice(t *fu.Table, v dfg.NodeID, copies []dfg.NodeID, treeAssign Assignment) fu.TypeID {
+	best := treeAssign[copies[0]]
+	for _, w := range copies[1:] {
+		k := treeAssign[w]
+		switch {
+		case t.Time[v][k] < t.Time[v][best]:
+			best = k
+		case t.Time[v][k] == t.Time[v][best] && t.Cost[v][k] < t.Cost[v][best]:
+			best = k
+		case t.Time[v][k] == t.Time[v][best] && t.Cost[v][k] == t.Cost[v][best] && k < best:
+			best = k
+		}
+	}
+	return best
+}
+
+// AssignOnce implements Algorithm DFG_Assign_Once (§5.3): expand the DFG
+// (and its transpose) into critical-path trees, keep the smaller tree, solve
+// it optimally with Tree_Assign, then collapse every duplicated node to the
+// minimum-execution-time assignment among its copies.
+//
+// On trees the expansion is the identity, so AssignOnce returns the optimal
+// solution; on general DFGs it is a heuristic whose result is always
+// feasible when Tree_Assign succeeds.
+func AssignOnce(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	tree, err := cptree.ExpandBoth(p.Graph)
+	if err != nil {
+		return Solution{}, err
+	}
+	tp := Problem{Graph: tree.Graph, Table: liftTable(p.Table, tree.Orig), Deadline: p.Deadline}
+	tsol, err := TreeAssign(tp)
+	if err != nil {
+		return Solution{}, err
+	}
+	assign := make(Assignment, p.Graph.N())
+	for v := range assign {
+		assign[v] = minTimeChoice(p.Table, dfg.NodeID(v), tree.Copies[v], tsol.Assign)
+	}
+	sol, err := Evaluate(p, assign)
+	if err != nil {
+		return Solution{}, err
+	}
+	if sol.Length > p.Deadline {
+		return Solution{}, fmt.Errorf("hap: internal error: DFG_Assign_Once produced length %d > %d", sol.Length, p.Deadline)
+	}
+	return sol, nil
+}
+
+// AssignRepeat implements Algorithm DFG_Assign_Repeat (§5.3): like
+// AssignOnce, but after solving the tree it fixes duplicated nodes one at a
+// time — most-copied first, since a node with more copies influences more
+// critical paths — and re-runs Tree_Assign after each fixing so the
+// remaining nodes can cash in the slack freed when all copies of the fixed
+// node switch to its fastest chosen type.
+//
+// The paper recommends this algorithm: it matches Tree_Assign exactly on
+// trees and dominates DFG_Assign_Once when many nodes are duplicated.
+func AssignRepeat(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	tree, err := cptree.ExpandBoth(p.Graph)
+	if err != nil {
+		return Solution{}, err
+	}
+	tp := Problem{Graph: tree.Graph, Table: liftTable(p.Table, tree.Orig), Deadline: p.Deadline}
+	tsol, err := TreeAssign(tp)
+	if err != nil {
+		return Solution{}, err
+	}
+
+	dup := tree.Duplicated()
+	assign := make(Assignment, p.Graph.N())
+	fixed := make([]bool, p.Graph.N())
+	var allowed [][]bool // lazily allocated mask over tree nodes
+
+	for _, v := range dup {
+		k := minTimeChoice(p.Table, v, tree.Copies[v], tsol.Assign)
+		assign[v] = k
+		fixed[v] = true
+		if allowed == nil {
+			allowed = make([][]bool, tree.Graph.N())
+		}
+		row := make([]bool, p.K())
+		row[k] = true
+		for _, w := range tree.Copies[v] {
+			allowed[w] = row
+		}
+		tsol, err = treeAssignMasked(tp, allowed)
+		if err != nil {
+			// Pinning to the fastest copy keeps every path no longer than
+			// before, so the masked instance stays feasible; any failure
+			// here is a bug, not an input condition.
+			return Solution{}, fmt.Errorf("hap: internal error: re-run after fixing %s failed: %w", p.Graph.Node(v).Name, err)
+		}
+	}
+
+	for v := range assign {
+		if !fixed[v] {
+			assign[v] = tsol.Assign[tree.Copies[v][0]]
+		}
+	}
+	sol, err := Evaluate(p, assign)
+	if err != nil {
+		return Solution{}, err
+	}
+	if sol.Length > p.Deadline {
+		return Solution{}, fmt.Errorf("hap: internal error: DFG_Assign_Repeat produced length %d > %d", sol.Length, p.Deadline)
+	}
+	return sol, nil
+}

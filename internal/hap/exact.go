@@ -1,0 +1,189 @@
+package hap
+
+import (
+	"errors"
+	"fmt"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// ErrSearchTooLarge is returned by Exact when the branch-and-bound explores
+// more states than its budget allows.
+var ErrSearchTooLarge = errors.New("hap: exact search exceeded its state budget")
+
+// ExactOptions tunes the exact solver.
+type ExactOptions struct {
+	// MaxStates bounds the number of branch-and-bound nodes explored;
+	// zero means DefaultMaxStates.
+	MaxStates int
+}
+
+// DefaultMaxStates is the default exploration budget of Exact.
+const DefaultMaxStates = 20_000_000
+
+// Exact computes the true optimum by branch-and-bound over type choices in
+// topological order. It plays the role of the ILP formulation of Ito, Lucke
+// and Parhi ([11] in the paper): exact, exponential in the worst case, and
+// only practical on small graphs — which is precisely the gap the paper's
+// heuristics fill.
+//
+// Pruning:
+//   - cost bound: accumulated cost plus the sum of minimum costs of the
+//     remaining nodes must stay below the incumbent;
+//   - time bound: the longest path using assigned times for decided nodes
+//     and fastest times for undecided ones must fit the deadline.
+//
+// The incumbent is seeded with Greedy (and AssignOnce when Greedy fails),
+// so Exact never returns a worse solution than either.
+func Exact(p Problem, opts ExactOptions) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	budget := opts.MaxStates
+	if budget <= 0 {
+		budget = DefaultMaxStates
+	}
+
+	order, err := p.Graph.TopoOrder()
+	if err != nil {
+		return Solution{}, err
+	}
+	t := p.Table
+	n := p.Graph.N()
+
+	// Fail fast on infeasible instances.
+	if minLen, err := MinMakespan(p.Graph, t); err != nil {
+		return Solution{}, err
+	} else if minLen > p.Deadline {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Incumbent: best feasible solution seen so far.
+	bestCost := int64(inf)
+	var bestAssign Assignment
+	for _, seed := range []func(Problem) (Solution, error){GreedyRatio, Greedy, AssignOnce} {
+		if s, err := seed(p); err == nil && s.Cost < bestCost {
+			bestCost, bestAssign = s.Cost, s.Assign.Clone()
+		}
+	}
+
+	// minCostSuffix[i]: sum of per-node minimum costs of order[i:].
+	minCostSuffix := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		v := int(order[i])
+		minCostSuffix[i] = minCostSuffix[i+1] + t.Cost[v][t.MinCostType(v)]
+	}
+	// Branch only on distinct (time, cost) options per node.
+	cands := make([][]fu.TypeID, n)
+	for v := 0; v < n; v++ {
+		cands[v] = distinctOptions(t, v)
+	}
+
+	// times starts all-fastest; branch-and-bound overwrites decided nodes.
+	times := Times(t, minTimeAssignment(t))
+	assign := make(Assignment, n)
+	states := 0
+	var overBudget bool
+
+	// longest recomputes the optimistic longest path. O(V+E) per call keeps
+	// the code simple; Exact is a small-graph oracle, not a production path.
+	longest := func() int {
+		l, _, _ := p.Graph.LongestPath(times)
+		return l
+	}
+
+	var rec func(i int, cost int64)
+	rec = func(i int, cost int64) {
+		if overBudget {
+			return
+		}
+		states++
+		if states > budget {
+			overBudget = true
+			return
+		}
+		if cost+minCostSuffix[i] >= bestCost {
+			return
+		}
+		if longest() > p.Deadline {
+			return
+		}
+		if i == n {
+			bestCost = cost
+			bestAssign = assign.Clone()
+			return
+		}
+		v := int(order[i])
+		saved := times[v]
+		for _, k := range cands[v] {
+			assign[v] = k
+			times[v] = t.Time[v][k]
+			rec(i+1, cost+t.Cost[v][k])
+		}
+		times[v] = saved
+	}
+	rec(0, 0)
+
+	if overBudget {
+		return Solution{}, fmt.Errorf("%w (budget %d)", ErrSearchTooLarge, budget)
+	}
+	if bestAssign == nil {
+		return Solution{}, ErrInfeasible
+	}
+	return Evaluate(p, bestAssign)
+}
+
+// BruteForce enumerates every one of the K^n assignments and returns the
+// optimum. It exists purely as an independent oracle for tests and refuses
+// instances with more than 3^16-ish search space.
+func BruteForce(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n, K := p.Graph.N(), p.K()
+	space := 1.0
+	for i := 0; i < n; i++ {
+		space *= float64(K)
+		if space > 5e7 {
+			return Solution{}, errors.New("hap: brute force space too large")
+		}
+	}
+	assign := make(Assignment, n)
+	bestCost := int64(inf)
+	var best Assignment
+	var rec func(v int, cost int64)
+	rec = func(v int, cost int64) {
+		if v == n {
+			if cost < bestCost && feasibleQuick(p, assign) {
+				bestCost = cost
+				best = assign.Clone()
+			}
+			return
+		}
+		for k := 0; k < K; k++ {
+			assign[v] = fu.TypeID(k)
+			rec(v+1, cost+p.Table.Cost[v][k])
+		}
+	}
+	rec(0, 0)
+	if best == nil {
+		return Solution{}, ErrInfeasible
+	}
+	return Evaluate(p, best)
+}
+
+func feasibleQuick(p Problem, a Assignment) bool {
+	l, _, err := p.Graph.LongestPath(Times(p.Table, a))
+	return err == nil && l <= p.Deadline
+}
+
+// dfgNodeNames renders an assignment as "name:type" pairs for messages and
+// goldens; exported via the facade's Solution formatting.
+func dfgNodeNames(g *dfg.Graph, lib *fu.Library, a Assignment) []string {
+	out := make([]string, len(a))
+	for v, k := range a {
+		out[v] = g.Node(dfg.NodeID(v)).Name + ":" + lib.Name(k)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package hap
+
+import (
+	"fmt"
+
+	"hetsynth/internal/dfg"
+)
+
+// Explanation describes how an assignment sits against its deadline: the
+// critical path and, per node, the slack — how many extra control steps
+// the node could take (e.g. by moving to a slower, cheaper FU type)
+// without any root-to-leaf path exceeding the deadline. Zero-slack nodes
+// are the ones pinning the schedule; they are where the cost of the
+// deadline is actually paid.
+type Explanation struct {
+	Length   int          // longest-path time under the assignment
+	Critical []dfg.NodeID // one maximal path, in precedence order
+	Slack    []int        // per node: deadline − longest path through it
+}
+
+// Explain analyzes an assignment against the problem's deadline. The
+// assignment must be feasible (every slack non-negative); infeasible
+// assignments return ErrInfeasible with the violation visible in Length.
+func Explain(p Problem, a Assignment) (Explanation, error) {
+	sol, err := Evaluate(p, a)
+	if err != nil {
+		return Explanation{}, err
+	}
+	times := Times(p.Table, a)
+	through, err := p.Graph.PathLengthsThrough(times)
+	if err != nil {
+		return Explanation{}, err
+	}
+	_, critical, err := p.Graph.LongestPath(times)
+	if err != nil {
+		return Explanation{}, err
+	}
+	ex := Explanation{
+		Length:   sol.Length,
+		Critical: critical,
+		Slack:    make([]int, len(through)),
+	}
+	for v, th := range through {
+		ex.Slack[v] = p.Deadline - th
+	}
+	if sol.Length > p.Deadline {
+		return ex, fmt.Errorf("%w: length %d exceeds deadline %d", ErrInfeasible, sol.Length, p.Deadline)
+	}
+	return ex, nil
+}

@@ -1,0 +1,115 @@
+package hap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/fu"
+)
+
+func TestExplainChain(t *testing.T) {
+	p := pathProblem()
+	p.Deadline = 10
+	sol, err := PathAssign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Explain(p, sol.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Length != sol.Length {
+		t.Fatalf("length %d != solution length %d", ex.Length, sol.Length)
+	}
+	// On a chain every node lies on the single path: uniform slack.
+	want := p.Deadline - sol.Length
+	for v, s := range ex.Slack {
+		if s != want {
+			t.Fatalf("node %d slack %d, want %d", v, s, want)
+		}
+	}
+	if len(ex.Critical) != 3 {
+		t.Fatalf("critical path has %d nodes, want 3", len(ex.Critical))
+	}
+}
+
+func TestExplainOffPathNodeHasMoreSlack(t *testing.T) {
+	p := motivational()
+	sol, err := Exact(p, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Explain(p, sol.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical-path nodes have the minimum slack.
+	minSlack := p.Deadline - ex.Length
+	for _, v := range ex.Critical {
+		if ex.Slack[v] != minSlack {
+			t.Fatalf("critical node %d slack %d, want %d", v, ex.Slack[v], minSlack)
+		}
+	}
+	for _, s := range ex.Slack {
+		if s < minSlack {
+			t.Fatalf("slack %d below the critical slack %d", s, minSlack)
+		}
+	}
+}
+
+func TestExplainInfeasibleAssignment(t *testing.T) {
+	p := pathProblem()
+	p.Deadline = 5
+	slow := Assignment{2, 2, 2} // length 13
+	ex, err := Explain(p, slow)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if ex.Length != 13 {
+		t.Fatalf("violation length %d, want 13", ex.Length)
+	}
+}
+
+// TestExplainSlackIsTight: increasing any single node's execution time by
+// exactly its slack keeps the assignment feasible; by slack+1 breaks it.
+func TestExplainSlackIsTight(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 8, false)
+		sol, err := AssignRepeat(p)
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		ex, err := Explain(p, sol.Assign)
+		if err != nil {
+			return false
+		}
+		v := rng.Intn(p.Graph.N())
+		k := sol.Assign[v]
+		stretch := func(extra int) bool {
+			t2 := p.Table.Clone()
+			t2.Time[v][k] += extra
+			s, err := Evaluate(Problem{Graph: p.Graph, Table: t2, Deadline: p.Deadline}, sol.Assign)
+			return err == nil && s.Length <= p.Deadline
+		}
+		if !stretch(ex.Slack[v]) {
+			return false
+		}
+		return !stretch(ex.Slack[v] + 1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainValidatesAssignment(t *testing.T) {
+	p := pathProblem()
+	if _, err := Explain(p, Assignment{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := Explain(p, Assignment{0, 0, fu.TypeID(9)}); err == nil {
+		t.Fatal("out-of-range type accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package hap
+
+import (
+	"fmt"
+)
+
+// FrontierPoint is one point of a cost/deadline tradeoff curve.
+type FrontierPoint struct {
+	Deadline int
+	Cost     int64
+}
+
+// TreeFrontier computes the complete cost-versus-deadline frontier of a
+// tree-shaped problem in a single dynamic-programming run: because
+// Tree_Assign's table X_root[j] already holds the optimal cost for every
+// deadline j ≤ L, the frontier costs nothing beyond one solve at the
+// loosest deadline of interest.
+//
+// The returned points are the minimal representation: deadlines where the
+// optimal cost strictly improves, in increasing deadline order, starting
+// at the minimum makespan. Non-tree graphs get ErrShape.
+func TreeFrontier(p Problem) ([]FrontierPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	solve := func(prob Problem) (Solution, error) { return TreeAssign(prob) }
+	switch {
+	case p.Graph.IsOutForest() || p.Graph.IsInForest():
+	default:
+		return nil, fmt.Errorf("%w: TreeFrontier needs a tree-shaped graph", ErrShape)
+	}
+	min, err := MinMakespan(p.Graph, p.Table)
+	if err != nil {
+		return nil, err
+	}
+	if min > p.Deadline {
+		return nil, ErrInfeasible
+	}
+	// One DP table holds every answer; re-solving per distinct deadline
+	// would be O(L) times more work. We exploit monotonicity instead:
+	// binary-search the breakpoints of the step function cost(L), each
+	// located with O(log L) solves — still far cheaper than L solves and
+	// independent of Tree_Assign internals.
+	costAt := func(L int) (int64, error) {
+		s, err := solve(Problem{Graph: p.Graph, Table: p.Table, Deadline: L})
+		if err != nil {
+			return 0, err
+		}
+		return s.Cost, nil
+	}
+	var frontier []FrontierPoint
+	lo := min
+	cLo, err := costAt(lo)
+	if err != nil {
+		return nil, err
+	}
+	frontier = append(frontier, FrontierPoint{Deadline: lo, Cost: cLo})
+	cEnd, err := costAt(p.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	for cLo > cEnd {
+		// Find the smallest deadline with cost < cLo in (lo, p.Deadline].
+		a, b := lo+1, p.Deadline
+		for a < b {
+			mid := (a + b) / 2
+			c, err := costAt(mid)
+			if err != nil {
+				return nil, err
+			}
+			if c < cLo {
+				b = mid
+			} else {
+				a = mid + 1
+			}
+		}
+		c, err := costAt(a)
+		if err != nil {
+			return nil, err
+		}
+		frontier = append(frontier, FrontierPoint{Deadline: a, Cost: c})
+		lo, cLo = a, c
+	}
+	return frontier, nil
+}

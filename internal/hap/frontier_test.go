@@ -1,0 +1,97 @@
+package hap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+func TestTreeFrontierOnPath(t *testing.T) {
+	p := pathProblem()
+	p.Deadline = 13 // the all-slowest makespan
+	front, err := TreeFrontier(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 2 {
+		t.Fatalf("frontier too small: %+v", front)
+	}
+	if front[0].Deadline != 4 { // minimum makespan of pathProblem
+		t.Fatalf("first point at %d, want 4", front[0].Deadline)
+	}
+	if front[0].Cost != 10+9+8 {
+		t.Fatalf("tightest cost %d, want 27", front[0].Cost)
+	}
+	lastCost := front[len(front)-1].Cost
+	if lastCost != 2+1+2 {
+		t.Fatalf("loosest cost %d, want 5", lastCost)
+	}
+	// Strictly decreasing costs at strictly increasing deadlines.
+	for i := 1; i < len(front); i++ {
+		if front[i].Deadline <= front[i-1].Deadline || front[i].Cost >= front[i-1].Cost {
+			t.Fatalf("frontier not strictly monotone: %+v", front)
+		}
+	}
+}
+
+func TestTreeFrontierMatchesPointwiseSolves(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.RandomTree(rng, 2+rng.Intn(8))
+		tab := fu.RandomTable(rng, g.N(), 2+rng.Intn(2))
+		min, _ := MinMakespan(g, tab)
+		p := Problem{Graph: g, Table: tab, Deadline: min + 1 + rng.Intn(2*min+2)}
+		front, err := TreeFrontier(p)
+		if err != nil {
+			return false
+		}
+		// Every deadline's optimum must equal the frontier's step function.
+		stepCost := func(L int) int64 {
+			best := front[0].Cost
+			for _, pt := range front {
+				if pt.Deadline <= L {
+					best = pt.Cost
+				}
+			}
+			return best
+		}
+		for L := min; L <= p.Deadline; L++ {
+			s, err := TreeAssign(Problem{Graph: g, Table: tab, Deadline: L})
+			if err != nil {
+				return false
+			}
+			if s.Cost != stepCost(L) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeFrontierRejectsNonTreesAndInfeasible(t *testing.T) {
+	g := dfg.New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	c := g.MustAddNode("c", "")
+	d := g.MustAddNode("d", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, d, 0)
+	g.MustAddEdge(c, d, 0)
+	p := Problem{Graph: g, Table: fu.UniformTable(4, []int{1, 2}, []int64{5, 1}), Deadline: 9}
+	if _, err := TreeFrontier(p); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	pp := pathProblem()
+	pp.Deadline = 3
+	if _, err := TreeFrontier(pp); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}

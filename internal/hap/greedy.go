@@ -1,0 +1,96 @@
+package hap
+
+import "hetsynth/internal/fu"
+
+// Greedy is the baseline heuristic the paper's experiments compare against,
+// reimplemented from the idea of Chang, Wang and Parhi, "Loop-list
+// scheduling for heterogeneous functional units" (GLSVLSI 1996), reference
+// [3] of the paper. No pseudo-code was published; the defining idea is
+// speed-driven: critical operations get faster functional units until the
+// timing constraint holds, with no cost/benefit weighing.
+//
+// Start from the unconstrained optimum (every node on its cheapest type).
+// While the longest path exceeds the deadline, consider every node lying on
+// a current longest path and every strictly faster type for it, and apply
+// the single upgrade with the largest time gain (ties: the smallest cost
+// increase, then the smallest node ID). Fail with ErrInfeasible when the
+// constraint is still violated and no node on a longest path can go faster
+// — which only happens when even the all-fastest assignment misses the
+// deadline.
+//
+// Each accepted upgrade strictly decreases the chosen node's execution
+// time, so the total of assigned times strictly decreases and the loop
+// terminates.
+func Greedy(p Problem) (Solution, error) {
+	return greedyLoop(p, func(dt, dc int64, bestDT, bestDC int64) bool {
+		return dt > bestDT || (dt == bestDT && dc < bestDC)
+	})
+}
+
+// GreedyRatio is a stronger cost-aware variant of Greedy used by the
+// ablation study: instead of the largest time gain it applies the upgrade
+// with the best time-gain per unit cost-increase (free upgrades first). It
+// is not part of the paper; it exists to show how much of the heuristics'
+// advantage survives against a better-tuned baseline.
+func GreedyRatio(p Problem) (Solution, error) {
+	return greedyLoop(p, func(dt, dc int64, bestDT, bestDC int64) bool {
+		// Free upgrades (dc<=0) beat paid ones; among free prefer larger
+		// dt then smaller dc; among paid compare cross-multiplied ratios.
+		switch {
+		case dc <= 0 && bestDC > 0:
+			return true
+		case dc > 0 && bestDC <= 0:
+			return false
+		case dc <= 0:
+			return dt > bestDT || (dt == bestDT && dc < bestDC)
+		default:
+			lhs, rhs := dt*bestDC, bestDT*dc
+			return lhs > rhs || (lhs == rhs && dt > bestDT)
+		}
+	})
+}
+
+// greedyLoop is the shared upgrade loop; better decides whether an upgrade
+// (dt time gained, dc cost added) beats the incumbent (bestDT, bestDC).
+// better is only consulted when an incumbent exists.
+func greedyLoop(p Problem, better func(dt, dc, bestDT, bestDC int64) bool) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	t := p.Table
+	a := minCostAssignment(t)
+	for {
+		mask, length, err := p.Graph.OnLongestPath(Times(t, a))
+		if err != nil {
+			return Solution{}, err
+		}
+		if length <= p.Deadline {
+			return Evaluate(p, a)
+		}
+
+		bestV, bestK := -1, fu.TypeID(-1)
+		var bestDT, bestDC int64
+		for v := 0; v < p.Graph.N(); v++ {
+			if !mask[v] {
+				continue
+			}
+			cur := a[v]
+			for k := 0; k < t.K(); k++ {
+				dt := int64(t.Time[v][cur] - t.Time[v][k])
+				if dt <= 0 {
+					continue
+				}
+				dc := t.Cost[v][k] - t.Cost[v][cur]
+				if bestV < 0 || better(dt, dc, bestDT, bestDC) {
+					bestV, bestK, bestDT, bestDC = v, fu.TypeID(k), dt, dc
+				}
+			}
+		}
+		if bestV < 0 {
+			// Every node on the longest path already runs at full speed,
+			// so the minimum makespan itself exceeds the deadline.
+			return Solution{}, ErrInfeasible
+		}
+		a[bestV] = bestK
+	}
+}

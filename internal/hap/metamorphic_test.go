@@ -1,0 +1,174 @@
+package hap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// Metamorphic properties: transformations of a problem with a known effect
+// on the optimum. They catch bugs that fixed oracles miss because both
+// sides run through the same (possibly wrong) code path on DIFFERENT
+// inputs.
+
+// TestMetamorphicCostScaling: multiplying every cost by a positive
+// constant scales the optimal cost by exactly that constant.
+func TestMetamorphicCostScaling(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 9, true)
+		c := int64(2 + rng.Intn(5))
+		scaled := p.Table.Clone()
+		for v := 0; v < scaled.N(); v++ {
+			for k := 0; k < scaled.K(); k++ {
+				scaled.Cost[v][k] *= c
+			}
+		}
+		p2 := Problem{Graph: p.Graph, Table: scaled, Deadline: p.Deadline}
+		a, err1 := TreeAssign(p)
+		b, err2 := TreeAssign(p2)
+		if errors.Is(err1, ErrInfeasible) {
+			return errors.Is(err2, ErrInfeasible)
+		}
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.Cost == c*a.Cost
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetamorphicNodeOrderInvariance: rebuilding the same tree with nodes
+// inserted in a different order (renaming IDs) leaves the optimal cost
+// unchanged.
+func TestMetamorphicNodeOrderInvariance(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := dfg.RandomTree(rng, n)
+		tab := fu.RandomTable(rng, n, 2)
+		// Permute node identities.
+		perm := rng.Perm(n)
+		g2 := dfg.New()
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = g.Node(dfg.NodeID(i)).Name
+		}
+		newID := make([]dfg.NodeID, n) // old id -> new id
+		for _, old := range perm {
+			newID[old] = g2.MustAddNode(names[old], "")
+		}
+		for _, e := range g.Edges() {
+			g2.MustAddEdge(newID[e.From], newID[e.To], e.Delays)
+		}
+		tab2 := fu.NewTable(n, tab.K())
+		for old := 0; old < n; old++ {
+			tab2.MustSet(int(newID[old]), tab.Time[old], tab.Cost[old])
+		}
+		min, _ := MinMakespan(g, tab)
+		L := min + rng.Intn(min+3)
+		a, err1 := TreeAssign(Problem{Graph: g, Table: tab, Deadline: L})
+		b, err2 := TreeAssign(Problem{Graph: g2, Table: tab2, Deadline: L})
+		if errors.Is(err1, ErrInfeasible) {
+			return errors.Is(err2, ErrInfeasible)
+		}
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Cost == b.Cost
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetamorphicIsolatedNodeAddsItsOwnOptimum: adding a disconnected node
+// raises the optimum by exactly that node's cheapest deadline-feasible
+// option.
+func TestMetamorphicIsolatedNodeAddsItsOwnOptimum(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 8, true)
+		base, err := TreeAssign(p)
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		g2 := p.Graph.Clone()
+		g2.MustAddNode("island", "")
+		tab2 := fu.NewTable(g2.N(), p.K())
+		for v := 0; v < p.Table.N(); v++ {
+			tab2.MustSet(v, p.Table.Time[v], p.Table.Cost[v])
+		}
+		// The island's options: random times, random costs.
+		times := make([]int, p.K())
+		costs := make([]int64, p.K())
+		for k := range times {
+			times[k] = 1 + rng.Intn(p.Deadline+2)
+			costs[k] = int64(1 + rng.Intn(20))
+		}
+		tab2.MustSet(g2.N()-1, times, costs)
+		var islandBest int64 = -1
+		for k := range times {
+			if times[k] <= p.Deadline && (islandBest < 0 || costs[k] < islandBest) {
+				islandBest = costs[k]
+			}
+		}
+		p2 := Problem{Graph: g2, Table: tab2, Deadline: p.Deadline}
+		sol, err := TreeAssign(p2)
+		if islandBest < 0 {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if err != nil {
+			return false
+		}
+		return sol.Cost == base.Cost+islandBest
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetamorphicUniformSpeedupScalesDeadline: halving every execution
+// time while halving the (even) deadline preserves the optimal cost.
+func TestMetamorphicUniformSpeedupScalesDeadline(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := dfg.RandomTree(rng, n)
+		// Times all even so the scaled instance stays integral.
+		tab := fu.NewTable(n, 2)
+		for v := 0; v < n; v++ {
+			t1 := 2 * (1 + rng.Intn(3))
+			tab.MustSet(v, []int{t1, t1 + 2}, []int64{int64(5 + rng.Intn(9)), int64(1 + rng.Intn(4))})
+		}
+		min, _ := MinMakespan(g, tab)
+		L := min + 2*rng.Intn(min)
+		if L%2 == 1 {
+			L++
+		}
+		half := tab.Clone()
+		for v := 0; v < n; v++ {
+			for k := 0; k < 2; k++ {
+				half.Time[v][k] /= 2
+			}
+		}
+		a, err1 := TreeAssign(Problem{Graph: g, Table: tab, Deadline: L})
+		b, err2 := TreeAssign(Problem{Graph: g, Table: half, Deadline: L / 2})
+		if errors.Is(err1, ErrInfeasible) {
+			return errors.Is(err2, ErrInfeasible)
+		}
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Cost == b.Cost
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package hap
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hetsynth/internal/fu"
+)
+
+// ExactParallel is Exact with the top level of the branch-and-bound fanned
+// out over worker goroutines: the K type choices of the first node in
+// topological order become K independent subtree searches, each with its
+// own mutable state, sharing only the incumbent bound through an atomic.
+// Sharing the bound is what makes this worthwhile — a worker that finds a
+// good solution immediately tightens the pruning of every other worker.
+//
+// The result is the same optimum Exact finds (the incumbent is only ever
+// lowered); the explored-state total can differ run to run because bound
+// propagation is timing-dependent, so the state budget is enforced
+// per-worker.
+func ExactParallel(p Problem, opts ExactOptions) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	K := p.K()
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || K <= 1 || p.Graph.N() < 2 {
+		return Exact(p, opts)
+	}
+	budget := opts.MaxStates
+	if budget <= 0 {
+		budget = DefaultMaxStates
+	}
+
+	order, err := p.Graph.TopoOrder()
+	if err != nil {
+		return Solution{}, err
+	}
+	t := p.Table
+	n := p.Graph.N()
+	if minLen, err := MinMakespan(p.Graph, t); err != nil {
+		return Solution{}, err
+	} else if minLen > p.Deadline {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Shared incumbent: the cost bound is read lock-free on the hot path;
+	// the assignment behind it is guarded by a mutex.
+	var bestCost atomic.Int64
+	bestCost.Store(int64(inf))
+	var mu sync.Mutex
+	var bestAssign Assignment
+	record := func(cost int64, a Assignment) {
+		for {
+			cur := bestCost.Load()
+			if cost >= cur {
+				return
+			}
+			if bestCost.CompareAndSwap(cur, cost) {
+				mu.Lock()
+				// Another goroutine may have swapped in an even better
+				// cost after our CAS; only overwrite if we still hold it.
+				if bestCost.Load() == cost {
+					bestAssign = a.Clone()
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	}
+	for _, seed := range []func(Problem) (Solution, error){GreedyRatio, Greedy, AssignOnce} {
+		if s, err := seed(p); err == nil {
+			record(s.Cost, s.Assign)
+		}
+	}
+
+	minCostSuffix := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		v := int(order[i])
+		minCostSuffix[i] = minCostSuffix[i+1] + t.Cost[v][t.MinCostType(v)]
+	}
+	fastTimes := Times(t, minTimeAssignment(t))
+	cands := make([][]fu.TypeID, n)
+	for v := 0; v < n; v++ {
+		cands[v] = distinctOptions(t, v)
+	}
+
+	first := int(order[0])
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for k0 := 0; k0 < K; k0++ {
+		wg.Add(1)
+		go func(k0 int) {
+			defer wg.Done()
+			times := append([]int(nil), fastTimes...)
+			assign := make(Assignment, n)
+			assign[first] = fu.TypeID(k0)
+			times[first] = t.Time[first][k0]
+			states := 0
+			var rec func(i int, cost int64) error
+			rec = func(i int, cost int64) error {
+				states++
+				if states > budget {
+					return fmt.Errorf("%w (budget %d per worker)", ErrSearchTooLarge, budget)
+				}
+				if cost+minCostSuffix[i] >= bestCost.Load() {
+					return nil
+				}
+				if l, _, _ := p.Graph.LongestPath(times); l > p.Deadline {
+					return nil
+				}
+				if i == n {
+					record(cost, assign)
+					return nil
+				}
+				v := int(order[i])
+				saved := times[v]
+				for _, k := range cands[v] {
+					assign[v] = k
+					times[v] = t.Time[v][k]
+					if err := rec(i+1, cost+t.Cost[v][k]); err != nil {
+						return err
+					}
+				}
+				times[v] = saved
+				return nil
+			}
+			errs[k0] = rec(1, t.Cost[first][k0])
+		}(k0)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Solution{}, err
+		}
+	}
+	mu.Lock()
+	a := bestAssign
+	mu.Unlock()
+	if a == nil {
+		return Solution{}, ErrInfeasible
+	}
+	return Evaluate(p, a)
+}

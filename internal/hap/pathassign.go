@@ -1,0 +1,80 @@
+package hap
+
+import (
+	"fmt"
+
+	"hetsynth/internal/fu"
+)
+
+// PathAssign solves HAP optimally when the DAG portion is a simple path
+// v1 -> v2 -> ... -> vn. This is Algorithm Path_Assign of the paper (§5.1),
+// the single-child specialization of Tree_Assign, kept as an independent
+// implementation: it uses O(n·L) memory with a per-prefix DP
+//
+//	B_i[j] = minimum cost of v1..vi with total execution time at most j
+//	       = min over types k with T_k(vi) <= j of B_{i−1}[j − T_k(vi)] + C_k(vi)
+//
+// and recovers the assignment by tracing from B_n[L], exactly like the
+// worked example of Figure 5. Complexity O(n·L·K).
+//
+// Tests cross-check PathAssign against TreeAssign and the exact solver.
+func PathAssign(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if !p.Graph.IsSimplePath() {
+		return Solution{}, fmt.Errorf("%w: Path_Assign needs a simple path", ErrShape)
+	}
+	order, err := p.Graph.TopoOrder() // path order v1..vn
+	if err != nil {
+		return Solution{}, err
+	}
+	t, L := p.Table, p.Deadline
+	n, K := len(order), t.K()
+
+	// B[i][j] as documented; row 0 is the empty prefix.
+	B := make([][]int64, n+1)
+	pick := make([][]fu.TypeID, n+1)
+	B[0] = make([]int64, L+1)
+	for i := 1; i <= n; i++ {
+		B[i] = make([]int64, L+1)
+		pick[i] = make([]fu.TypeID, L+1)
+		v := int(order[i-1])
+		for j := 0; j <= L; j++ {
+			best := int64(inf)
+			bestK := fu.TypeID(-1)
+			for k := 0; k < K; k++ {
+				rem := j - t.Time[v][k]
+				if rem < 0 || B[i-1][rem] == inf {
+					continue
+				}
+				if c := B[i-1][rem] + t.Cost[v][k]; c < best {
+					best = c
+					bestK = fu.TypeID(k)
+				}
+			}
+			B[i][j] = best
+			pick[i][j] = bestK
+		}
+	}
+	if B[n][L] == inf {
+		return Solution{}, ErrInfeasible
+	}
+
+	assign := make(Assignment, n)
+	j := L
+	for i := n; i >= 1; i-- {
+		v := int(order[i-1])
+		k := pick[i][j]
+		assign[v] = k
+		j -= t.Time[v][k]
+	}
+	sol, err := Evaluate(p, assign)
+	if err != nil {
+		return Solution{}, err
+	}
+	if sol.Cost != B[n][L] {
+		return Solution{}, fmt.Errorf("hap: internal error: traceback cost %d != DP value %d", sol.Cost, B[n][L])
+	}
+	return sol, nil
+}

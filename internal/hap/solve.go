@@ -1,0 +1,97 @@
+package hap
+
+import (
+	"fmt"
+
+	"hetsynth/internal/fu"
+)
+
+// Algorithm selects a HAP solver.
+type Algorithm int
+
+const (
+	// AlgoAuto picks the best solver for the graph shape: Path_Assign on
+	// simple paths, Tree_Assign on out-forests, DFG_Assign_Repeat otherwise
+	// (the paper's recommendation).
+	AlgoAuto Algorithm = iota
+	// AlgoPath is Algorithm Path_Assign (optimal, simple paths only).
+	AlgoPath
+	// AlgoTree is Algorithm Tree_Assign (optimal, out-forests only).
+	AlgoTree
+	// AlgoOnce is Algorithm DFG_Assign_Once.
+	AlgoOnce
+	// AlgoRepeat is Algorithm DFG_Assign_Repeat.
+	AlgoRepeat
+	// AlgoGreedy is the baseline greedy heuristic (speed-driven, after the
+	// paper's reference [3]).
+	AlgoGreedy
+	// AlgoGreedyRatio is the cost-aware greedy variant (ablation baseline).
+	AlgoGreedyRatio
+	// AlgoExact is the branch-and-bound optimum (small graphs).
+	AlgoExact
+)
+
+var algoNames = map[Algorithm]string{
+	AlgoAuto:        "auto",
+	AlgoPath:        "path",
+	AlgoTree:        "tree",
+	AlgoOnce:        "once",
+	AlgoRepeat:      "repeat",
+	AlgoGreedy:      "greedy",
+	AlgoGreedyRatio: "greedy-ratio",
+	AlgoExact:       "exact",
+}
+
+// String returns the CLI name of the algorithm.
+func (a Algorithm) String() string {
+	if s, ok := algoNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves a CLI name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, name := range algoNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("hap: unknown algorithm %q (want auto|path|tree|once|repeat|greedy|greedy-ratio|exact)", s)
+}
+
+// Solve runs the selected algorithm on the problem.
+func Solve(p Problem, algo Algorithm) (Solution, error) {
+	switch algo {
+	case AlgoAuto:
+		switch {
+		case p.Graph != nil && p.Graph.IsSimplePath():
+			return PathAssign(p)
+		case p.Graph != nil && (p.Graph.IsOutForest() || p.Graph.IsInForest()):
+			return TreeAssign(p)
+		default:
+			return AssignRepeat(p)
+		}
+	case AlgoPath:
+		return PathAssign(p)
+	case AlgoTree:
+		return TreeAssign(p)
+	case AlgoOnce:
+		return AssignOnce(p)
+	case AlgoRepeat:
+		return AssignRepeat(p)
+	case AlgoGreedy:
+		return Greedy(p)
+	case AlgoGreedyRatio:
+		return GreedyRatio(p)
+	case AlgoExact:
+		return Exact(p, ExactOptions{})
+	default:
+		return Solution{}, fmt.Errorf("hap: unknown algorithm %v", algo)
+	}
+}
+
+// Describe renders an assignment as "name:type" pairs, one per node.
+func Describe(p Problem, lib *fu.Library, a Assignment) []string {
+	return dfgNodeNames(p.Graph, lib, a)
+}

@@ -1,0 +1,209 @@
+// Package hls is the end-to-end driver: it chains the kernel compiler, the
+// heterogeneous assignment phase, the minimum-resource scheduler, register
+// binding and the backends (Verilog, VCD, reports) into one call — the
+// complete path from a textual DSP kernel to an architecture a user can
+// inspect. cmd/hetsynthc is its command-line face.
+package hls
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/expr"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/rtl"
+	"hetsynth/internal/sched"
+	"hetsynth/internal/sim"
+)
+
+// Request describes one synthesis job. Exactly one of Source or Graph must
+// be set; Table may be nil when Catalog is set (the table is then derived
+// from the graph's op classes).
+type Request struct {
+	Source  string     // kernel text (compiled with internal/expr)
+	Graph   *dfg.Graph // pre-built DFG (alternative to Source)
+	Catalog string     // FU catalog name (default "generic3")
+	Table   *fu.Table  // explicit table; overrides Catalog
+	// Deadline in control steps; 0 means minimum makespan + Slack.
+	Deadline int
+	Slack    int
+	// Algorithm name as accepted by hap.ParseAlgorithm (default "auto").
+	Algorithm string
+	// ModuleName / Width configure the RTL backend.
+	ModuleName string
+	Width      int
+}
+
+// Bundle is everything one synthesis run produces.
+type Bundle struct {
+	Graph     *dfg.Graph
+	Library   *fu.Library
+	Table     *fu.Table
+	Deadline  int
+	Solution  hap.Solution
+	Schedule  *sched.Schedule
+	Config    sched.Config
+	Registers int
+	MuxWidest int
+	MinII     int
+	Verilog   string
+}
+
+// Run executes the full flow.
+func Run(req Request) (*Bundle, error) {
+	b := &Bundle{}
+
+	switch {
+	case req.Source != "" && req.Graph != nil:
+		return nil, fmt.Errorf("hls: set either Source or Graph, not both")
+	case req.Source != "":
+		k, err := expr.Compile(req.Source)
+		if err != nil {
+			return nil, err
+		}
+		b.Graph = k.Graph
+	case req.Graph != nil:
+		b.Graph = req.Graph
+	default:
+		return nil, fmt.Errorf("hls: no input (Source or Graph)")
+	}
+
+	if req.Table != nil {
+		b.Table = req.Table
+		// A display library matching the table width.
+		types := make([]fu.Type, b.Table.K())
+		for i := range types {
+			types[i] = fu.Type{Name: fmt.Sprintf("P%d", i+1)}
+		}
+		lib, err := fu.NewLibrary(types...)
+		if err != nil {
+			return nil, err
+		}
+		b.Library = lib
+	} else {
+		name := req.Catalog
+		if name == "" {
+			name = "generic3"
+		}
+		cat, err := fu.LookupCatalog(name)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := cat.TableFor(b.Graph.N(), func(v int) string {
+			return b.Graph.Node(dfg.NodeID(v)).Op
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Table, b.Library = tab, cat.Library
+	}
+
+	min, err := hap.MinMakespan(b.Graph, b.Table)
+	if err != nil {
+		return nil, err
+	}
+	b.Deadline = req.Deadline
+	if b.Deadline == 0 {
+		b.Deadline = min + req.Slack
+	}
+
+	algoName := req.Algorithm
+	if algoName == "" {
+		algoName = "auto"
+	}
+	algo, err := hap.ParseAlgorithm(algoName)
+	if err != nil {
+		return nil, err
+	}
+	p := hap.Problem{Graph: b.Graph, Table: b.Table, Deadline: b.Deadline}
+	b.Solution, err = hap.Solve(p, algo)
+	if err != nil {
+		return nil, err
+	}
+	b.Schedule, b.Config, err = sched.MinRSchedule(b.Graph, b.Table, b.Solution.Assign, b.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	if _, b.Registers, err = sched.BindRegisters(b.Graph, b.Schedule); err != nil {
+		return nil, err
+	}
+	_, b.MuxWidest = sched.MuxDemand(b.Graph, b.Schedule, b.Config)
+	if b.MinII, err = sim.MinInitiationInterval(b.Graph, b.Schedule, b.Config); err != nil {
+		return nil, err
+	}
+	b.Verilog, err = rtl.Emit(b.Graph, b.Library, b.Schedule, b.Config, rtl.Options{
+		ModuleName: req.ModuleName,
+		Width:      req.Width,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Report renders a human-readable synthesis report.
+func (b *Bundle) Report() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "hetsynth synthesis report\n")
+	fmt.Fprintf(&s, "  graph:         %d operations, %d edges\n", b.Graph.N(), b.Graph.M())
+	fmt.Fprintf(&s, "  deadline:      %d control steps\n", b.Deadline)
+	fmt.Fprintf(&s, "  system cost:   %d\n", b.Solution.Cost)
+	fmt.Fprintf(&s, "  critical path: %d steps\n", b.Solution.Length)
+	fmt.Fprintf(&s, "  configuration: %s (%d FU instances)\n", b.Config, b.Config.Total())
+	fmt.Fprintf(&s, "  registers:     %d\n", b.Registers)
+	fmt.Fprintf(&s, "  widest mux:    %d inputs\n", b.MuxWidest)
+	fmt.Fprintf(&s, "  min init intv: %d steps (schedule length %d)\n", b.MinII, b.Schedule.Length)
+	fmt.Fprintf(&s, "  assignment:\n")
+	for v := 0; v < b.Graph.N(); v++ {
+		k := b.Solution.Assign[v]
+		fmt.Fprintf(&s, "    %-14s %-8s start %2d, %d steps, cost %d\n",
+			b.Graph.Node(dfg.NodeID(v)).Name, b.Library.Name(k),
+			b.Schedule.Start[v], b.Schedule.Times[v], b.Table.Cost[v][k])
+	}
+	return s.String()
+}
+
+// scheduleJSON is the serialized form of a synthesis result.
+type scheduleJSON struct {
+	Deadline int        `json:"deadline"`
+	Cost     int64      `json:"cost"`
+	Length   int        `json:"length"`
+	Config   []int      `json:"config"`
+	Nodes    []nodeJSON `json:"nodes"`
+	Library  []string   `json:"library"`
+}
+
+type nodeJSON struct {
+	Name     string `json:"name"`
+	Type     string `json:"type"`
+	Start    int    `json:"start"`
+	Steps    int    `json:"steps"`
+	Instance int    `json:"instance"`
+}
+
+// MarshalJSON serializes the bundle's schedule and configuration (not the
+// Verilog, which ships as its own artifact).
+func (b *Bundle) MarshalJSON() ([]byte, error) {
+	out := scheduleJSON{
+		Deadline: b.Deadline,
+		Cost:     b.Solution.Cost,
+		Length:   b.Schedule.Length,
+		Config:   b.Config,
+	}
+	for k := 0; k < b.Library.K(); k++ {
+		out.Library = append(out.Library, b.Library.Name(fu.TypeID(k)))
+	}
+	for v := 0; v < b.Graph.N(); v++ {
+		out.Nodes = append(out.Nodes, nodeJSON{
+			Name:     b.Graph.Node(dfg.NodeID(v)).Name,
+			Type:     b.Library.Name(b.Solution.Assign[v]),
+			Start:    b.Schedule.Start[v],
+			Steps:    b.Schedule.Times[v],
+			Instance: b.Schedule.Instance[v],
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,126 @@
+package hls
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/sched"
+	"hetsynth/internal/sim"
+)
+
+const lattice = `
+	e1 = x - k1*b0@1
+	b1 = b0@1 - k1*e1
+	b0 = e1 + g*b1
+`
+
+func TestRunFromSource(t *testing.T) {
+	b, err := Run(Request{Source: lattice, Slack: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Graph.N() != 6 { // three muls, two subs, one add
+		t.Fatalf("kernel graph has %d nodes, want 6", b.Graph.N())
+	}
+	if b.Solution.Length > b.Deadline || b.Schedule.Length > b.Deadline {
+		t.Fatal("deadline violated")
+	}
+	if b.Registers < 1 || b.MuxWidest < 1 || b.MinII < 1 {
+		t.Fatalf("degenerate metrics: %+v", b)
+	}
+	if !strings.Contains(b.Verilog, "endmodule") {
+		t.Fatal("Verilog missing")
+	}
+	// The schedule must actually run.
+	if _, err := sim.Run(b.Graph, b.Table, b.Schedule, b.Config, 5, b.Schedule.Length); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromGraphWithCatalog(t *testing.T) {
+	g := benchdfg.Elliptic()
+	b, err := Run(Request{Graph: g, Catalog: "lowpower", Slack: 8, Algorithm: "repeat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Library.Name(0) != "turbo" {
+		t.Fatalf("catalog not applied: %s", b.Library.Name(0))
+	}
+	if b.Config.Total() < 2 {
+		t.Fatalf("suspicious config %v", b.Config)
+	}
+}
+
+func TestRunWithExplicitTable(t *testing.T) {
+	g := benchdfg.DiffEq()
+	tab := fu.UniformTable(g.N(), []int{1, 2}, []int64{9, 2})
+	b, err := Run(Request{Graph: g, Table: tab, Deadline: 20, ModuleName: "diffeq_core", Width: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Library.K() != 2 {
+		t.Fatalf("derived library has %d types", b.Library.K())
+	}
+	if !strings.Contains(b.Verilog, "module diffeq_core") || !strings.Contains(b.Verilog, "W = 32") {
+		t.Fatal("RTL options not forwarded")
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	if _, err := Run(Request{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := Run(Request{Source: "y = a+b", Graph: benchdfg.DiffEq()}); err == nil {
+		t.Error("both inputs accepted")
+	}
+	if _, err := Run(Request{Source: "y ="}); err == nil {
+		t.Error("bad kernel accepted")
+	}
+	if _, err := Run(Request{Source: "y = a+b", Catalog: "nope"}); err == nil {
+		t.Error("unknown catalog accepted")
+	}
+	if _, err := Run(Request{Source: "y = a+b", Algorithm: "magic"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Run(Request{Source: "y = a+b", Deadline: -1}); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+func TestReportAndJSON(t *testing.T) {
+	b, err := Run(Request{Source: lattice, Slack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Report()
+	for _, want := range []string{"system cost", "configuration", "registers", "widest mux", "sub1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Deadline int `json:"deadline"`
+		Nodes    []struct {
+			Name  string `json:"name"`
+			Start int    `json:"start"`
+		} `json:"nodes"`
+		Config []int `json:"config"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Deadline != b.Deadline || len(decoded.Nodes) != b.Graph.N() {
+		t.Fatalf("JSON mismatch: %+v", decoded)
+	}
+	if len(decoded.Config) != len(b.Config) {
+		t.Fatalf("config not serialized: %+v", decoded)
+	}
+	_ = sched.Config(decoded.Config)
+}

@@ -1,0 +1,114 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+// EncodeHAP reconstructs the ILP formulation of heterogeneous assignment in
+// the style of Ito, Lucke and Parhi ([11] in the paper):
+//
+//	minimize   sum_{v,k} C_k(v) · x_{v,k}
+//	subject to sum_k x_{v,k} = 1                      for every node v
+//	           s_v >= s_u + sum_k T_k(u) · x_{u,k}    for every edge (u,v)
+//	           s_v + sum_k T_k(v) · x_{v,k} <= L      for every node v
+//	           x_{v,k} in {0,1},  s_v >= 0
+//
+// where x_{v,k} selects the FU type of node v and the continuous s_v are
+// operation start times. The encoding returns the model plus the variable
+// index of each x_{v,k} for decoding.
+func EncodeHAP(p hap.Problem) (*Model, [][]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n, k := p.Graph.N(), p.K()
+	m := NewModel()
+
+	x := make([][]int, n)
+	for v := 0; v < n; v++ {
+		x[v] = make([]int, k)
+		for t := 0; t < k; t++ {
+			x[v][t] = m.AddBinary(
+				fmt.Sprintf("x[%s,%d]", p.Graph.Node(dfg.NodeID(v)).Name, t),
+				float64(p.Table.Cost[v][t]),
+			)
+		}
+	}
+	s := make([]int, n)
+	for v := 0; v < n; v++ {
+		s[v] = m.AddVar(fmt.Sprintf("s[%s]", p.Graph.Node(dfg.NodeID(v)).Name), 0)
+		m.SetUpper(s[v], float64(p.Deadline)) // keeps the relaxation bounded
+	}
+
+	// One type per node.
+	for v := 0; v < n; v++ {
+		coef := make(map[int]float64, k)
+		for t := 0; t < k; t++ {
+			coef[x[v][t]] = 1
+		}
+		m.MustAdd(coef, EQ, 1)
+	}
+	// Precedence: s_u - s_v + sum_k T_k(u)·x_{u,k} <= 0.
+	for _, e := range p.Graph.Edges() {
+		if e.Delays != 0 {
+			continue
+		}
+		coef := map[int]float64{s[e.From]: 1, s[e.To]: -1}
+		for t := 0; t < k; t++ {
+			coef[x[e.From][t]] += float64(p.Table.Time[e.From][t])
+		}
+		m.MustAdd(coef, LE, 0)
+	}
+	// Deadline: s_v + sum_k T_k(v)·x_{v,k} <= L.
+	for v := 0; v < n; v++ {
+		coef := map[int]float64{s[v]: 1}
+		for t := 0; t < k; t++ {
+			coef[x[v][t]] += float64(p.Table.Time[v][t])
+		}
+		m.MustAdd(coef, LE, float64(p.Deadline))
+	}
+	return m, x, nil
+}
+
+// SolveHAP encodes and solves the problem, returning the same Solution
+// shape as the combinatorial solvers in package hap. It returns
+// hap.ErrInfeasible when the MIP proves no assignment meets the deadline.
+func SolveHAP(p hap.Problem, opts Options) (hap.Solution, error) {
+	m, x, err := EncodeHAP(p)
+	if err != nil {
+		return hap.Solution{}, err
+	}
+	res, err := SolveMIP(m, opts)
+	if err != nil {
+		return hap.Solution{}, err
+	}
+	if res.Status != Optimal {
+		return hap.Solution{}, hap.ErrInfeasible
+	}
+	assign := make(hap.Assignment, p.Graph.N())
+	for v := range x {
+		bestT, bestX := 0, math.Inf(-1)
+		for t, idx := range x[v] {
+			if res.X[idx] > bestX {
+				bestX = res.X[idx]
+				bestT = t
+			}
+		}
+		assign[v] = fu.TypeID(bestT)
+	}
+	sol, err := hap.Evaluate(p, assign)
+	if err != nil {
+		return hap.Solution{}, err
+	}
+	if sol.Length > p.Deadline {
+		return hap.Solution{}, fmt.Errorf("ilp: internal error: decoded assignment misses the deadline (%d > %d)", sol.Length, p.Deadline)
+	}
+	if math.Abs(float64(sol.Cost)-res.Obj) > 1e-6*(1+math.Abs(res.Obj)) {
+		return hap.Solution{}, fmt.Errorf("ilp: internal error: decoded cost %d != MIP objective %.3f", sol.Cost, res.Obj)
+	}
+	return sol, nil
+}

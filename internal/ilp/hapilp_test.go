@@ -1,0 +1,143 @@
+package ilp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+func smallProblem() hap.Problem {
+	g := dfg.New()
+	a := g.MustAddNode("A", "")
+	b := g.MustAddNode("B", "")
+	c := g.MustAddNode("C", "")
+	d := g.MustAddNode("D", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, d, 0)
+	g.MustAddEdge(c, d, 0)
+	t := fu.NewTable(4, 2)
+	t.MustSet(0, []int{1, 3}, []int64{9, 2})
+	t.MustSet(1, []int{2, 4}, []int64{8, 3})
+	t.MustSet(2, []int{1, 2}, []int64{7, 1})
+	t.MustSet(3, []int{1, 3}, []int64{6, 2})
+	return hap.Problem{Graph: g, Table: t, Deadline: 7}
+}
+
+func TestEncodeHAPShape(t *testing.T) {
+	p := smallProblem()
+	m, x, err := EncodeHAP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 nodes x 2 types binaries + 4 start times.
+	if m.NumVars() != 12 {
+		t.Fatalf("NumVars = %d, want 12", m.NumVars())
+	}
+	if len(x) != 4 || len(x[0]) != 2 {
+		t.Fatalf("x index shape %dx%d", len(x), len(x[0]))
+	}
+	if m.VarName(x[0][0]) != "x[A,0]" {
+		t.Fatalf("VarName = %q", m.VarName(x[0][0]))
+	}
+}
+
+func TestSolveHAPMatchesCombinatorialExact(t *testing.T) {
+	p := smallProblem()
+	want, err := hap.Exact(p, hap.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveHAP(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("ILP cost %d, combinatorial exact %d", got.Cost, want.Cost)
+	}
+	if got.Length > p.Deadline {
+		t.Fatalf("ILP solution misses deadline: %d > %d", got.Length, p.Deadline)
+	}
+}
+
+func TestSolveHAPInfeasible(t *testing.T) {
+	p := smallProblem()
+	p.Deadline = 2 // minimum makespan is 3 (1+1+1 path)
+	if _, err := SolveHAP(p, Options{}); !errors.Is(err, hap.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveHAPMatchesTreeAssignOnTrees(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.RandomTree(rng, 2+rng.Intn(5))
+		tab := fu.RandomTable(rng, g.N(), 2)
+		min, _ := hap.MinMakespan(g, tab)
+		p := hap.Problem{Graph: g, Table: tab, Deadline: min + rng.Intn(min+2)}
+		want, err1 := hap.TreeAssign(p)
+		got, err2 := SolveHAP(p, Options{})
+		if err1 != nil || err2 != nil {
+			return errors.Is(err1, hap.ErrInfeasible) && errors.Is(err2, hap.ErrInfeasible)
+		}
+		return got.Cost == want.Cost
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveHAPMatchesBruteForceOnRandomDAGs(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.RandomDAG(rng, 2+rng.Intn(5), 0.4)
+		tab := fu.RandomTable(rng, g.N(), 2)
+		min, _ := hap.MinMakespan(g, tab)
+		p := hap.Problem{Graph: g, Table: tab, Deadline: min + rng.Intn(4)}
+		want, err1 := hap.BruteForce(p)
+		got, err2 := SolveHAP(p, Options{})
+		if err1 != nil || err2 != nil {
+			return errors.Is(err1, hap.ErrInfeasible) && errors.Is(err2, hap.ErrInfeasible)
+		}
+		return got.Cost == want.Cost
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveHAPOnDiffEqBenchmarkShape(t *testing.T) {
+	// The paper's point about [11]: the ILP finds the optimum but needs
+	// orders of magnitude more work than the heuristics. Verify the
+	// optimum part on the diffeq-sized instance.
+	g := dfg.New()
+	names := []string{"m1", "m2", "m3", "s1", "s2", "a1"}
+	for _, n := range names {
+		g.MustAddNode(n, "")
+	}
+	g.MustAddEdge(0, 2, 0)
+	g.MustAddEdge(1, 2, 0)
+	g.MustAddEdge(2, 3, 0)
+	g.MustAddEdge(3, 4, 0)
+	g.MustAddEdge(1, 5, 0)
+	rng := rand.New(rand.NewSource(3))
+	tab := fu.RandomTable(rng, g.N(), 3)
+	min, _ := hap.MinMakespan(g, tab)
+	p := hap.Problem{Graph: g, Table: tab, Deadline: min + 3}
+	want, err := hap.Exact(p, hap.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveHAP(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("ILP %d != exact %d", got.Cost, want.Cost)
+	}
+}

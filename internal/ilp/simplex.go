@@ -1,0 +1,242 @@
+// Package ilp is a small mixed-integer linear programming subsystem: a
+// dense Big-M simplex solver for the LP relaxation and a branch-and-bound
+// driver for binary integer variables.
+//
+// It exists because the work the paper builds on — Ito, Lucke and Parhi,
+// "ILP-based cost-optimal DSP synthesis with module selection" ([11] in the
+// paper) — formulates heterogeneous assignment as an integer linear
+// program. Package hapilp (ilp/hapilp.go) reconstructs that formulation and
+// solves it with this solver, giving the repo an independent optimum to
+// cross-check the combinatorial branch-and-bound (hap.Exact) against, and
+// letting the experiments reproduce the paper's "ILP is optimal but
+// exponential" comparison honestly.
+//
+// The solver is dense and deliberately simple: models here have tens of
+// variables. It is not a general-purpose LP package.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	GE            // >=
+	EQ            // ==
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+const (
+	eps  = 1e-9
+	bigM = 1e7
+)
+
+// lp is the LP relaxation in the raw form the simplex consumes:
+// minimize c·x subject to rows, x >= 0 (upper bounds are explicit rows).
+type lp struct {
+	c    []float64
+	rows []row
+}
+
+type row struct {
+	a   []float64
+	rel Rel
+	b   float64
+}
+
+// solveSimplex runs a one-phase Big-M dense simplex on the lp and returns
+// the optimal x (length len(c)), the objective value, and a status.
+func solveSimplex(p lp, maxIter int) ([]float64, float64, Status) {
+	n := len(p.c)
+	m := len(p.rows)
+	if maxIter <= 0 {
+		maxIter = 200 * (n + m + 1)
+	}
+
+	// Normalize RHS to be non-negative.
+	rows := make([]row, m)
+	for i, r := range p.rows {
+		a := append([]float64(nil), r.a...)
+		b := r.b
+		rel := r.rel
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = row{a: a, rel: rel, b: b}
+	}
+
+	// Column layout: [x (n)] [slack/surplus (m, some unused)] [artificial
+	// (m, some unused)]; total columns allocated up front for simplicity.
+	total := n + 2*m
+	cost := make([]float64, total)
+	copy(cost, p.c)
+	tab := make([][]float64, m) // m rows of total+1 (last col = rhs)
+	basis := make([]int, m)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], rows[i].a)
+		tab[i][total] = rows[i].b
+		slackCol := n + i
+		artCol := n + m + i
+		switch rows[i].rel {
+		case LE:
+			tab[i][slackCol] = 1
+			basis[i] = slackCol
+		case GE:
+			tab[i][slackCol] = -1
+			tab[i][artCol] = 1
+			cost[artCol] = bigM
+			basis[i] = artCol
+		case EQ:
+			tab[i][artCol] = 1
+			cost[artCol] = bigM
+			basis[i] = artCol
+		}
+	}
+
+	reduced := make([]float64, total)
+	computeReduced := func() {
+		for j := 0; j < total; j++ {
+			z := 0.0
+			for i := 0; i < m; i++ {
+				z += cost[basis[i]] * tab[i][j]
+			}
+			reduced[j] = cost[j] - z
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		computeReduced()
+		// Entering column: most negative reduced cost (Dantzig), with
+		// Bland's rule (smallest index) once we are deep into the run to
+		// break potential cycles.
+		enter := -1
+		if iter < maxIter/2 {
+			best := -eps
+			for j := 0; j < total; j++ {
+				if reduced[j] < best {
+					best = reduced[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < total; j++ {
+				if reduced[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			// Optimal for the Big-M program. If an artificial is still
+			// basic at a positive level, the original LP is infeasible.
+			for i := 0; i < m; i++ {
+				if basis[i] >= n+m && tab[i][total] > 1e-6 {
+					return nil, 0, Infeasible
+				}
+			}
+			x := make([]float64, n)
+			obj := 0.0
+			for i := 0; i < m; i++ {
+				if basis[i] < n {
+					x[basis[i]] = tab[i][total]
+				}
+			}
+			for j := 0; j < n; j++ {
+				obj += p.c[j] * x[j]
+			}
+			return x, obj, Optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > eps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, 0, Unbounded
+		}
+		pivot(tab, leave, enter, total)
+		basis[leave] = enter
+	}
+	return nil, 0, IterLimit
+}
+
+func pivot(tab [][]float64, r, c, total int) {
+	pr := tab[r]
+	pv := pr[c]
+	for j := 0; j <= total; j++ {
+		pr[j] /= pv
+	}
+	for i := range tab {
+		if i == r {
+			continue
+		}
+		f := tab[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * pr[j]
+		}
+	}
+}
+
+var errModel = errors.New("ilp: malformed model")

@@ -1,0 +1,157 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/fu"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Instance{
+		{Items: []Item{{Value: -1, Weight: 1}}, Capacity: 3},
+		{Items: []Item{{Value: 1, Weight: -1}}, Capacity: 3},
+		{Items: []Item{{Value: 1, Weight: 1}}, Capacity: -1},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+		if _, _, err := Solve(in); err == nil {
+			t.Errorf("case %d solved", i)
+		}
+		if _, err := SolveBrute(in); err == nil {
+			t.Errorf("case %d brute-solved", i)
+		}
+	}
+}
+
+func TestSolveKnownInstance(t *testing.T) {
+	// Classic: capacity 10, items (v,w): (60,5) (50,4) (70,6) (30,3).
+	// Optimum picks items 1 and 2: value 120, weight 10.
+	in := Instance{
+		Items:    []Item{{60, 5}, {50, 4}, {70, 6}, {30, 3}},
+		Capacity: 10,
+	}
+	best, sel, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 120 {
+		t.Fatalf("best = %d, want 120", best)
+	}
+	var v int64
+	w := 0
+	for i, s := range sel {
+		if s {
+			v += in.Items[i].Value
+			w += in.Items[i].Weight
+		}
+	}
+	if v != best || w > in.Capacity {
+		t.Fatalf("selection inconsistent: value %d weight %d", v, w)
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	if best, _, _ := Solve(Instance{Capacity: 5}); best != 0 {
+		t.Errorf("no items: best = %d", best)
+	}
+	in := Instance{Items: []Item{{10, 3}}, Capacity: 0}
+	if best, sel, _ := Solve(in); best != 0 || sel[0] {
+		t.Errorf("zero capacity: best = %d sel = %v", best, sel)
+	}
+	in = Instance{Items: []Item{{10, 0}, {5, 9}}, Capacity: 1}
+	if best, _, _ := Solve(in); best != 10 {
+		t.Errorf("zero-weight item: best = %d", best)
+	}
+}
+
+func randInstance(rng *rand.Rand, maxItems int) Instance {
+	n := 1 + rng.Intn(maxItems)
+	in := Instance{Capacity: rng.Intn(30)}
+	for i := 0; i < n; i++ {
+		in.Items = append(in.Items, Item{
+			Value:  int64(rng.Intn(50)),
+			Weight: rng.Intn(12),
+		})
+	}
+	return in
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng, 12)
+		dp, _, err1 := Solve(in)
+		bf, err2 := SolveBrute(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return dp == bf
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteRefusesLargeInstances(t *testing.T) {
+	in := Instance{Items: make([]Item, 25), Capacity: 1}
+	if _, err := SolveBrute(in); err == nil {
+		t.Fatal("25-item brute force accepted")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	in := Instance{Items: []Item{{7, 2}, {9, 4}, {3, 1}}, Capacity: 5}
+	red, err := Reduce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.Graph.IsSimplePath() {
+		t.Error("reduction graph is not a simple path")
+	}
+	if red.Graph.N() != 3 || red.Library.K() != 2 {
+		t.Errorf("dims: %d nodes, %d types", red.Graph.N(), red.Library.K())
+	}
+	if red.Deadline != 5+3 {
+		t.Errorf("deadline = %d, want 8", red.Deadline)
+	}
+	if err := red.Table.Validate(); err != nil {
+		t.Errorf("reduction table invalid: %v", err)
+	}
+	// Node 1 (item value 9 = vmax): select costs 0, skip costs 9.
+	if red.Table.Cost[1][0] != 0 || red.Table.Cost[1][1] != 9 {
+		t.Errorf("node 1 costs = %v", red.Table.Cost[1])
+	}
+	// Select time = weight+1, skip time = 1.
+	if red.Table.Time[0][0] != 3 || red.Table.Time[0][1] != 1 {
+		t.Errorf("node 0 times = %v", red.Table.Time[0])
+	}
+}
+
+func TestReduceRejectsEmptyAndInvalid(t *testing.T) {
+	if _, err := Reduce(Instance{Capacity: 3}); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := Reduce(Instance{Items: []Item{{-1, 1}}, Capacity: 3}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestRecoverValueAndSelection(t *testing.T) {
+	in := Instance{Items: []Item{{7, 2}, {9, 4}}, Capacity: 6}
+	red, err := Reduce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selecting both: cost = (9-7) + (9-9) = 2; value = 2*9 - 2 = 16.
+	if got := red.RecoverValue(2); got != 16 {
+		t.Fatalf("RecoverValue(2) = %d, want 16", got)
+	}
+	sel := red.RecoverSelection([]fu.TypeID{SelectType, 1})
+	if !sel[0] || sel[1] {
+		t.Fatalf("selection = %v, want [true false]", sel)
+	}
+}

@@ -1,0 +1,189 @@
+// Package retime implements Leiserson–Saxe retiming for cyclic data-flow
+// graphs, the classic transformation the paper's framework sits on top of
+// (its §1 cites rotation scheduling, a retiming-based loop pipeliner, as
+// the surrounding literature; combining retiming with heterogeneous
+// assignment is the natural extension).
+//
+// A retiming r assigns an integer lag to every node; edge delays become
+// d_r(u→v) = d(u→v) + r(v) − r(u). Retiming preserves the input/output
+// behavior of the DFG while redistributing the delays (registers), which
+// can shorten the cycle period — the longest zero-delay path, i.e. the
+// minimum schedule length of one loop iteration without resource limits.
+//
+// The implementation uses the FEAS feasibility test (relaxation over at
+// most |V|−1 rounds) and a binary search over candidate periods. Node
+// execution times come from the heterogeneous-assignment layer, so one can
+// retime under the times of a particular FU assignment (see
+// examples/retiming).
+package retime
+
+import (
+	"errors"
+	"fmt"
+
+	"hetsynth/internal/dfg"
+)
+
+// Period returns the cycle period of g under the given node times: the
+// maximum total execution time of a zero-delay path.
+func Period(g *dfg.Graph, times []int) (int, error) {
+	length, _, err := g.LongestPath(times)
+	return length, err
+}
+
+// Apply returns a copy of g retimed by r, or an error if r is illegal
+// (some edge would end up with negative delays, or a self-loop would lose
+// its last delay — both would make the graph unschedulable).
+func Apply(g *dfg.Graph, r []int) (*dfg.Graph, error) {
+	if len(r) != g.N() {
+		return nil, fmt.Errorf("retime: retiming covers %d nodes, graph has %d", len(r), g.N())
+	}
+	out := dfg.New()
+	for _, n := range g.Nodes() {
+		if _, err := out.AddNode(n.Name, n.Op); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range g.Edges() {
+		d := e.Delays + r[e.To] - r[e.From]
+		if d < 0 {
+			return nil, fmt.Errorf("retime: edge %s->%s would carry %d delays",
+				g.Node(e.From).Name, g.Node(e.To).Name, d)
+		}
+		if err := out.AddEdge(e.From, e.To, d); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("retime: retimed graph invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Feasible runs the FEAS test: it reports whether some retiming achieves
+// cycle period at most c, and returns one such retiming when it exists.
+//
+// FEAS relaxes for |V|−1 rounds: in each round it computes, per node, the
+// longest zero-delay-path time Δ(v) ending at v in the currently retimed
+// graph and increments r(v) wherever Δ(v) > c. Incrementing r(v) pushes a
+// delay from v's outgoing edges to its incoming ones; a zero-delay
+// successor w of an incremented v always has Δ(w) > c too (its path runs
+// through v), so w is incremented in the same round and no edge ever goes
+// negative.
+func Feasible(g *dfg.Graph, times []int, c int) (r []int, ok bool, err error) {
+	if len(times) != g.N() {
+		return nil, false, fmt.Errorf("retime: %d times for %d nodes", len(times), g.N())
+	}
+	for v, t := range times {
+		if t < 1 {
+			return nil, false, fmt.Errorf("retime: node %d has execution time %d (< 1)", v, t)
+		}
+		if t > c {
+			return nil, false, nil // a single node already exceeds c
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, false, err
+	}
+	r = make([]int, g.N())
+	cur := g
+	for round := 0; round < g.N()-1; round++ {
+		delta, err := arrivalTimes(cur, times)
+		if err != nil {
+			return nil, false, err
+		}
+		changed := false
+		for v := range delta {
+			if delta[v] > c {
+				r[v]++
+				changed = true
+			}
+		}
+		if !changed {
+			return r, true, nil
+		}
+		cur, err = Apply(g, r)
+		if err != nil {
+			// Unreachable per the invariant documented above.
+			return nil, false, err
+		}
+	}
+	period, err := Period(cur, times)
+	if err != nil {
+		return nil, false, err
+	}
+	if period <= c {
+		return r, true, nil
+	}
+	return nil, false, nil
+}
+
+// arrivalTimes computes Δ(v): the largest total execution time over
+// zero-delay paths ending at v.
+func arrivalTimes(g *dfg.Graph, times []int) ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	delta := make([]int, g.N())
+	for _, v := range order {
+		delta[v] = times[v]
+		for _, u := range g.Pred(v) {
+			if d := delta[u] + times[v]; d > delta[v] {
+				delta[v] = d
+			}
+		}
+	}
+	return delta, nil
+}
+
+// Minimize finds a retiming with the minimum achievable cycle period via
+// binary search between the largest single-node time (no period can be
+// smaller) and the current period, and returns the retimed graph, the
+// retiming vector and the achieved period.
+func Minimize(g *dfg.Graph, times []int) (*dfg.Graph, []int, int, error) {
+	current, err := Period(g, times)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if g.N() == 0 {
+		return nil, nil, 0, errors.New("retime: empty graph")
+	}
+	lo := 0
+	for _, t := range times {
+		if t > lo {
+			lo = t
+		}
+	}
+	hi := current
+	bestR := make([]int, g.N())
+	bestC := current
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r, ok, err := Feasible(g, times, mid)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if ok {
+			bestR, bestC = r, mid
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// lo == hi is the minimal feasible period; bestR/bestC track the last
+	// success, which is exactly lo unless no search step succeeded (then
+	// the identity retiming at the current period stands).
+	if bestC > lo {
+		if r, ok, err := Feasible(g, times, lo); err != nil {
+			return nil, nil, 0, err
+		} else if ok {
+			bestR, bestC = r, lo
+		}
+	}
+	out, err := Apply(g, bestR)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return out, bestR, bestC, nil
+}

@@ -1,0 +1,111 @@
+// Package rotate implements rotation scheduling (Chao, LaPaugh and Sha,
+// reference [4] of the paper): a loop-pipelining technique that combines
+// retiming with resource-constrained list scheduling.
+//
+// One rotation takes the nodes scheduled in the first control step — these
+// are roots of the DAG portion, so every incoming edge carries at least one
+// delay — and retimes them by −1 (in the d_r(u→v) = d + r(v) − r(u)
+// convention of package retime). That moves one delay from each of their
+// incoming edges to each outgoing edge: the rotated nodes are now computed
+// one iteration ahead, the DAG portion re-shapes, and list scheduling gets
+// a chance to pack the loop body tighter. Repeating the step walks the
+// schedule "around" the loop, hence the name.
+//
+// With the heterogeneous assignment fixed (phase one of the paper), Rotate
+// searches for the static schedule of minimum length under a fixed FU
+// configuration — the resource-constrained side the paper's §1 calls
+// NP-complete.
+package rotate
+
+import (
+	"fmt"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/retime"
+	"hetsynth/internal/sched"
+)
+
+// Result is the outcome of a rotation-scheduling run.
+type Result struct {
+	// Graph is the retimed DFG realizing the best schedule.
+	Graph *dfg.Graph
+	// Retiming is the per-node lag from the input graph to Graph.
+	Retiming []int
+	// Schedule is the best static schedule found (over Graph's DAG
+	// portion).
+	Schedule *sched.Schedule
+	// Rotations is the number of rotation steps performed.
+	Rotations int
+	// InitialLength is the list-schedule length before any rotation.
+	InitialLength int
+}
+
+// Rotate runs up to maxRotations rotation steps on g under the given
+// assignment and FU configuration and returns the best schedule seen.
+// maxRotations <= 0 defaults to 2·|V|, enough for the schedule pattern to
+// wrap around the loop body twice.
+func Rotate(g *dfg.Graph, tab *fu.Table, assign hap.Assignment, cfg sched.Config, maxRotations int) (Result, error) {
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	if maxRotations <= 0 {
+		maxRotations = 2 * g.N()
+	}
+	r := make([]int, g.N())
+	cur := g.Clone()
+
+	s, err := sched.ListSchedule(cur, tab, assign, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	best := Result{
+		Graph:         cur,
+		Retiming:      append([]int(nil), r...),
+		Schedule:      s,
+		InitialLength: s.Length,
+	}
+
+	for i := 0; i < maxRotations; i++ {
+		// The first-row nodes of the current schedule.
+		var firstRow []dfg.NodeID
+		for v := 0; v < cur.N(); v++ {
+			if s.Start[v] == 1 {
+				firstRow = append(firstRow, dfg.NodeID(v))
+			}
+		}
+		if len(firstRow) == 0 {
+			break // cannot happen with a valid schedule; stay safe
+		}
+		for _, v := range firstRow {
+			// A first-row node must be a DAG root: every incoming edge
+			// carries a delay, so shifting one delay across it is legal.
+			if cur.InDegree(v) != 0 {
+				return Result{}, fmt.Errorf("rotate: internal error: first-row node %s has zero-delay predecessors", cur.Node(v).Name)
+			}
+			r[v]--
+		}
+		next, err := retime.Apply(g, r)
+		if err != nil {
+			// Rotating a root is always legal; an error means the caller's
+			// graph has a root with a delay-free incoming edge, i.e. a bug.
+			return Result{}, fmt.Errorf("rotate: rotation became illegal: %w", err)
+		}
+		cur = next
+		s, err = sched.ListSchedule(cur, tab, assign, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if s.Length < best.Schedule.Length {
+			best = Result{
+				Graph:         cur,
+				Retiming:      append([]int(nil), r...),
+				Schedule:      s,
+				Rotations:     i + 1,
+				InitialLength: best.InitialLength,
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,187 @@
+package rtl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/sched"
+)
+
+func synth(t testing.TB, g *dfg.Graph, seed int64, slack int) (*fu.Table, *sched.Schedule, sched.Config) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tab := fu.RandomTable(rng, g.N(), 3)
+	min, err := hap.MinMakespan(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hap.Problem{Graph: g, Table: tab, Deadline: min + slack}
+	sol, err := hap.AssignRepeat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, cfg, err := sched.MinRSchedule(g, tab, sol.Assign, p.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, s, cfg
+}
+
+func TestEmitDiffEqModule(t *testing.T) {
+	g := benchdfg.DiffEq()
+	_, s, cfg := synth(t, g, 1, 4)
+	lib := fu.StandardLibrary()
+	v, err := Emit(g, lib, s, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module hetsynth_core #(",
+		"parameter W = 16",
+		"input  wire clk",
+		"input  wire [W-1:0] in_ld_u",  // root
+		"output reg  [W-1:0] out_sub2", // u' leaf
+		"output reg  [W-1:0] out_cmp",  // comparison leaf
+		"case (step)",
+		"endmodule",
+		"FU allocation",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("emitted Verilog missing %q", want)
+		}
+	}
+	// The shared u·dx (mul2) must appear as a multiplication.
+	if !strings.Contains(v, "*") {
+		t.Error("no multiplication emitted")
+	}
+	// Balanced structure.
+	if strings.Count(v, "begin") != strings.Count(v, "end")-strings.Count(v, "endcase")-strings.Count(v, "endmodule") {
+		t.Errorf("begin/end imbalance: %d begin, %d end",
+			strings.Count(v, "begin"), strings.Count(v, "end"))
+	}
+}
+
+func TestEmitOptions(t *testing.T) {
+	g := dfg.Chain(3)
+	tab := fu.UniformTable(3, []int{1}, []int64{1})
+	s, cfg, err := sched.MinRSchedule(g, tab, make(hap.Assignment, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Emit(g, nil, s, cfg, Options{ModuleName: "fir_core", Width: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "module fir_core") || !strings.Contains(v, "parameter W = 24") {
+		t.Fatalf("options ignored:\n%s", v)
+	}
+}
+
+func TestEmitLoopCarriedState(t *testing.T) {
+	// s = in + k*s@1: the add's value crosses iterations, so a state
+	// register must exist and feed the multiply.
+	g := dfg.New()
+	m := g.MustAddNode("mul1", "mul")
+	a := g.MustAddNode("add1", "add")
+	g.MustAddEdge(m, a, 0)
+	g.MustAddEdge(a, m, 1)
+	tab := fu.UniformTable(2, []int{1}, []int64{1})
+	s, cfg, err := sched.MinRSchedule(g, tab, make(hap.Assignment, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Emit(g, nil, s, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "state_add1") {
+		t.Fatalf("loop-carried state register missing:\n%s", v)
+	}
+	if !strings.Contains(v, "state_add1 <=") {
+		t.Fatalf("state register never written:\n%s", v)
+	}
+}
+
+func TestEmitRejectsInvalidSchedule(t *testing.T) {
+	g := dfg.Chain(2)
+	bad := &sched.Schedule{
+		Assign: make(hap.Assignment, 2), Start: []int{1, 1},
+		Times: []int{1, 1}, Instance: []int{0, 0}, Length: 1,
+	}
+	if _, err := Emit(g, nil, bad, sched.Config{1}, Options{}); err == nil {
+		t.Fatal("overlapping schedule accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("u'"); got != "u_" {
+		t.Errorf("sanitize(u') = %q", got)
+	}
+	if got := sanitize("a-b.c"); got != "a_b_c" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+// TestEmitStructuralInvariants: whatever the flow synthesizes, the emitted
+// module mentions every output leaf and assigns every value register.
+func TestEmitStructuralInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 2)
+		min, err := hap.MinMakespan(g, tab)
+		if err != nil {
+			return false
+		}
+		p := hap.Problem{Graph: g, Table: tab, Deadline: min + rng.Intn(4)}
+		sol, err := hap.AssignRepeat(p)
+		if err != nil {
+			return false
+		}
+		s, cfg, err := sched.MinRSchedule(g, tab, sol.Assign, p.Deadline)
+		if err != nil {
+			return false
+		}
+		v, err := Emit(g, nil, s, cfg, Options{})
+		if err != nil {
+			return false
+		}
+		for _, leaf := range g.Leaves() {
+			if !strings.Contains(v, "out_"+sanitize(g.Node(leaf).Name)+" <=") {
+				return false
+			}
+		}
+		_, regs, err := sched.BindRegisters(g, s)
+		if err != nil {
+			return false
+		}
+		for r := 0; r < regs; r++ {
+			if !strings.Contains(v, "r"+itoa(r)+" <=") {
+				return false
+			}
+		}
+		return strings.Contains(v, "endmodule")
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

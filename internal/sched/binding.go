@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"hetsynth/internal/dfg"
+)
+
+// ValueBinding records where the value produced by one node lives.
+type ValueBinding struct {
+	Producer dfg.NodeID
+	Register int // register index assigned by BindRegisters
+	Birth    int // first step the value is available (producer finish + 1)
+	Death    int // last step some consumer still needs it
+}
+
+// BindRegisters allocates one register to every live value of a
+// non-overlapped schedule using the left-edge algorithm, the classical
+// register-binding companion of the Ito–Parhi register-minimization metric:
+// values are sorted by birth step and each takes the lowest-indexed
+// register free at that step. For non-overlapped execution (initiation
+// interval >= every lifetime) the left-edge allocation is optimal, so the
+// register count equals RegisterDemand(g, s, ii) for large ii.
+//
+// Values never consumed (primary outputs handled outside the loop body)
+// get no binding. The bindings are returned sorted by birth step, together
+// with the number of registers used.
+func BindRegisters(g *dfg.Graph, s *Schedule) ([]ValueBinding, int, error) {
+	n := g.N()
+	if len(s.Start) != n || len(s.Times) != n {
+		return nil, 0, fmt.Errorf("sched: schedule does not cover the graph")
+	}
+	var values []ValueBinding
+	for v := 0; v < n; v++ {
+		vid := dfg.NodeID(v)
+		birth := s.Finish(vid) + 1
+		death := -1
+		for _, e := range g.Edges() {
+			if e.From != vid {
+				continue
+			}
+			// Within one iteration only: delayed consumers are fed through
+			// the delay line registers counted by RegisterDemand, not by
+			// this single-iteration binding.
+			if e.Delays != 0 {
+				continue
+			}
+			if need := s.Start[e.To]; need > death {
+				death = need
+			}
+		}
+		if death < birth {
+			continue
+		}
+		values = append(values, ValueBinding{Producer: vid, Birth: birth, Death: death})
+	}
+	sort.Slice(values, func(i, j int) bool {
+		if values[i].Birth != values[j].Birth {
+			return values[i].Birth < values[j].Birth
+		}
+		return values[i].Producer < values[j].Producer
+	})
+	var regFree []int // per register: first step it is free again
+	for i := range values {
+		placed := false
+		for r := range regFree {
+			if regFree[r] <= values[i].Birth {
+				values[i].Register = r
+				regFree[r] = values[i].Death + 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			values[i].Register = len(regFree)
+			regFree = append(regFree, values[i].Death+1)
+		}
+	}
+	return values, len(regFree), nil
+}

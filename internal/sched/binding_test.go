@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+func TestBindRegistersChain(t *testing.T) {
+	g := dfg.Chain(3)
+	tab := fu.UniformTable(3, []int{1}, []int64{1})
+	s, _, err := MinRSchedule(g, tab, make(hap.Assignment, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, regs, err := BindRegisters(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two values (v1->v2, v2->v3) with disjoint lifetimes: one register.
+	if regs != 1 {
+		t.Fatalf("registers = %d, want 1 (%+v)", regs, vals)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("%d values, want 2", len(vals))
+	}
+}
+
+func TestBindRegistersFanOutNeedsTwo(t *testing.T) {
+	g := dfg.New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	c := g.MustAddNode("c", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, c, 0)
+	tab := fu.UniformTable(3, []int{1}, []int64{1})
+	s, _, err := MinRSchedule(g, tab, make(hap.Assignment, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, regs, err := BindRegisters(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 2 {
+		t.Fatalf("registers = %d, want 2", regs)
+	}
+}
+
+func TestBindRegistersValidatesInput(t *testing.T) {
+	g := dfg.Chain(2)
+	if _, _, err := BindRegisters(g, &Schedule{Start: []int{1}}); err == nil {
+		t.Fatal("short schedule accepted")
+	}
+}
+
+// TestBindRegistersMatchesDemandNonOverlapped: for a non-overlapped
+// repetition long enough that lifetimes never wrap, left-edge register
+// count equals the RegisterDemand bound restricted to intra-iteration
+// values (no delayed edges in these graphs).
+func TestBindRegistersMatchesDemandNonOverlapped(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 2)
+		a := make(hap.Assignment, n)
+		for v := range a {
+			a[v] = fu.TypeID(rng.Intn(2))
+		}
+		length, _, err := g.LongestPath(hap.Times(tab, a))
+		if err != nil {
+			return false
+		}
+		s, _, err := MinRSchedule(g, tab, a, length+2)
+		if err != nil {
+			return false
+		}
+		vals, regs, err := BindRegisters(g, s)
+		if err != nil {
+			return false
+		}
+		// No binding may overlap another in the same register.
+		for i := range vals {
+			for j := i + 1; j < len(vals); j++ {
+				if vals[i].Register != vals[j].Register {
+					continue
+				}
+				if vals[i].Birth <= vals[j].Death && vals[j].Birth <= vals[i].Death {
+					return false
+				}
+			}
+		}
+		// Left-edge is optimal: count equals max simultaneous liveness,
+		// which for an II beyond all lifetimes equals RegisterDemand.
+		demand, err := RegisterDemand(g, s, 4*s.Length+8)
+		if err != nil {
+			return false
+		}
+		return regs == demand
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+// ForceDirected implements force-directed scheduling after Paulin and
+// Knight ("Force-directed scheduling for the behavioral synthesis of
+// ASICs", reference [15] of the paper): a time-constrained scheduler that
+// balances the expected concurrency of each FU type across control steps,
+// which tends to minimize the number of FU instances the schedule needs.
+//
+// Each unscheduled node has a mobility window [ASAP, ALAP]. Assuming a
+// uniform distribution over the window, the type-t distribution graph
+// DG_t(s) sums, over type-t nodes, the probability of executing in step s.
+// Fixing node v at start step a changes v's distribution from spread to
+// concentrated; the self force is
+//
+//	sum_s DG_t(s) · (p_fixed(s) − p_spread(s))
+//
+// and fixing v also narrows the windows of its predecessors/successors,
+// whose distribution changes are charged the same way (implied forces).
+// The algorithm repeatedly commits the (node, step) pair with the lowest
+// total force until everything is fixed, then packs nodes onto concrete FU
+// instances with the left-edge algorithm. The resulting configuration is
+// exactly the per-step concurrency maximum of the final schedule.
+//
+// ForceDirected is an alternative to MinRSchedule; the ablation benchmarks
+// compare the configurations the two produce.
+func ForceDirected(g *dfg.Graph, tab *fu.Table, assign hap.Assignment, L int) (*Schedule, Config, error) {
+	times := hap.Times(tab, assign)
+	asap, length, err := ASAP(g, times)
+	if err != nil {
+		return nil, nil, err
+	}
+	if length > L {
+		return nil, nil, fmt.Errorf("%w: ASAP length %d exceeds deadline %d", hap.ErrInfeasible, length, L)
+	}
+	alap, err := ALAP(g, times, L)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	n := g.N()
+	k := tab.K()
+	lo := append([]int(nil), asap...) // current earliest start per node
+	hi := append([]int(nil), alap...) // current latest start per node
+	fixed := make([]bool, n)
+
+	// distributions returns DG[t][s] for the given windows.
+	distributions := func(lo, hi []int) [][]float64 {
+		dg := make([][]float64, k)
+		for t := range dg {
+			dg[t] = make([]float64, L+2)
+		}
+		for v := 0; v < n; v++ {
+			w := hi[v] - lo[v] + 1
+			p := 1.0 / float64(w)
+			t := assign[v]
+			for start := lo[v]; start <= hi[v]; start++ {
+				for s := start; s < start+times[v] && s <= L; s++ {
+					dg[t][s] += p
+				}
+			}
+		}
+		return dg
+	}
+
+	// propagate tightens every window after lo/hi changed for one node,
+	// forward for earliest starts and backward for latest starts. It
+	// reports false if some window empties (the tentative fix is illegal —
+	// cannot happen for starts inside the current window, but guard).
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	propagate := func(lo, hi []int) bool {
+		for _, v := range order {
+			for _, u := range g.Pred(v) {
+				if e := lo[u] + times[u]; e > lo[v] {
+					lo[v] = e
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			for _, w := range g.Succ(v) {
+				if l := hi[w] - times[v]; l < hi[v] {
+					hi[v] = l
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if lo[v] > hi[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if !propagate(lo, hi) {
+		return nil, nil, fmt.Errorf("%w: empty mobility window", hap.ErrInfeasible)
+	}
+
+	// force charges the distribution change from oldDG to newDG.
+	force := func(oldDG, newDG [][]float64) float64 {
+		f := 0.0
+		for t := 0; t < k; t++ {
+			for s := 1; s <= L; s++ {
+				f += oldDG[t][s] * (newDG[t][s] - oldDG[t][s])
+			}
+		}
+		return f
+	}
+
+	for remaining := n; remaining > 0; remaining-- {
+		baseDG := distributions(lo, hi)
+		bestV, bestStart := -1, 0
+		bestForce := math.Inf(1)
+		for v := 0; v < n; v++ {
+			if fixed[v] {
+				continue
+			}
+			for start := lo[v]; start <= hi[v]; start++ {
+				lo2 := append([]int(nil), lo...)
+				hi2 := append([]int(nil), hi...)
+				lo2[v], hi2[v] = start, start
+				if !propagate(lo2, hi2) {
+					continue
+				}
+				f := force(baseDG, distributions(lo2, hi2))
+				if f < bestForce || (f == bestForce && (bestV < 0 || v < bestV)) {
+					bestForce, bestV, bestStart = f, v, start
+				}
+			}
+		}
+		if bestV < 0 {
+			return nil, nil, fmt.Errorf("sched: internal error: no feasible fix found")
+		}
+		lo[bestV], hi[bestV] = bestStart, bestStart
+		fixed[bestV] = true
+		if !propagate(lo, hi) {
+			return nil, nil, fmt.Errorf("sched: internal error: committed fix emptied a window")
+		}
+	}
+
+	s := &Schedule{
+		Assign:   assign.Clone(),
+		Start:    lo,
+		Times:    times,
+		Instance: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		if f := lo[v] + times[v] - 1; f > s.Length {
+			s.Length = f
+		}
+	}
+	cfg := packInstances(g, s, k)
+	if err := ValidateSchedule(g, s, cfg, L); err != nil {
+		return nil, nil, fmt.Errorf("sched: internal error: %w", err)
+	}
+	return s, cfg, nil
+}
+
+// packInstances assigns concrete FU instances to the scheduled nodes with
+// the left-edge algorithm (per type, sweep by start step and reuse the
+// first instance free at that step) and returns the per-type instance
+// counts.
+func packInstances(g *dfg.Graph, s *Schedule, k int) Config {
+	cfg := make(Config, k)
+	type item struct{ v, start, finish int }
+	byType := make([][]item, k)
+	for v := 0; v < g.N(); v++ {
+		t := s.Assign[v]
+		byType[t] = append(byType[t], item{v: v, start: s.Start[v], finish: s.Finish(dfg.NodeID(v))})
+	}
+	for t := 0; t < k; t++ {
+		items := byType[t]
+		for i := 1; i < len(items); i++ { // insertion sort by start
+			for j := i; j > 0 && (items[j-1].start > items[j].start ||
+				(items[j-1].start == items[j].start && items[j-1].v > items[j].v)); j-- {
+				items[j-1], items[j] = items[j], items[j-1]
+			}
+		}
+		var instBusy []int // per instance: last occupied step
+		for _, it := range items {
+			placed := false
+			for i := range instBusy {
+				if instBusy[i] < it.start {
+					instBusy[i] = it.finish
+					s.Instance[it.v] = i
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				instBusy = append(instBusy, it.finish)
+				s.Instance[it.v] = len(instBusy) - 1
+			}
+		}
+		cfg[t] = len(instBusy)
+	}
+	return cfg
+}

@@ -1,0 +1,248 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+func TestForceDirectedBalancesIndependentOps(t *testing.T) {
+	// Four independent unit-time ops, deadline 4: FDS must spread them
+	// over the four steps and end up with a single FU.
+	g := dfg.New()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		g.MustAddNode(name, "")
+	}
+	tab := fu.UniformTable(4, []int{1}, []int64{1})
+	s, cfg, err := ForceDirected(g, tab, make(hap.Assignment, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg[0] != 1 {
+		t.Fatalf("cfg = %v, want a single FU", cfg)
+	}
+	if s.Length > 4 {
+		t.Fatalf("length %d > 4", s.Length)
+	}
+}
+
+func TestForceDirectedDiamondTight(t *testing.T) {
+	g, tab := diamond()
+	s, cfg, err := ForceDirected(g, tab, allZero(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deadline 3 forces B and C in parallel.
+	if cfg[0] != 2 {
+		t.Fatalf("cfg = %v, want 2", cfg)
+	}
+	if err := ValidateSchedule(g, s, cfg, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForceDirectedDiamondLoose(t *testing.T) {
+	g, tab := diamond()
+	_, cfg, err := ForceDirected(g, tab, allZero(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg[0] != 1 {
+		t.Fatalf("cfg = %v, want 1 (slack allows serializing B and C)", cfg)
+	}
+}
+
+func TestForceDirectedInfeasible(t *testing.T) {
+	g, tab := diamond()
+	if _, _, err := ForceDirected(g, tab, allZero(4), 2); !errors.Is(err, hap.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestForceDirectedProperties: valid schedules within the deadline, config
+// at least the lower bound, on random inputs.
+func TestForceDirectedProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 2)
+		a := make(hap.Assignment, n)
+		for v := range a {
+			a[v] = fu.TypeID(rng.Intn(2))
+		}
+		length, _, err := g.LongestPath(hap.Times(tab, a))
+		if err != nil {
+			return false
+		}
+		L := length + rng.Intn(4)
+		s, cfg, err := ForceDirected(g, tab, a, L)
+		if err != nil {
+			return false
+		}
+		if s.Length > L || ValidateSchedule(g, s, cfg, L) != nil {
+			return false
+		}
+		lb, err := LowerBoundR(g, tab, a, L)
+		if err != nil {
+			return false
+		}
+		return cfg.Covers(lb)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForceDirectedVsMinR compares the two phase-2 algorithms in aggregate:
+// neither dominates in theory, but across many random instances their
+// total FU counts must stay in the same ballpark (within 25% of each
+// other), or one of them has regressed.
+func TestForceDirectedVsMinR(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var fdsTotal, minrTotal int
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(10)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 2)
+		a := make(hap.Assignment, n)
+		for v := range a {
+			a[v] = fu.TypeID(rng.Intn(2))
+		}
+		length, _, err := g.LongestPath(hap.Times(tab, a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		L := length + rng.Intn(3)
+		_, cfgF, err := ForceDirected(g, tab, a, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cfgM, err := MinRSchedule(g, tab, a, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fdsTotal += cfgF.Total()
+		minrTotal += cfgM.Total()
+	}
+	t.Logf("total FUs: force-directed=%d min_r=%d", fdsTotal, minrTotal)
+	if float64(fdsTotal) > 1.25*float64(minrTotal) || float64(minrTotal) > 1.25*float64(fdsTotal) {
+		t.Fatalf("phase-2 algorithms diverged: fds=%d minr=%d", fdsTotal, minrTotal)
+	}
+}
+
+func TestRegisterDemandChain(t *testing.T) {
+	// a -> b -> c, unit times, schedule 1,2,3, II = 3: each value lives
+	// exactly one step, never overlapping -> 1 register.
+	g := dfg.Chain(3)
+	tab := fu.UniformTable(3, []int{1}, []int64{1})
+	s, _, err := MinRSchedule(g, tab, make(hap.Assignment, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := RegisterDemand(g, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 1 {
+		t.Fatalf("registers = %d, want 1", regs)
+	}
+}
+
+func TestRegisterDemandFanOut(t *testing.T) {
+	// a feeds both b and c; b runs right after a, c two steps later. a's
+	// value lives from a's finish to c's start -> overlaps b's input.
+	g := dfg.New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	c := g.MustAddNode("c", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, c, 0)
+	tab := fu.UniformTable(3, []int{1}, []int64{1})
+	s, _, err := MinRSchedule(g, tab, make(hap.Assignment, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a@1, b@2, c@3: a's value live steps 2..3, b's live step 3: at step 3
+	// both are live -> 2 registers.
+	regs, err := RegisterDemand(g, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 2 {
+		t.Fatalf("registers = %d, want 2", regs)
+	}
+}
+
+func TestRegisterDemandInterIteration(t *testing.T) {
+	// One node whose value is consumed two iterations later: with II = 2
+	// and lifetime spanning 2·II steps, two copies of the value are live
+	// at once.
+	g := dfg.New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	g.MustAddEdge(a, b, 2)
+	s := &Schedule{
+		Assign:   make(hap.Assignment, 2),
+		Start:    []int{1, 1},
+		Times:    []int{1, 1},
+		Instance: []int{0, 1},
+		Length:   1,
+	}
+	regs, err := RegisterDemand(g, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value born at step 2, needed at start(b) + 2*2 = 5: lifetime 4 = 2·II
+	// -> 2 registers.
+	if regs != 2 {
+		t.Fatalf("registers = %d, want 2", regs)
+	}
+}
+
+func TestRegisterDemandValidation(t *testing.T) {
+	g := dfg.Chain(2)
+	s := &Schedule{Assign: make(hap.Assignment, 2), Start: []int{1, 2}, Times: []int{1, 1}, Instance: []int{0, 0}, Length: 2}
+	if _, err := RegisterDemand(g, s, 0); err == nil {
+		t.Error("II 0 accepted")
+	}
+	bad := &Schedule{Start: []int{1}}
+	if _, err := RegisterDemand(g, bad, 1); err == nil {
+		t.Error("short schedule accepted")
+	}
+}
+
+// TestRegisterDemandShrinksWithLargerII: stretching the initiation
+// interval (less overlap) never increases steady-state register pressure.
+func TestRegisterDemandShrinksWithLargerII(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 2)
+		a := make(hap.Assignment, n)
+		for v := range a {
+			a[v] = fu.TypeID(rng.Intn(2))
+		}
+		length, _, err := g.LongestPath(hap.Times(tab, a))
+		if err != nil {
+			return false
+		}
+		s, _, err := MinRSchedule(g, tab, a, length+2)
+		if err != nil {
+			return false
+		}
+		r1, err1 := RegisterDemand(g, s, s.Length)
+		r2, err2 := RegisterDemand(g, s, s.Length+3)
+		return err1 == nil && err2 == nil && r2 <= r1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"fmt"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+// ListSchedule schedules the DAG portion of g under a FIXED configuration
+// (the classic resource-constrained list scheduling the paper's §1 calls
+// NP-complete): at each control step, ready nodes are packed into idle FU
+// instances in priority order, and nodes that do not fit wait. Priority is
+// the longest path from the node to any sink (critical-path priority),
+// ties broken by node ID.
+//
+// Unlike MinRSchedule, the configuration never grows; the schedule length
+// is whatever the resources allow. An error is returned when some node's FU
+// type has zero instances in cfg.
+//
+// ListSchedule is the building block of rotation scheduling
+// (internal/rotate) and of the configuration-search ablation.
+func ListSchedule(g *dfg.Graph, tab *fu.Table, assign hap.Assignment, cfg Config) (*Schedule, error) {
+	if len(assign) != g.N() {
+		return nil, fmt.Errorf("sched: assignment covers %d nodes, graph has %d", len(assign), g.N())
+	}
+	if len(cfg) != tab.K() {
+		return nil, fmt.Errorf("sched: config covers %d types, table has %d", len(cfg), tab.K())
+	}
+	times := hap.Times(tab, assign)
+	for v := 0; v < g.N(); v++ {
+		if cfg[assign[v]] < 1 {
+			return nil, fmt.Errorf("sched: node %s needs type %d but config %v has none",
+				g.Node(dfg.NodeID(v)).Name, assign[v], cfg)
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// Critical-path priority: longest execution-time path from v to a sink.
+	prio := make([]int, g.N())
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		prio[v] = times[v]
+		for _, c := range g.Succ(v) {
+			if p := prio[c] + times[v]; p > prio[v] {
+				prio[v] = p
+			}
+		}
+	}
+
+	n := g.N()
+	busyUntil := make([][]int, len(cfg))
+	for t := range cfg {
+		busyUntil[t] = make([]int, cfg[t])
+	}
+	s := &Schedule{
+		Assign:   assign.Clone(),
+		Start:    make([]int, n),
+		Times:    times,
+		Instance: make([]int, n),
+	}
+	remaining := n
+	// A generous horizon: serializing everything on one instance per type.
+	horizon := 1
+	for v := 0; v < n; v++ {
+		horizon += times[v]
+	}
+	for step := 1; step <= horizon && remaining > 0; step++ {
+		var ready []int
+		for v := 0; v < n; v++ {
+			if s.Start[v] != 0 {
+				continue
+			}
+			ok := true
+			for _, u := range g.Pred(dfg.NodeID(v)) {
+				if s.Start[u] == 0 || s.Start[u]+times[u]-1 >= step {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, v)
+			}
+		}
+		// Highest priority first.
+		for i := 1; i < len(ready); i++ {
+			for j := i; j > 0; j-- {
+				a, b := ready[j-1], ready[j]
+				if prio[a] > prio[b] || (prio[a] == prio[b] && a < b) {
+					break
+				}
+				ready[j-1], ready[j] = b, a
+			}
+		}
+		for _, v := range ready {
+			t := assign[v]
+			for i, busy := range busyUntil[t] {
+				if busy < step {
+					busyUntil[t][i] = step + times[v] - 1
+					s.Start[v] = step
+					s.Instance[v] = i
+					if f := step + times[v] - 1; f > s.Length {
+						s.Length = f
+					}
+					remaining--
+					break
+				}
+			}
+		}
+	}
+	if remaining > 0 {
+		// Unreachable: the horizon admits full serialization.
+		return nil, fmt.Errorf("sched: internal error: %d nodes unscheduled within horizon", remaining)
+	}
+	if err := ValidateSchedule(g, s, cfg, s.Length); err != nil {
+		return nil, fmt.Errorf("sched: internal error: %w", err)
+	}
+	return s, nil
+}
+
+// MinConfigSearch finds a configuration with the smallest total FU count
+// whose list schedule meets deadline L, by growing one instance at a time:
+// starting from one instance of every used type, it repeatedly adds the
+// single instance that shrinks the list-schedule length the most, until the
+// deadline holds or adding any instance stops helping. It exists as an
+// ablation comparator for MinRSchedule (which interleaves the decision with
+// scheduling instead of wrapping the scheduler in a search).
+func MinConfigSearch(g *dfg.Graph, tab *fu.Table, assign hap.Assignment, L int) (*Schedule, Config, error) {
+	times := hap.Times(tab, assign)
+	_, asapLen, err := ASAP(g, times)
+	if err != nil {
+		return nil, nil, err
+	}
+	if asapLen > L {
+		return nil, nil, fmt.Errorf("%w: critical path %d exceeds deadline %d", hap.ErrInfeasible, asapLen, L)
+	}
+	// counts[t] instances can never be exceeded usefully: one FU per node
+	// of the type realizes the resource-free ASAP schedule.
+	counts := make(Config, tab.K())
+	for v := 0; v < g.N(); v++ {
+		counts[assign[v]]++
+	}
+	cfg := make(Config, tab.K())
+	for t := range cfg {
+		if counts[t] > 0 {
+			cfg[t] = 1
+		}
+	}
+	s, err := ListSchedule(g, tab, assign, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Add one instance at a time, taking the single addition with the
+	// shortest resulting schedule. Progress is not guaranteed per step
+	// (sometimes only a pair of additions helps), but the per-type caps
+	// bound the loop, and at the caps the schedule equals ASAP <= L.
+	for s.Length > L {
+		bestT := -1
+		var bestS *Schedule
+		for t := 0; t < tab.K(); t++ {
+			if cfg[t] >= counts[t] {
+				continue
+			}
+			trial := cfg.Clone()
+			trial[t]++
+			ts, err := ListSchedule(g, tab, assign, trial)
+			if err != nil {
+				return nil, nil, err
+			}
+			if bestS == nil || ts.Length < bestS.Length {
+				bestT, bestS = t, ts
+			}
+		}
+		if bestT < 0 {
+			// All caps reached yet still over L — contradicts asapLen <= L.
+			return nil, nil, fmt.Errorf("sched: internal error: config search stuck at length %d > %d", s.Length, L)
+		}
+		cfg[bestT]++
+		s = bestS
+	}
+	return s, cfg, nil
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"hetsynth/internal/dfg"
+)
+
+// MuxDemand estimates the interconnect complexity of a bound schedule: for
+// every FU instance it counts how many distinct sources (other FU
+// instances or external inputs) feed it across all the operations it
+// executes — the width of the input multiplexer the datapath would need.
+// The returned slice is indexed like the configuration (per type, per
+// instance), flattened type-major; the int result is the widest mux.
+//
+// Interconnect cost is the classic hidden price of aggressive FU sharing:
+// Min_R_Scheduling and force-directed scheduling can produce equal FU
+// counts with very different mux widths, which the phase-2 ablation
+// surfaces.
+func MuxDemand(g *dfg.Graph, s *Schedule, cfg Config) (perInstance []int, widest int) {
+	offset := make([]int, len(cfg))
+	total := 0
+	for t := range cfg {
+		offset[t] = total
+		total += cfg[t]
+	}
+	sources := make([]map[int]bool, total)
+	for i := range sources {
+		sources[i] = make(map[int]bool)
+	}
+	const external = -1
+	for v := 0; v < g.N(); v++ {
+		sink := offset[s.Assign[v]] + s.Instance[v]
+		preds := g.PredAll(dfg.NodeID(v))
+		if len(preds) == 0 {
+			sources[sink][external] = true
+			continue
+		}
+		for _, u := range preds {
+			src := offset[s.Assign[u]] + s.Instance[u]
+			sources[sink][src] = true
+		}
+	}
+	perInstance = make([]int, total)
+	for i, set := range sources {
+		perInstance[i] = len(set)
+		if len(set) > widest {
+			widest = len(set)
+		}
+	}
+	return perInstance, widest
+}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"testing"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+func TestMuxDemandSharedFU(t *testing.T) {
+	// Chain a -> b -> c on one FU: the instance feeds itself (b and c read
+	// the previous op's result from the same instance) plus the external
+	// input of a: 2 distinct sources.
+	g := dfg.Chain(3)
+	tab := fu.UniformTable(3, []int{1}, []int64{1})
+	s, cfg, err := MinRSchedule(g, tab, make(hap.Assignment, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, widest := MuxDemand(g, s, cfg)
+	if len(per) != cfg.Total() {
+		t.Fatalf("per-instance slice covers %d, config has %d", len(per), cfg.Total())
+	}
+	if widest != 2 {
+		t.Fatalf("widest mux = %d, want 2 (self + external)", widest)
+	}
+}
+
+func TestMuxDemandSeparateFUs(t *testing.T) {
+	// Diamond on ample resources at the tight deadline: B and C run on
+	// separate instances; D reads from both -> mux width 2 at D's unit.
+	g, tab := diamond()
+	s, cfg, err := MinRSchedule(g, tab, allZero(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, widest := MuxDemand(g, s, cfg)
+	if widest < 2 {
+		t.Fatalf("widest mux = %d, want >= 2", widest)
+	}
+}
+
+func TestMuxDemandCountsExternalOnce(t *testing.T) {
+	// Two independent input ops on one FU: the instance sees only the
+	// external source, width 1.
+	g := dfg.New()
+	g.MustAddNode("a", "")
+	g.MustAddNode("b", "")
+	tab := fu.UniformTable(2, []int{1}, []int64{1})
+	s, cfg, err := MinRSchedule(g, tab, make(hap.Assignment, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, widest := MuxDemand(g, s, cfg)
+	if widest != 1 || per[0] != 1 {
+		t.Fatalf("mux = %v widest %d, want all 1", per, widest)
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"fmt"
+
+	"hetsynth/internal/dfg"
+)
+
+// RegisterDemand computes how many registers the datapath needs to hold
+// intermediate values when the schedule is repeated with initiation
+// interval ii — the register-minimization metric of Ito and Parhi
+// ("Register minimization in cost-optimal synthesis of DSP architectures",
+// reference [12] of the paper).
+//
+// Every node with at least one consumer produces one value per iteration.
+// The value born when its producer finishes stays live until the last
+// consumer has started; a consumer d iterations later (an edge with d
+// delays) extends the lifetime by d·ii steps. Lifetimes longer than ii
+// overlap with the same value from later iterations, so a value of length
+// len occupies ⌈len/ii⌉ registers in steady state plus its fractional
+// phase; the demand is the maximum, over the ii phases of the steady-state
+// pattern, of the number of live values.
+func RegisterDemand(g *dfg.Graph, s *Schedule, ii int) (int, error) {
+	if ii < 1 {
+		return 0, fmt.Errorf("sched: initiation interval %d < 1", ii)
+	}
+	n := g.N()
+	if len(s.Start) != n || len(s.Times) != n {
+		return 0, fmt.Errorf("sched: schedule does not cover the graph")
+	}
+	// live[phase] counts values alive during phase p in steady state.
+	live := make([]int, ii)
+	for v := 0; v < n; v++ {
+		vid := dfg.NodeID(v)
+		birth := s.Finish(vid) + 1 // first step the value is available
+		death := -1                // last step some consumer still needs it
+		for _, e := range g.Edges() {
+			if e.From != vid {
+				continue
+			}
+			// The consumer of iteration i+d starts at Start(to) + d·ii
+			// relative to this iteration's origin; the value must persist
+			// up to (and excluding) that start — the consumer reads it as
+			// it begins.
+			need := s.Start[e.To] + e.Delays*ii
+			if need > death {
+				death = need
+			}
+		}
+		if death < birth {
+			continue // no consumer (a primary output held elsewhere)
+		}
+		// The value is live during steps [birth, death]; fold onto phases.
+		length := death - birth + 1
+		if length >= ii {
+			full := length / ii
+			for p := 0; p < ii; p++ {
+				live[p] += full
+			}
+			length -= full * ii
+		}
+		for off := 0; off < length; off++ {
+			live[(birth+off)%ii]++
+		}
+	}
+	max := 0
+	for _, c := range live {
+		if c > max {
+			max = c
+		}
+	}
+	return max, nil
+}

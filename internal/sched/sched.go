@@ -1,0 +1,420 @@
+// Package sched implements the second phase of the paper: minimum-resource
+// scheduling and configuration (§6).
+//
+// Given a DFG whose nodes already carry an FU-type assignment (phase one,
+// package hap), the scheduler produces a static schedule that meets the
+// timing constraint and a configuration — how many FU instances of each type
+// the architecture needs — that is as small as the revised list scheduling
+// can make it:
+//
+//   - Lower_Bound_R derives a per-type lower bound from the occupancy of the
+//     ASAP and ALAP schedules (maximum of window averages);
+//   - Min_R_Scheduling starts from that bound and walks the control steps,
+//     adding an FU instance only when a node reaches its ALAP deadline with
+//     no instance free, and otherwise packing ready nodes into idle
+//     instances without growing the configuration.
+//
+// Control steps are 1-based, matching the paper's figures. A node with
+// execution time t scheduled at step s occupies its FU instance during
+// steps s .. s+t−1.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+// Config counts the FU instances of each type in a synthesized
+// architecture; index by fu.TypeID.
+type Config []int
+
+// Total is the overall number of FU instances.
+func (c Config) Total() int {
+	n := 0
+	for _, x := range c {
+		n += x
+	}
+	return n
+}
+
+// String renders the configuration the way the paper's tables do: counts
+// joined by dashes, e.g. "2-1-3" for two P1s, one P2 and three P3s.
+func (c Config) String() string {
+	parts := make([]string, len(c))
+	for i, x := range c {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, "-")
+}
+
+// Clone returns a copy.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Covers reports whether c has at least as many instances of every type
+// as other.
+func (c Config) Covers(other Config) bool {
+	if len(c) != len(other) {
+		return false
+	}
+	for i := range c {
+		if c[i] < other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Schedule is a static schedule of one iteration of the DFG.
+type Schedule struct {
+	Assign   hap.Assignment // FU type per node
+	Start    []int          // control step each node starts at (1-based)
+	Times    []int          // execution time per node under Assign
+	Instance []int          // FU instance (within its type) each node runs on
+	Length   int            // last occupied control step
+}
+
+// Finish returns the last control step node v occupies.
+func (s *Schedule) Finish(v dfg.NodeID) int {
+	return s.Start[v] + s.Times[v] - 1
+}
+
+// ASAP computes the as-soon-as-possible start steps for the DAG portion of
+// g when node v takes times[v] steps, plus the resulting schedule length.
+func ASAP(g *dfg.Graph, times []int) (start []int, length int, err error) {
+	if err := checkTimes(g, times); err != nil {
+		return nil, 0, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	start = make([]int, g.N())
+	for _, v := range order {
+		s := 1
+		for _, u := range g.Pred(v) {
+			if f := start[u] + times[u]; f > s {
+				s = f
+			}
+		}
+		start[v] = s
+		if f := s + times[v] - 1; f > length {
+			length = f
+		}
+	}
+	return start, length, nil
+}
+
+// ALAP computes the as-late-as-possible start steps under deadline L. It
+// fails with hap.ErrInfeasible when even ASAP cannot meet L.
+func ALAP(g *dfg.Graph, times []int, L int) (start []int, err error) {
+	if err := checkTimes(g, times); err != nil {
+		return nil, err
+	}
+	order, err := g.ReverseTopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	start = make([]int, g.N())
+	for _, v := range order {
+		s := L - times[v] + 1
+		for _, u := range g.Succ(v) {
+			if cap := start[u] - times[v]; cap < s {
+				s = cap
+			}
+		}
+		if s < 1 {
+			return nil, fmt.Errorf("%w: node %s cannot finish by step %d", hap.ErrInfeasible, g.Node(v).Name, L)
+		}
+		start[v] = s
+	}
+	return start, nil
+}
+
+func checkTimes(g *dfg.Graph, times []int) error {
+	if len(times) != g.N() {
+		return fmt.Errorf("sched: %d times for %d nodes", len(times), g.N())
+	}
+	for v, t := range times {
+		if t < 1 {
+			return fmt.Errorf("sched: node %d has execution time %d (< 1)", v, t)
+		}
+	}
+	return nil
+}
+
+// occupancy builds, for each FU type, the number of type-k nodes executing
+// in each control step 1..L of the given start-step vector.
+func occupancy(g *dfg.Graph, times []int, assign hap.Assignment, start []int, k, L int) [][]int {
+	occ := make([][]int, k)
+	for i := range occ {
+		occ[i] = make([]int, L+1) // index 1..L
+	}
+	for v := 0; v < g.N(); v++ {
+		t := assign[v]
+		for s := start[v]; s < start[v]+times[v] && s <= L; s++ {
+			occ[t][s]++
+		}
+	}
+	return occ
+}
+
+// LowerBoundR implements Algorithm Lower_Bound_R (§6, Figure 13): a lower
+// bound on the number of FU instances of each type needed by any schedule
+// meeting deadline L.
+//
+// In every feasible schedule a node starts no earlier than its ASAP step and
+// no later than its ALAP step. Hence the ASAP occupancy cells of type k at
+// steps >= j are work forced into the window [j, L] (delaying a node only
+// pushes more of it past j), giving the bound ceil(sum/(L−j+1)); dually the
+// ALAP occupancy cells at steps <= j are forced into [1, j]. The bound per
+// type is the maximum over both schedules and all windows — the paper's
+// "maximum value selected from the average resource needed in each time
+// period" — and at least 1 for any type that is used at all.
+func LowerBoundR(g *dfg.Graph, tab *fu.Table, assign hap.Assignment, L int) (Config, error) {
+	times := hap.Times(tab, assign)
+	asap, length, err := ASAP(g, times)
+	if err != nil {
+		return nil, err
+	}
+	if length > L {
+		return nil, fmt.Errorf("%w: ASAP length %d exceeds deadline %d", hap.ErrInfeasible, length, L)
+	}
+	alap, err := ALAP(g, times, L)
+	if err != nil {
+		return nil, err
+	}
+	k := tab.K()
+	asapOcc := occupancy(g, times, assign, asap, k, L)
+	alapOcc := occupancy(g, times, assign, alap, k, L)
+
+	lb := make(Config, k)
+	for t := 0; t < k; t++ {
+		// Suffix windows of the ASAP occupancy.
+		suffix := 0
+		for j := L; j >= 1; j-- {
+			suffix += asapOcc[t][j]
+			if b := ceilDiv(suffix, L-j+1); b > lb[t] {
+				lb[t] = b
+			}
+		}
+		// Prefix windows of the ALAP occupancy.
+		prefix := 0
+		for j := 1; j <= L; j++ {
+			prefix += alapOcc[t][j]
+			if b := ceilDiv(prefix, j); b > lb[t] {
+				lb[t] = b
+			}
+		}
+	}
+	return lb, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// MinRSchedule implements Algorithm Min_R_Scheduling (§6, Figure 14): a
+// revised list scheduling that starts from the Lower_Bound_R configuration
+// and walks control steps 1..L. At each step, every ready node whose ALAP
+// step equals the current step is scheduled immediately — growing the
+// configuration when no instance of its type is idle — and the remaining
+// ready nodes are packed into idle instances (most urgent first) without
+// adding resource.
+//
+// The returned schedule always meets the deadline: a node is force-started
+// no later than its ALAP step, and by induction its predecessors have
+// finished by then.
+func MinRSchedule(g *dfg.Graph, tab *fu.Table, assign hap.Assignment, L int) (*Schedule, Config, error) {
+	cfg, err := LowerBoundR(g, tab, assign, L)
+	if err != nil {
+		return nil, nil, err
+	}
+	times := hap.Times(tab, assign)
+	alap, err := ALAP(g, times, L)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	n := g.N()
+	k := tab.K()
+	// busyUntil[t][i]: last step instance i of type t is occupied.
+	busyUntil := make([][]int, k)
+	for t := 0; t < k; t++ {
+		busyUntil[t] = make([]int, cfg[t])
+	}
+	sched := &Schedule{
+		Assign:   assign.Clone(),
+		Start:    make([]int, n),
+		Times:    times,
+		Instance: make([]int, n),
+	}
+	for v := range sched.Start {
+		sched.Start[v] = 0 // unscheduled
+	}
+	remainingPreds := make([]int, n)
+	for v := 0; v < n; v++ {
+		remainingPreds[v] = g.InDegree(dfg.NodeID(v))
+	}
+	scheduled := 0
+
+	freeInstance := func(t fu.TypeID, step int) int {
+		for i, busy := range busyUntil[t] {
+			if busy < step {
+				return i
+			}
+		}
+		return -1
+	}
+	place := func(v int, step int, grow bool) bool {
+		t := assign[v]
+		i := freeInstance(t, step)
+		if i < 0 {
+			if !grow {
+				return false
+			}
+			busyUntil[t] = append(busyUntil[t], 0)
+			cfg[t]++
+			i = len(busyUntil[t]) - 1
+		}
+		busyUntil[t][i] = step + times[v] - 1
+		sched.Start[v] = step
+		sched.Instance[v] = i
+		if f := step + times[v] - 1; f > sched.Length {
+			sched.Length = f
+		}
+		scheduled++
+		for _, c := range g.Succ(dfg.NodeID(v)) {
+			remainingPreds[c]--
+		}
+		return true
+	}
+
+	for step := 1; step <= L && scheduled < n; step++ {
+		// Ready: unscheduled, and all predecessors finished before step.
+		var ready []int
+		for v := 0; v < n; v++ {
+			if sched.Start[v] != 0 || remainingPreds[v] > 0 {
+				continue
+			}
+			ok := true
+			for _, u := range g.Pred(dfg.NodeID(v)) {
+				if sched.Start[u]+times[u]-1 >= step {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, v)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			if alap[ready[i]] != alap[ready[j]] {
+				return alap[ready[i]] < alap[ready[j]]
+			}
+			return ready[i] < ready[j]
+		})
+		for _, v := range ready {
+			if alap[v] == step {
+				place(v, step, true) // deadline: add resource if needed
+			}
+		}
+		for _, v := range ready {
+			if sched.Start[v] == 0 && alap[v] > step {
+				place(v, step, false) // opportunistic: no new resource
+			}
+		}
+	}
+	if scheduled < n {
+		// Unreachable when ALAP succeeded; kept as a safety net.
+		return nil, nil, errors.New("sched: internal error: nodes left unscheduled")
+	}
+	if err := ValidateSchedule(g, sched, cfg, L); err != nil {
+		return nil, nil, fmt.Errorf("sched: internal error: %w", err)
+	}
+	return sched, cfg, nil
+}
+
+// ValidateSchedule checks that a schedule is well-formed: every node starts
+// at step >= 1 and finishes by L, precedences hold (a node starts strictly
+// after all its DAG-portion predecessors finish), and at no control step
+// does any FU type run more nodes than the configuration provides.
+func ValidateSchedule(g *dfg.Graph, s *Schedule, cfg Config, L int) error {
+	n := g.N()
+	if len(s.Start) != n || len(s.Times) != n || len(s.Assign) != n {
+		return errors.New("sched: schedule arrays do not cover the graph")
+	}
+	for v := 0; v < n; v++ {
+		if s.Start[v] < 1 {
+			return fmt.Errorf("sched: node %s unscheduled", g.Node(dfg.NodeID(v)).Name)
+		}
+		if s.Finish(dfg.NodeID(v)) > L {
+			return fmt.Errorf("sched: node %s finishes at %d > %d", g.Node(dfg.NodeID(v)).Name, s.Finish(dfg.NodeID(v)), L)
+		}
+		for _, u := range g.Pred(dfg.NodeID(v)) {
+			if s.Start[v] <= s.Finish(u) {
+				return fmt.Errorf("sched: %s starts at %d before %s finishes at %d",
+					g.Node(dfg.NodeID(v)).Name, s.Start[v], g.Node(u).Name, s.Finish(u))
+			}
+		}
+	}
+	occ := occupancy(g, s.Times, s.Assign, s.Start, len(cfg), L)
+	for t := range cfg {
+		for step := 1; step <= L; step++ {
+			if occ[t][step] > cfg[t] {
+				return fmt.Errorf("sched: step %d uses %d instances of type %d, config has %d",
+					step, occ[t][step], t, cfg[t])
+			}
+		}
+	}
+	return nil
+}
+
+// Gantt renders the schedule as a per-instance text chart, one row per FU
+// instance, matching the layout of Figure 3 in the paper. Columns are
+// control steps 1..Length; a node's name fills its occupied steps.
+func Gantt(g *dfg.Graph, lib *fu.Library, s *Schedule, cfg Config) string {
+	width := 1
+	for v := 0; v < g.N(); v++ {
+		if l := len(g.Node(dfg.NodeID(v)).Name); l > width {
+			width = l
+		}
+	}
+	cell := func(txt string) string {
+		for len(txt) < width {
+			txt += " "
+		}
+		return txt
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "step")
+	for step := 1; step <= s.Length; step++ {
+		fmt.Fprintf(&b, "|%s", cell(fmt.Sprintf("%d", step)))
+	}
+	b.WriteString("|\n")
+	for t := range cfg {
+		for i := 0; i < cfg[t]; i++ {
+			fmt.Fprintf(&b, "%-8s", fmt.Sprintf("%s[%d]", lib.Name(fu.TypeID(t)), i))
+			for step := 1; step <= s.Length; step++ {
+				txt := ""
+				for v := 0; v < g.N(); v++ {
+					if s.Assign[v] == fu.TypeID(t) && s.Instance[v] == i &&
+						s.Start[v] <= step && step <= s.Finish(dfg.NodeID(v)) {
+						txt = g.Node(dfg.NodeID(v)).Name
+						break
+					}
+				}
+				fmt.Fprintf(&b, "|%s", cell(txt))
+			}
+			b.WriteString("|\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,339 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+// diamond builds A -> {B, C} -> D with unit times under type 0 and a
+// two-type table; assignments in tests pick concrete durations.
+func diamond() (*dfg.Graph, *fu.Table) {
+	g := dfg.New()
+	a := g.MustAddNode("A", "")
+	b := g.MustAddNode("B", "")
+	c := g.MustAddNode("C", "")
+	d := g.MustAddNode("D", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, d, 0)
+	g.MustAddEdge(c, d, 0)
+	t := fu.NewTable(4, 2)
+	for v := 0; v < 4; v++ {
+		t.MustSet(v, []int{1, 2}, []int64{4, 1})
+	}
+	return g, t
+}
+
+func allZero(n int) hap.Assignment {
+	return make(hap.Assignment, n)
+}
+
+func TestASAPOnDiamond(t *testing.T) {
+	g, tab := diamond()
+	start, length, err := ASAP(g, hap.Times(tab, allZero(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 2, 3}
+	for v := range want {
+		if start[v] != want[v] {
+			t.Fatalf("ASAP start = %v, want %v", start, want)
+		}
+	}
+	if length != 3 {
+		t.Fatalf("length = %d, want 3", length)
+	}
+}
+
+func TestASAPMultiCycle(t *testing.T) {
+	g, tab := diamond()
+	a := hap.Assignment{1, 0, 1, 0} // A and C take 2 steps
+	start, length, err := ASAP(g, hap.Times(tab, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: 1-2, B: 3, C: 3-4, D: 5.
+	want := []int{1, 3, 3, 5}
+	for v := range want {
+		if start[v] != want[v] {
+			t.Fatalf("start = %v, want %v", start, want)
+		}
+	}
+	if length != 5 {
+		t.Fatalf("length = %d, want 5", length)
+	}
+}
+
+func TestALAPOnDiamond(t *testing.T) {
+	g, tab := diamond()
+	times := hap.Times(tab, allZero(4))
+	start, err := ALAP(g, times, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D must finish by 5 -> starts 5; B, C by 4; A by 3.
+	want := []int{3, 4, 4, 5}
+	for v := range want {
+		if start[v] != want[v] {
+			t.Fatalf("ALAP start = %v, want %v", start, want)
+		}
+	}
+	if _, err := ALAP(g, times, 2); !errors.Is(err, hap.ErrInfeasible) {
+		t.Fatalf("deadline 2 should be infeasible, got %v", err)
+	}
+}
+
+func TestASAPALAPInputValidation(t *testing.T) {
+	g, _ := diamond()
+	if _, _, err := ASAP(g, []int{1, 1}); err == nil {
+		t.Error("short times accepted by ASAP")
+	}
+	if _, err := ALAP(g, []int{1, 1, 0, 1}, 5); err == nil {
+		t.Error("zero time accepted by ALAP")
+	}
+	cyc := dfg.New()
+	a := cyc.MustAddNode("a", "")
+	b := cyc.MustAddNode("b", "")
+	cyc.MustAddEdge(a, b, 0)
+	cyc.MustAddEdge(b, a, 0)
+	if _, _, err := ASAP(cyc, []int{1, 1}); err == nil {
+		t.Error("cyclic graph accepted by ASAP")
+	}
+}
+
+func TestLowerBoundRSerialChain(t *testing.T) {
+	// A chain never needs more than one FU of each used type.
+	g := dfg.Chain(5)
+	tab := fu.UniformTable(5, []int{1, 2}, []int64{4, 1})
+	lb, err := LowerBoundR(g, tab, allZero(5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb[0] != 1 || lb[1] != 0 {
+		t.Fatalf("lb = %v, want [1 0]", lb)
+	}
+}
+
+func TestLowerBoundRForcedParallelism(t *testing.T) {
+	// Eight independent unit-time nodes within deadline 2 need >= 4 FUs.
+	g := dfg.New()
+	for i := 0; i < 8; i++ {
+		g.MustAddNode(string(rune('a'+i)), "")
+	}
+	tab := fu.UniformTable(8, []int{1}, []int64{1})
+	lb, err := LowerBoundR(g, tab, allZero(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb[0] != 4 {
+		t.Fatalf("lb = %v, want [4]", lb)
+	}
+	// With deadline 8 the bound drops to 1.
+	lb, err = LowerBoundR(g, tab, allZero(8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb[0] != 1 {
+		t.Fatalf("loose lb = %v, want [1]", lb)
+	}
+}
+
+func TestLowerBoundRInfeasible(t *testing.T) {
+	g := dfg.Chain(3)
+	tab := fu.UniformTable(3, []int{2}, []int64{1})
+	if _, err := LowerBoundR(g, tab, allZero(3), 5); !errors.Is(err, hap.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestMinRScheduleDiamondTight(t *testing.T) {
+	g, tab := diamond()
+	a := allZero(4)
+	s, cfg, err := MinRSchedule(g, tab, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deadline 3 forces B and C in parallel: 2 instances of type 0.
+	if cfg[0] != 2 {
+		t.Fatalf("cfg = %v, want 2 of type 0", cfg)
+	}
+	if s.Length != 3 {
+		t.Fatalf("length = %d, want 3", s.Length)
+	}
+}
+
+func TestMinRScheduleDiamondLooseUsesOneFU(t *testing.T) {
+	g, tab := diamond()
+	a := allZero(4)
+	s, cfg, err := MinRSchedule(g, tab, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one extra step, B and C serialize on a single FU.
+	if cfg[0] != 1 {
+		t.Fatalf("cfg = %v, want 1 of type 0", cfg)
+	}
+	if s.Length > 4 {
+		t.Fatalf("length = %d > 4", s.Length)
+	}
+}
+
+func TestMinRScheduleMixedTypes(t *testing.T) {
+	g, tab := diamond()
+	a := hap.Assignment{0, 1, 1, 0} // B, C slow type
+	s, cfg, err := MinRSchedule(g, tab, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A(1) then B,C in parallel (2 steps each) then D: needs 2 slow FUs.
+	if cfg[1] != 2 || cfg[0] != 1 {
+		t.Fatalf("cfg = %v, want [1 2]", cfg)
+	}
+	if s.Length != 4 {
+		t.Fatalf("length = %d, want 4", s.Length)
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{2, 0, 3}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.String() != "2-0-3" {
+		t.Errorf("String = %q", c.String())
+	}
+	d := c.Clone()
+	d[0] = 9
+	if c[0] != 2 {
+		t.Error("Clone not deep")
+	}
+	if !(Config{2, 1}).Covers(Config{2, 0}) {
+		t.Error("Covers false negative")
+	}
+	if (Config{2, 0}).Covers(Config{2, 1}) {
+		t.Error("Covers false positive")
+	}
+	if (Config{2}).Covers(Config{2, 0}) {
+		t.Error("Covers ignores length")
+	}
+}
+
+func TestValidateScheduleCatchesViolations(t *testing.T) {
+	g, tab := diamond()
+	a := allZero(4)
+	s, cfg, err := MinRSchedule(g, tab, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precedence violation.
+	bad := *s
+	bad.Start = append([]int(nil), s.Start...)
+	bad.Start[3] = 1
+	if err := ValidateSchedule(g, &bad, cfg, 3); err == nil {
+		t.Error("precedence violation not caught")
+	}
+	// Deadline violation.
+	bad.Start = append([]int(nil), s.Start...)
+	bad.Start[3] = 9
+	if err := ValidateSchedule(g, &bad, cfg, 3); err == nil {
+		t.Error("deadline violation not caught")
+	}
+	// Resource violation: claim config has just one FU.
+	if err := ValidateSchedule(g, s, Config{1, 0}, 3); err == nil {
+		t.Error("resource violation not caught")
+	}
+	// Unscheduled node.
+	bad.Start = append([]int(nil), s.Start...)
+	bad.Start[2] = 0
+	if err := ValidateSchedule(g, &bad, cfg, 3); err == nil {
+		t.Error("unscheduled node not caught")
+	}
+}
+
+func TestGanttRendersEveryNode(t *testing.T) {
+	g, tab := diamond()
+	lib := fu.MustLibrary(fu.Type{Name: "P1"}, fu.Type{Name: "P2"})
+	s, cfg, err := MinRSchedule(g, tab, hap.Assignment{0, 1, 1, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := Gantt(g, lib, s, cfg)
+	for _, name := range []string{"A", "B", "C", "D", "P1[0]", "P2[0]", "P2[1]"} {
+		if !strings.Contains(chart, name) {
+			t.Errorf("Gantt missing %q:\n%s", name, chart)
+		}
+	}
+}
+
+// TestMinRScheduleProperties is the central property test of phase 2: on
+// random DFGs with random feasible assignments, the schedule must validate,
+// meet the deadline, and use at least the lower-bound resources.
+func TestMinRScheduleProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := dfg.RandomDAG(rng, n, 0.25)
+		tab := fu.RandomTable(rng, n, 2+rng.Intn(2))
+		a := make(hap.Assignment, n)
+		for v := range a {
+			a[v] = fu.TypeID(rng.Intn(tab.K()))
+		}
+		length, _, err := g.LongestPath(hap.Times(tab, a))
+		if err != nil {
+			return false
+		}
+		L := length + rng.Intn(4)
+		lb, err := LowerBoundR(g, tab, a, L)
+		if err != nil {
+			return false
+		}
+		s, cfg, err := MinRSchedule(g, tab, a, L)
+		if err != nil {
+			return false
+		}
+		if !cfg.Covers(lb) {
+			return false
+		}
+		if s.Length > L {
+			return false
+		}
+		return ValidateSchedule(g, s, cfg, L) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinRScheduleNeverExceedsGreedyUpperBound sanity-checks resource
+// economy: the configuration never exceeds one FU instance per node.
+func TestMinRScheduleNeverExceedsGreedyUpperBound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 3)
+		a := make(hap.Assignment, n)
+		for v := range a {
+			a[v] = fu.TypeID(rng.Intn(3))
+		}
+		length, _, err := g.LongestPath(hap.Times(tab, a))
+		if err != nil {
+			return false
+		}
+		_, cfg, err := MinRSchedule(g, tab, a, length+2)
+		if err != nil {
+			return false
+		}
+		return cfg.Total() <= n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

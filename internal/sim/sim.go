@@ -1,0 +1,188 @@
+// Package sim is a cycle-accurate simulator for the special-purpose
+// architectures the two-phase flow synthesizes: it executes a static
+// schedule on the chosen FU configuration over many loop iterations,
+// verifies the execution dynamically (FU occupancy and inter-iteration
+// data availability, independent of the static validator in package
+// sched), and reports throughput and per-type utilization.
+//
+// A static schedule of one iteration is repeated with some initiation
+// interval II: iteration i starts at absolute step i·II + 1. With
+// II = schedule length the iterations never overlap (the paper's setting);
+// smaller II overlaps successive iterations, which is legal as long as no
+// FU instance is claimed twice at the same step and every inter-iteration
+// dependence (edge with d delays: the consumer of iteration i reads the
+// producer of iteration i−d) is still satisfied. MinInitiationInterval
+// computes the smallest legal II for a given schedule — the throughput the
+// synthesized datapath can actually sustain.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/sched"
+)
+
+// Stats is the outcome of a simulation run.
+type Stats struct {
+	Iterations  int
+	II          int       // initiation interval used
+	TotalCycles int       // last occupied absolute step
+	Ops         int       // node executions simulated
+	BusyCycles  []int64   // per FU type, cycles spent executing
+	Utilization []float64 // per FU type: busy / (instances · TotalCycles)
+	// EnergyPerIteration is the summed execution cost of one iteration
+	// under the schedule's assignment (the phase-one objective).
+	EnergyPerIteration int64
+}
+
+// MinInitiationInterval returns the smallest II at which the schedule can
+// be repeated: the maximum of the resource-conflict bound (no FU instance
+// occupied twice at the same step modulo II) and the dependence bound
+// (every d-delay edge allows the producer d·II steps of slack).
+func MinInitiationInterval(g *dfg.Graph, s *sched.Schedule, cfg sched.Config) (int, error) {
+	if err := sched.ValidateSchedule(g, s, cfg, s.Length); err != nil {
+		return 0, err
+	}
+	for ii := 1; ii <= s.Length; ii++ {
+		if legalII(g, s, cfg, ii) {
+			return ii, nil
+		}
+	}
+	return s.Length, nil
+}
+
+func legalII(g *dfg.Graph, s *sched.Schedule, cfg sched.Config, ii int) bool {
+	// Resource: wrap each instance's busy intervals modulo ii and check
+	// single occupancy.
+	for t := range cfg {
+		for inst := 0; inst < cfg[t]; inst++ {
+			occ := make([]int, ii)
+			for v := 0; v < g.N(); v++ {
+				if int(s.Assign[v]) != t || s.Instance[v] != inst {
+					continue
+				}
+				for step := s.Start[v]; step <= s.Finish(dfg.NodeID(v)); step++ {
+					occ[step%ii]++
+				}
+			}
+			for _, c := range occ {
+				if c > 1 {
+					return false
+				}
+			}
+		}
+	}
+	// Dependence: edge (u,v,d) with d >= 1 requires
+	// start(v) + d·ii > finish(u), i.e. the value of iteration i−d is
+	// ready before iteration i needs it. Zero-delay edges are already
+	// satisfied within the iteration by schedule validity.
+	for _, e := range g.Edges() {
+		if e.Delays == 0 {
+			continue
+		}
+		if s.Start[e.To]+e.Delays*ii <= s.Finish(e.From) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run simulates `iterations` repetitions of the schedule at initiation
+// interval ii (use the schedule length for the paper's non-overlapped
+// execution, or MinInitiationInterval for maximum throughput). Every FU
+// instance's occupancy and every data dependence is re-verified
+// dynamically step by step; a violation returns an error naming the
+// offending nodes.
+func Run(g *dfg.Graph, tab *fu.Table, s *sched.Schedule, cfg sched.Config, iterations, ii int) (Stats, error) {
+	if iterations < 1 {
+		return Stats{}, errors.New("sim: need at least one iteration")
+	}
+	if ii < 1 {
+		return Stats{}, fmt.Errorf("sim: initiation interval %d < 1", ii)
+	}
+	if err := sched.ValidateSchedule(g, s, cfg, s.Length); err != nil {
+		return Stats{}, err
+	}
+
+	total := (iterations-1)*ii + s.Length
+	// occupancy[type][instance][step] — steps are 1-based.
+	occupancy := make([][][]int32, len(cfg))
+	for t := range cfg {
+		occupancy[t] = make([][]int32, cfg[t])
+		for i := range occupancy[t] {
+			occupancy[t][i] = make([]int32, total+1)
+		}
+	}
+
+	st := Stats{
+		Iterations: iterations,
+		II:         ii,
+		BusyCycles: make([]int64, len(cfg)),
+	}
+	for iter := 0; iter < iterations; iter++ {
+		base := iter * ii
+		for v := 0; v < g.N(); v++ {
+			vid := dfg.NodeID(v)
+			start := base + s.Start[v]
+			finish := base + s.Finish(vid)
+			t := s.Assign[v]
+			inst := s.Instance[v]
+			for step := start; step <= finish; step++ {
+				occupancy[t][inst][step]++
+				if occupancy[t][inst][step] > 1 {
+					return Stats{}, fmt.Errorf("sim: FU %d[%d] double-booked at step %d (node %s, iteration %d)",
+						t, inst, step, g.Node(vid).Name, iter)
+				}
+				st.BusyCycles[t]++
+			}
+			st.Ops++
+		}
+		// Data availability: every edge's producer iteration must have
+		// finished strictly before the consumer starts.
+		for _, e := range g.Edges() {
+			prodIter := iter - e.Delays
+			if prodIter < 0 {
+				continue // initial token from before the simulation window
+			}
+			prodFinish := prodIter*ii + s.Finish(e.From)
+			consStart := base + s.Start[e.To]
+			if prodFinish >= consStart {
+				return Stats{}, fmt.Errorf("sim: %s (iteration %d, finishes %d) not ready for %s (iteration %d, starts %d)",
+					g.Node(e.From).Name, prodIter, prodFinish,
+					g.Node(e.To).Name, iter, consStart)
+			}
+		}
+	}
+	st.TotalCycles = total
+	st.Utilization = make([]float64, len(cfg))
+	for t := range cfg {
+		if cfg[t] > 0 {
+			st.Utilization[t] = float64(st.BusyCycles[t]) / (float64(cfg[t]) * float64(total))
+		}
+	}
+	if tab != nil {
+		st.EnergyPerIteration = hap.CostOf(tab, s.Assign)
+	}
+	return st, nil
+}
+
+// Report renders the stats as a short human-readable block.
+func (st Stats) Report(lib *fu.Library) string {
+	out := fmt.Sprintf("%d iterations at II=%d: %d cycles, %d ops", st.Iterations, st.II, st.TotalCycles, st.Ops)
+	if st.EnergyPerIteration > 0 {
+		out += fmt.Sprintf(", %d energy/iter", st.EnergyPerIteration)
+	}
+	out += "\n"
+	for t := range st.Utilization {
+		name := fmt.Sprintf("type %d", t)
+		if lib != nil {
+			name = lib.Name(fu.TypeID(t))
+		}
+		out += fmt.Sprintf("  %-6s %5.1f%% utilized (%d busy cycles)\n", name, 100*st.Utilization[t], st.BusyCycles[t])
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/sched"
+)
+
+// chainSetup builds a 3-node chain with unit times scheduled on one FU.
+func chainSetup(t testing.TB) (*dfg.Graph, *fu.Table, *sched.Schedule, sched.Config) {
+	t.Helper()
+	g := dfg.Chain(3)
+	tab := fu.UniformTable(3, []int{1}, []int64{2})
+	s, cfg, err := sched.MinRSchedule(g, tab, make(hap.Assignment, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tab, s, cfg
+}
+
+func TestRunNonOverlapped(t *testing.T) {
+	g, tab, s, cfg := chainSetup(t)
+	st, err := Run(g, tab, s, cfg, 4, s.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalCycles != 4*3 {
+		t.Fatalf("TotalCycles = %d, want 12", st.TotalCycles)
+	}
+	if st.Ops != 12 {
+		t.Fatalf("Ops = %d, want 12", st.Ops)
+	}
+	// One FU busy every cycle: utilization 100%.
+	if st.Utilization[0] < 0.999 {
+		t.Fatalf("utilization = %v, want 1.0", st.Utilization)
+	}
+	if st.EnergyPerIteration != 6 {
+		t.Fatalf("energy/iter = %d, want 6", st.EnergyPerIteration)
+	}
+}
+
+func TestMinIIChainOnOneFU(t *testing.T) {
+	g, _, s, cfg := chainSetup(t)
+	// One FU executing 3 unit ops: resource bound forces II = 3.
+	ii, err := MinInitiationInterval(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii != 3 {
+		t.Fatalf("min II = %d, want 3", ii)
+	}
+}
+
+func TestMinIIParallelFUs(t *testing.T) {
+	// 3 independent unit ops on 3 FUs, schedule length 1: II can be 1.
+	g := dfg.New()
+	g.MustAddNode("a", "")
+	g.MustAddNode("b", "")
+	g.MustAddNode("c", "")
+	tab := fu.UniformTable(3, []int{1}, []int64{1})
+	s, cfg, err := sched.MinRSchedule(g, tab, make(hap.Assignment, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, err := MinInitiationInterval(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii != 1 {
+		t.Fatalf("min II = %d, want 1", ii)
+	}
+	// Overlapped execution at II=1 must verify dynamically.
+	if _, err := Run(g, tab, s, cfg, 10, ii); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinIIDependenceBound(t *testing.T) {
+	// a -> b with b -> a carrying 1 delay: iteration i's a needs b from
+	// i-1, so II must cover the whole recurrence: with unit times and
+	// schedule a@1, b@2, II must satisfy start(a) + 1·II > finish(b):
+	// 1 + II > 2, II >= 2.
+	g := dfg.New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, a, 1)
+	tab := fu.UniformTable(2, []int{1}, []int64{1})
+	// Two FUs so resources do not dominate the bound.
+	cfg := sched.Config{2}
+	s, err := sched.ListSchedule(g, tab, make(hap.Assignment, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, err := MinInitiationInterval(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii != 2 {
+		t.Fatalf("min II = %d, want 2 (recurrence bound)", ii)
+	}
+	if _, err := Run(g, tab, s, cfg, 8, ii); err != nil {
+		t.Fatal(err)
+	}
+	// II = 1 must be rejected dynamically.
+	if _, err := Run(g, tab, s, cfg, 8, 1); err == nil {
+		t.Fatal("II=1 should violate the recurrence")
+	}
+}
+
+func TestRunDetectsDoubleBooking(t *testing.T) {
+	g, tab, s, cfg := chainSetup(t)
+	// Overlapping at II=1 double-books the single FU.
+	if _, err := Run(g, tab, s, cfg, 3, 1); err == nil {
+		t.Fatal("double-booking not detected")
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	g, tab, s, cfg := chainSetup(t)
+	if _, err := Run(g, tab, s, cfg, 0, 3); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := Run(g, tab, s, cfg, 2, 0); err == nil {
+		t.Error("zero II accepted")
+	}
+	bad := *s
+	bad.Start = []int{0, 0, 0}
+	if _, err := Run(g, tab, &bad, cfg, 2, 3); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+}
+
+func TestReportMentionsTypes(t *testing.T) {
+	g, tab, s, cfg := chainSetup(t)
+	st, err := Run(g, tab, s, cfg, 2, s.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := fu.MustLibrary(fu.Type{Name: "ALU"})
+	rep := st.Report(lib)
+	if !strings.Contains(rep, "ALU") || !strings.Contains(rep, "utilized") {
+		t.Fatalf("report missing fields:\n%s", rep)
+	}
+	if !strings.Contains(st.Report(nil), "type 0") {
+		t.Fatal("nil-library report broken")
+	}
+}
+
+// TestSimulatorAcceptsEverySynthesizedSchedule is the integration property:
+// whatever the two-phase flow produces must simulate cleanly, both
+// non-overlapped and at the computed minimum initiation interval.
+func TestSimulatorAcceptsEverySynthesizedSchedule(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 2+rng.Intn(2))
+		min, err := hap.MinMakespan(g, tab)
+		if err != nil {
+			return false
+		}
+		p := hap.Problem{Graph: g, Table: tab, Deadline: min + rng.Intn(6)}
+		sol, err := hap.AssignRepeat(p)
+		if err != nil {
+			return false
+		}
+		s, cfg, err := sched.MinRSchedule(g, tab, sol.Assign, p.Deadline)
+		if err != nil {
+			return false
+		}
+		if _, err := Run(g, tab, s, cfg, 5, s.Length); err != nil {
+			return false
+		}
+		ii, err := MinInitiationInterval(g, s, cfg)
+		if err != nil || ii > s.Length {
+			return false
+		}
+		_, err = Run(g, tab, s, cfg, 5, ii)
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUtilizationWithinBounds: utilization is a fraction and busy cycles
+// equal the summed execution times across iterations.
+func TestUtilizationWithinBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := dfg.RandomDAG(rng, n, 0.3)
+		tab := fu.RandomTable(rng, n, 2)
+		a := make(hap.Assignment, n)
+		for v := range a {
+			a[v] = fu.TypeID(rng.Intn(2))
+		}
+		length, _, err := g.LongestPath(hap.Times(tab, a))
+		if err != nil {
+			return false
+		}
+		s, cfg, err := sched.MinRSchedule(g, tab, a, length+2)
+		if err != nil {
+			return false
+		}
+		iters := 1 + rng.Intn(5)
+		st, err := Run(g, tab, s, cfg, iters, s.Length)
+		if err != nil {
+			return false
+		}
+		var wantBusy int64
+		for v := 0; v < n; v++ {
+			wantBusy += int64(tab.Time[v][a[v]]) * int64(iters)
+		}
+		var gotBusy int64
+		for _, b := range st.BusyCycles {
+			gotBusy += b
+		}
+		if gotBusy != wantBusy {
+			return false
+		}
+		for _, u := range st.Utilization {
+			if u < 0 || u > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package texttab renders aligned plain-text tables: the output format of
+// cmd/experiments and the CLIs. Cells are strings; column widths adapt to
+// the longest cell; alignment is per column.
+package texttab
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Align selects cell alignment within a column.
+type Align int
+
+// Column alignments.
+const (
+	Left Align = iota
+	Right
+)
+
+// Table accumulates rows and renders them aligned.
+type Table struct {
+	header []string
+	align  []Align
+	rows   [][]string
+	seps   map[int]bool // row indices after which a separator line goes
+}
+
+// New builds a table with the given column headers, all left-aligned.
+func New(header ...string) *Table {
+	t := &Table{header: header, align: make([]Align, len(header)), seps: map[int]bool{}}
+	return t
+}
+
+// AlignRight marks the given columns (by index) right-aligned, which reads
+// better for numbers.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		if c >= 0 && c < len(t.align) {
+			t.align[c] = Right
+		}
+	}
+	return t
+}
+
+// Row appends a row; values are rendered with fmt.Sprint. Short rows are
+// padded with empty cells, long rows are an error surfaced at render time
+// via a panic (a programming error, not input-dependent).
+func (t *Table) Row(cells ...interface{}) *Table {
+	if len(cells) > len(t.header) {
+		panic(fmt.Sprintf("texttab: row has %d cells, table has %d columns", len(cells), len(t.header)))
+	}
+	row := make([]string, len(t.header))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Separator inserts a horizontal rule after the last appended row.
+func (t *Table) Separator() *Table {
+	t.seps[len(t.rows)] = true
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if t.align[i] == Right {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				if i < len(cells)-1 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	rule := func() {
+		total := 0
+		for i, w := range widths {
+			if i > 0 {
+				total += 2
+			}
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	rule()
+	for i, row := range t.rows {
+		writeRow(row)
+		if t.seps[i+1] {
+			rule()
+		}
+	}
+	return b.String()
+}

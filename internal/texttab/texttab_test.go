@@ -1,0 +1,66 @@
+package texttab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlignmentAndWidths(t *testing.T) {
+	tbl := New("name", "cost").AlignRight(1)
+	tbl.Row("short", 5)
+	tbl.Row("a-much-longer-name", 12345)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Right-aligned numbers end at the same column.
+	if !strings.HasSuffix(lines[2], "    5") {
+		t.Errorf("numeric cell not right-aligned: %q", lines[2])
+	}
+	if !strings.HasSuffix(lines[3], "12345") {
+		t.Errorf("numeric cell mangled: %q", lines[3])
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows have different widths: %q vs %q", lines[2], lines[3])
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tbl := New("a", "b", "c")
+	tbl.Row("x")
+	out := tbl.String()
+	if !strings.Contains(out, "x") {
+		t.Fatalf("row lost:\n%s", out)
+	}
+}
+
+func TestSeparator(t *testing.T) {
+	tbl := New("a")
+	tbl.Row("1").Separator().Row("2")
+	out := tbl.String()
+	if strings.Count(out, "-") < 2 {
+		t.Fatalf("separator missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, rule, row, rule, row
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTooManyCellsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on over-wide row")
+		}
+	}()
+	New("a").Row("1", "2")
+}
+
+func TestAlignRightIgnoresBadIndices(t *testing.T) {
+	tbl := New("a").AlignRight(-1, 5, 0)
+	tbl.Row("x")
+	if !strings.Contains(tbl.String(), "x") {
+		t.Fatal("table broken by out-of-range align indices")
+	}
+}
