@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test check race vet bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race limits itself to the packages with internal concurrency: the sparse
+# tree-DP worker pool (internal/hap) and the two-orientation expansion
+# (internal/cptree).
+race:
+	$(GO) test -race ./internal/hap/... ./internal/cptree/...
+
+# check is the tier-1 gate: vet + build + tests + race over the parallel
+# packages.
+check: vet build test race
+
+# bench runs the benchmark suite with allocation stats and writes the parsed
+# results to BENCH_1.json (see cmd/benchjson).
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH_1.json
+
+fuzz:
+	$(GO) test ./internal/hap/ -fuzz FuzzCurveMerge -fuzztime 30s

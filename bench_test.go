@@ -13,10 +13,12 @@ package hetsynth
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"hetsynth/internal/benchdfg"
 	"hetsynth/internal/cptree"
+	"hetsynth/internal/dfg"
 	"hetsynth/internal/exper"
 	"hetsynth/internal/hap"
 	"hetsynth/internal/hls"
@@ -502,5 +504,45 @@ func BenchmarkRetiming(b *testing.B) {
 		if _, _, _, err := retime.Minimize(g, times); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTreeFrontier times the whole-curve frontier extraction on the
+// paper's tree benchmarks. The sparse DP produces the frontier as a
+// byproduct of one solve, so this should track BenchmarkTreeAssign rather
+// than multiply it by the number of frontier points.
+func BenchmarkTreeFrontier(b *testing.B) {
+	for _, name := range []string{"4-stage-lattice", "8-stage-lattice", "volterra"} {
+		b.Run(name, func(b *testing.B) {
+			p := benchProblem(b, name, 6)
+			for i := 0; i < b.N; i++ {
+				if _, err := hap.TreeFrontier(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTreeAssignParallel times the DP on synthetic trees large enough
+// to cross the worker-pool threshold, where independent sibling subtrees are
+// evaluated concurrently.
+func BenchmarkTreeAssignParallel(b *testing.B) {
+	for _, n := range []int{2000, 8000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2004))
+			g := dfg.RandomTree(rng, n)
+			tab := RandomTable(2004, n, 3)
+			min, err := MinMakespan(g, tab)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := Problem{Graph: g, Table: tab, Deadline: min + min/2 + 6}
+			for i := 0; i < b.N; i++ {
+				if _, err := hap.TreeAssign(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

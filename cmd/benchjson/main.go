@@ -1,0 +1,123 @@
+// Command benchjson runs the repository's Go benchmarks with allocation
+// statistics and writes the parsed results to a JSON file, so successive
+// runs can be diffed mechanically (e.g. to confirm the sparse DP engine's
+// speedups don't regress).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_1.json] [-bench regexp] [-pkg ./...]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the file layout: environment header plus the result list.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON file")
+	bench := flag.String("bench", ".", "benchmark regexp passed to -bench")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchmem", *pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(buf.Bytes())
+
+	rep := parse(&buf)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+func parse(buf *bytes.Buffer) Report {
+	var rep Report
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	return rep
+}
+
+// parseLine parses one `BenchmarkX-8  1000  1234 ns/op  56 B/op  7 allocs/op`
+// line; the B/op and allocs/op columns are optional.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	var r Result
+	r.Name = f[0]
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = v
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = v
+			}
+		}
+	}
+	return r, r.NsPerOp > 0
+}

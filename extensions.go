@@ -131,8 +131,18 @@ type FrontierPoint = hap.FrontierPoint
 
 // TreeFrontier computes the complete optimal cost-versus-deadline curve of
 // a tree-shaped problem, from the minimum makespan up to p.Deadline, as the
-// breakpoints of the (non-increasing) step function.
+// breakpoints of the (non-increasing) step function. The whole curve falls
+// out of a single sparse dynamic-programming run (the DP's root curve IS the
+// frontier), so this costs the same as one TreeAssign call.
 func TreeFrontier(p Problem) ([]FrontierPoint, error) { return hap.TreeFrontier(p) }
+
+// TreeAssignWithFrontier returns the optimal tree assignment at p.Deadline
+// together with the whole cost-versus-deadline frontier up to p.Deadline,
+// both from the same single DP run — the curve exists as a byproduct of the
+// solve, so asking for it costs nothing extra.
+func TreeAssignWithFrontier(p Problem) (Solution, []FrontierPoint, error) {
+	return hap.TreeAssignWithFrontier(p)
+}
 
 // PruneDominated collapses dominated FU-type options (no faster AND no
 // cheaper than another option) in a table; the optimum is unaffected.

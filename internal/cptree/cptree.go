@@ -192,9 +192,20 @@ func Expand(g *dfg.Graph) (*Tree, error) {
 // fewer nodes (ties favor the forward expansion), implementing the selection
 // step of DFG_Assign_Once: the smaller tree duplicates fewer nodes, so
 // collapsing duplicated assignments loses less optimality.
+//
+// The two orientations are independent read-only passes over g, so they run
+// concurrently: the transpose expansion on its own goroutine, the forward
+// one on the caller's.
 func ExpandBoth(g *dfg.Graph) (*Tree, error) {
+	var bwd *Tree
+	var errB error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bwd, errB = Expand(g.Transpose())
+	}()
 	fwd, errF := Expand(g)
-	bwd, errB := Expand(g.Transpose())
+	<-done
 	if errF != nil && errB != nil {
 		return nil, errF
 	}

@@ -16,7 +16,6 @@ package dfg
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // NodeID identifies a node within one Graph. IDs are dense: a graph with n
@@ -306,19 +305,52 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 			indeg[e.To]++
 		}
 	}
-	// A sorted ready list keeps the order deterministic without a heap;
-	// graphs here are small (hundreds of nodes), so O(n^2) is irrelevant.
-	ready := make([]NodeID, 0, n)
+	// A binary min-heap of ready IDs keeps the order deterministic (smallest
+	// ID first) at O(log n) per node. TopoOrder sits under Validate,
+	// LongestPath and every solver, so it is one of the hottest loops in the
+	// whole system; the heap is hand-rolled over NodeIDs to avoid the
+	// interface and closure costs of the sort/heap packages.
+	heap := make([]NodeID, 0, n)
+	push := func(v NodeID) {
+		heap = append(heap, v)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() NodeID {
+		v := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			s := i
+			if l := 2*i + 1; l < last && heap[l] < heap[s] {
+				s = l
+			}
+			if r := 2*i + 2; r < last && heap[r] < heap[s] {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			heap[i], heap[s] = heap[s], heap[i]
+			i = s
+		}
+		return v
+	}
 	for id := 0; id < n; id++ {
 		if indeg[id] == 0 {
-			ready = append(ready, NodeID(id))
+			heap = append(heap, NodeID(id)) // IDs ascend: already heap-ordered
 		}
 	}
 	order := make([]NodeID, 0, n)
-	for len(ready) > 0 {
-		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
-		v := ready[0]
-		ready = ready[1:]
+	for len(heap) > 0 {
+		v := pop()
 		order = append(order, v)
 		for _, ei := range g.succ[v] {
 			e := g.edges[ei]
@@ -327,7 +359,7 @@ func (g *Graph) TopoOrder() ([]NodeID, error) {
 			}
 			indeg[e.To]--
 			if indeg[e.To] == 0 {
-				ready = append(ready, e.To)
+				push(e.To)
 			}
 		}
 	}

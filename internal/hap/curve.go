@@ -1,0 +1,191 @@
+package hap
+
+import (
+	"hetsynth/internal/fu"
+)
+
+// This file holds the sparse Pareto-frontier representation behind the
+// Tree_Assign dynamic program. The dense DP tabulates X_v[j] for every
+// integer deadline j in [0, L]; but X_v is a non-increasing step function of
+// j, so it is fully described by its breakpoints — the deadlines where the
+// optimal subtree cost strictly improves. A curve stores exactly those
+// breakpoints, making per-node work proportional to the number of distinct
+// optimal costs instead of L·K and dropping memory from O(|V|·L) to the
+// frontier size.
+
+// curvePoint is one breakpoint of a deadline→cost Pareto curve: C is the
+// optimal cost for every deadline in [T, nextBreakpoint.T).
+type curvePoint struct {
+	T int   // smallest deadline at which C becomes achievable
+	C int64 // optimal cost from that deadline on
+}
+
+// curve is a non-increasing step function stored as its breakpoints:
+// strictly increasing T, strictly decreasing C. A nil/empty curve is the
+// everywhere-infeasible function. Deadlines below the first breakpoint are
+// infeasible; beyond the last breakpoint the cost stays at the final C.
+type curve []curvePoint
+
+// zeroCurve is the curve of an empty child set: cost 0 at every deadline.
+var zeroCurve = curve{{T: 0, C: 0}}
+
+// idxAt returns the index of the breakpoint in effect at deadline j
+// (the largest i with c[i].T <= j), or -1 when j is infeasible.
+func (c curve) idxAt(j int) int {
+	lo, hi := 0, len(c)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c[mid].T <= j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// eval returns the curve value at deadline j, or inf when no assignment of
+// the underlying subtree can meet j.
+func (c curve) eval(j int) int64 {
+	i := c.idxAt(j)
+	if i < 0 {
+		return inf
+	}
+	return c[i].C
+}
+
+// dpScratch holds the reusable buffers of the per-node curve construction.
+// Each solver (and each parallel DP worker) owns one, so a solve allocates
+// little beyond the curves it keeps.
+type dpScratch struct {
+	kids  []curve      // the child curves being summed
+	idx   []int        // per-run cursors of the k-way merges
+	sum   []curvePoint // the summed child curve (consumed immediately)
+	pts   []curvePoint // envelope breakpoints before the final exact copy
+	arena []curvePoint // backing store of the retained per-node curves
+}
+
+// sumCurves adds a set of step functions: out(j) = Σ curves[i](j), infeasible
+// wherever any addend is. Breakpoints beyond limit are discarded (the DP never
+// queries past the deadline). The result aliases sc.sum — or one of the
+// inputs when len(curves) == 1 — and is only valid until the next call with
+// the same scratch; callers must copy anything they keep.
+func sumCurves(curves []curve, limit int, sc *dpScratch) curve {
+	switch len(curves) {
+	case 0:
+		return zeroCurve
+	case 1:
+		c := curves[0]
+		// Already capped by construction everywhere but the forest-root sum,
+		// where a single root may still need truncating.
+		for len(c) > 0 && c[len(c)-1].T > limit {
+			c = c[:len(c)-1]
+		}
+		return c
+	}
+	start := 0
+	for _, c := range curves {
+		if len(c) == 0 {
+			return nil
+		}
+		if c[0].T > start {
+			start = c[0].T
+		}
+	}
+	if start > limit {
+		return nil
+	}
+	// Per-addend cursors walk the breakpoints in time order (each addend is
+	// already sorted), accumulating the running sum at every time where any
+	// addend's cost drops. Deltas are strictly negative, so the result is
+	// strictly monotone.
+	if cap(sc.idx) < len(curves) {
+		sc.idx = make([]int, len(curves))
+	}
+	idx := sc.idx[:len(curves)]
+	var base int64
+	for i, c := range curves {
+		idx[i] = c.idxAt(start)
+		base += c[idx[i]].C
+	}
+	out := append(sc.sum[:0], curvePoint{T: start, C: base})
+	cur := base
+	for {
+		nt := limit + 1
+		for i, c := range curves {
+			if j := idx[i] + 1; j < len(c) && c[j].T < nt {
+				nt = c[j].T
+			}
+		}
+		if nt > limit {
+			break
+		}
+		for i, c := range curves {
+			if j := idx[i] + 1; j < len(c) && c[j].T == nt {
+				cur += c[j].C - c[idx[i]].C
+				idx[i] = j
+			}
+		}
+		out = append(out, curvePoint{T: nt, C: cur})
+	}
+	sc.sum = out
+	return out
+}
+
+// envelope builds the lower envelope of the per-type candidate curves
+// {(T_k + t, C_k + c) : (t, c) ∈ sum, k ∈ cand} truncated at limit — the
+// node's own Pareto curve. Each candidate curve is non-increasing, so the
+// envelope at deadline j is simply the minimum cost among all shifted
+// breakpoints with time ≤ j: a running minimum over the breakpoints in time
+// order. Each candidate's shifted breakpoints are already time-sorted, so a
+// K-way merge over the candidate heads visits them in order without a
+// comparison sort. The returned curve is retained per node; it lives in the
+// scratch arena and stays valid for the scratch's lifetime.
+func envelope(sum curve, cand []fu.TypeID, timeRow []int, costRow []int64, limit int, sc *dpScratch) curve {
+	if cap(sc.idx) < len(cand) {
+		sc.idx = make([]int, len(cand))
+	}
+	idx := sc.idx[:len(cand)]
+	for i := range idx {
+		idx[i] = 0
+	}
+	pts := sc.pts[:0]
+	best := int64(inf)
+	for {
+		sel := -1
+		var selT int
+		var selC int64
+		for i, k := range cand {
+			if idx[i] >= len(sum) {
+				continue
+			}
+			t := sum[idx[i]].T + timeRow[k]
+			if t > limit {
+				idx[i] = len(sum) // later breakpoints are later still
+				continue
+			}
+			c := sum[idx[i]].C + costRow[k]
+			if sel < 0 || t < selT || (t == selT && c < selC) {
+				sel, selT, selC = i, t, c
+			}
+		}
+		if sel < 0 {
+			break
+		}
+		idx[sel]++
+		if selC < best {
+			best = selC
+			pts = append(pts, curvePoint{T: selT, C: selC})
+		}
+	}
+	sc.pts = pts
+	if len(pts) == 0 {
+		return nil
+	}
+	// Retained curves are carved out of the scratch arena: one geometric
+	// growth series per solve instead of one allocation per node. The full
+	// slice expression pins the capacity so later appends cannot clobber it.
+	at := len(sc.arena)
+	sc.arena = append(sc.arena, pts...)
+	return curve(sc.arena[at:len(sc.arena):len(sc.arena)])
+}

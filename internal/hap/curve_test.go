@@ -1,0 +1,147 @@
+package hap
+
+import (
+	"testing"
+
+	"hetsynth/internal/fu"
+)
+
+func TestCurveEval(t *testing.T) {
+	c := curve{{T: 3, C: 40}, {T: 5, C: 25}, {T: 9, C: 10}}
+	cases := []struct {
+		j    int
+		want int64
+	}{
+		{0, inf}, {2, inf}, {3, 40}, {4, 40}, {5, 25}, {8, 25}, {9, 10}, {100, 10},
+	}
+	for _, tc := range cases {
+		if got := c.eval(tc.j); got != tc.want {
+			t.Errorf("eval(%d) = %d, want %d", tc.j, got, tc.want)
+		}
+	}
+	if got := curve(nil).eval(7); got != inf {
+		t.Errorf("nil curve eval = %d, want inf", got)
+	}
+}
+
+func TestSumCurvesEdgeCases(t *testing.T) {
+	var sc dpScratch
+	if got := sumCurves(nil, 10, &sc); len(got) != 1 || got[0] != (curvePoint{T: 0, C: 0}) {
+		t.Fatalf("empty sum = %+v, want zero curve", got)
+	}
+	a := curve{{T: 2, C: 8}, {T: 6, C: 3}, {T: 12, C: 1}}
+	if got := sumCurves([]curve{a}, 7, &sc); len(got) != 2 || got[1] != (curvePoint{T: 6, C: 3}) {
+		t.Fatalf("single-addend truncation = %+v", got)
+	}
+	if got := sumCurves([]curve{a, nil}, 10, &sc); got != nil {
+		t.Fatalf("sum with infeasible addend = %+v, want nil", got)
+	}
+	// Both addends' first breakpoints beyond the limit: infeasible.
+	if got := sumCurves([]curve{a, {{T: 9, C: 1}}}, 8, &sc); got != nil {
+		t.Fatalf("sum starting past limit = %+v, want nil", got)
+	}
+}
+
+func TestEnvelopeTruncatesAndDominates(t *testing.T) {
+	var sc dpScratch
+	// One node, two children summed to `sum`; type 0 fast+expensive, type 1
+	// slow+cheap, type 2 dominated by type 0 (same time, higher cost).
+	sum := curve{{T: 1, C: 20}, {T: 4, C: 5}}
+	times := []int{2, 5, 2}
+	costs := []int64{30, 3, 31}
+	got := envelope(sum, []fu.TypeID{0, 1, 2}, times, costs, 9, &sc)
+	want := curve{{T: 3, C: 50}, {T: 6, C: 23}, {T: 9, C: 8}}
+	if len(got) != len(want) {
+		t.Fatalf("envelope = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("envelope = %+v, want %+v", got, want)
+		}
+	}
+	if got := envelope(sum, []fu.TypeID{1}, times, costs, 5, &sc); got != nil {
+		t.Fatalf("envelope past limit = %+v, want nil", got)
+	}
+}
+
+// decodeCurve turns fuzz bytes into a well-formed curve: strictly increasing
+// times, strictly decreasing costs. Returns leftover bytes.
+func decodeCurve(data []byte, npts int) (curve, []byte) {
+	c := curve{}
+	tm, cost := 0, int64(1+len(data))*100
+	for i := 0; i < npts && len(data) >= 2; i++ {
+		tm += 1 + int(data[0]%7)
+		cost -= 1 + int64(data[1]%9)
+		data = data[2:]
+		c = append(c, curvePoint{T: tm, C: cost})
+	}
+	return c, data
+}
+
+// FuzzCurveMerge cross-checks the two merge routines of the sparse DP
+// against pointwise brute force: for every deadline j up to the limit,
+// sumCurves must equal the sum of its addends' values and envelope must
+// equal the cheapest shifted candidate, and both outputs must be strictly
+// monotone breakpoint lists.
+func FuzzCurveMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{250, 1, 9, 200, 3, 3, 60, 61, 62, 63, 64, 65, 66, 67})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		limit := 1 + int(data[0]%40)
+		na, nb := int(data[1]%5), int(data[2]%5)
+		data = data[3:]
+		var a, b curve
+		a, data = decodeCurve(data, na)
+		b, data = decodeCurve(data, nb)
+
+		var sc dpScratch
+		sum := sumCurves([]curve{a, b}, limit, &sc)
+		checkMonotone(t, "sum", sum)
+		for j := 0; j <= limit; j++ {
+			want := int64(inf)
+			if va, vb := a.eval(j), b.eval(j); va != inf && vb != inf {
+				want = va + vb
+			}
+			if got := sum.eval(j); got != want {
+				t.Fatalf("sum.eval(%d) = %d, want %d (a=%+v b=%+v)", j, got, want, a, b)
+			}
+		}
+
+		if len(sum) == 0 || len(data) < 4 {
+			return
+		}
+		// Two candidate types decoded from the remaining bytes.
+		times := []int{int(data[0] % 8), int(data[1] % 8)}
+		costs := []int64{int64(data[2] % 50), int64(data[3] % 50)}
+		// envelope must not alias sum (both live in the scratch): copy.
+		in := append(curve(nil), sum...)
+		env := envelope(in, []fu.TypeID{0, 1}, times, costs, limit, &sc)
+		checkMonotone(t, "envelope", env)
+		for j := 0; j <= limit; j++ {
+			want := int64(inf)
+			for k := 0; k < 2; k++ {
+				if rem := j - times[k]; rem >= 0 {
+					if x := in.eval(rem); x != inf && x+costs[k] < want {
+						want = x + costs[k]
+					}
+				}
+			}
+			if got := env.eval(j); got != want {
+				t.Fatalf("envelope.eval(%d) = %d, want %d (sum=%+v times=%v costs=%v)", j, got, want, in, times, costs)
+			}
+		}
+	})
+}
+
+func checkMonotone(t *testing.T, name string, c curve) {
+	t.Helper()
+	for i := 1; i < len(c); i++ {
+		if c[i].T <= c[i-1].T || c[i].C >= c[i-1].C {
+			t.Fatalf("%s not strictly monotone: %+v", name, c)
+		}
+	}
+}

@@ -81,6 +81,12 @@ func AssignOnce(p Problem) (Solution, error) {
 // remaining nodes can cash in the slack freed when all copies of the fixed
 // node switch to its fastest chosen type.
 //
+// The re-runs are incremental: one treeSolver is kept across iterations,
+// and pinning a node's copies invalidates only the DP curves on the copies'
+// ancestor paths, so each iteration costs Σ affected-path work instead of a
+// full |V_tree| solve. The iteration-by-iteration solutions are identical
+// to re-solving from scratch.
+//
 // The paper recommends this algorithm: it matches Tree_Assign exactly on
 // trees and dominates DFG_Assign_Once when many nodes are duplicated.
 func AssignRepeat(p Problem) (Solution, error) {
@@ -92,7 +98,11 @@ func AssignRepeat(p Problem) (Solution, error) {
 		return Solution{}, err
 	}
 	tp := Problem{Graph: tree.Graph, Table: liftTable(p.Table, tree.Orig), Deadline: p.Deadline}
-	tsol, err := TreeAssign(tp)
+	solver, err := newTreeSolver(tp, nil, false)
+	if err != nil {
+		return Solution{}, err
+	}
+	tsol, err := solver.solve()
 	if err != nil {
 		return Solution{}, err
 	}
@@ -100,21 +110,13 @@ func AssignRepeat(p Problem) (Solution, error) {
 	dup := tree.Duplicated()
 	assign := make(Assignment, p.Graph.N())
 	fixed := make([]bool, p.Graph.N())
-	var allowed [][]bool // lazily allocated mask over tree nodes
 
 	for _, v := range dup {
 		k := minTimeChoice(p.Table, v, tree.Copies[v], tsol.Assign)
 		assign[v] = k
 		fixed[v] = true
-		if allowed == nil {
-			allowed = make([][]bool, tree.Graph.N())
-		}
-		row := make([]bool, p.K())
-		row[k] = true
-		for _, w := range tree.Copies[v] {
-			allowed[w] = row
-		}
-		tsol, err = treeAssignMasked(tp, allowed)
+		solver.pin(tree.Copies[v], k)
+		tsol, err = solver.solve()
 		if err != nil {
 			// Pinning to the fastest copy keeps every path no longer than
 			// before, so the masked instance stays feasible; any failure

@@ -11,75 +11,60 @@ type FrontierPoint struct {
 }
 
 // TreeFrontier computes the complete cost-versus-deadline frontier of a
-// tree-shaped problem in a single dynamic-programming run: because
-// Tree_Assign's table X_root[j] already holds the optimal cost for every
-// deadline j ≤ L, the frontier costs nothing beyond one solve at the
-// loosest deadline of interest.
+// tree-shaped problem in a single dynamic-programming run: the sparse
+// engine's root curve IS the frontier — its breakpoints are exactly the
+// deadlines where the optimal cost strictly improves — so the frontier is
+// read straight off one solve at the loosest deadline of interest, with no
+// repeated solves or binary searches.
 //
 // The returned points are the minimal representation: deadlines where the
 // optimal cost strictly improves, in increasing deadline order, starting
 // at the minimum makespan. Non-tree graphs get ErrShape.
 func TreeFrontier(p Problem) ([]FrontierPoint, error) {
+	_, front, err := solveTreeFrontier(p, false)
+	return front, err
+}
+
+// TreeAssignWithFrontier returns both the optimal solution at p.Deadline
+// and the full frontier up to p.Deadline from the same single DP run — the
+// curve the solve already computed costs nothing extra to expose.
+func TreeAssignWithFrontier(p Problem) (Solution, []FrontierPoint, error) {
+	return solveTreeFrontier(p, true)
+}
+
+// solveTreeFrontier runs the sparse tree DP once and reads the frontier off
+// the root curves; when withSolution is set it also tracebacks the optimum
+// at p.Deadline.
+func solveTreeFrontier(p Problem, withSolution bool) (Solution, []FrontierPoint, error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return Solution{}, nil, err
 	}
-	solve := func(prob Problem) (Solution, error) { return TreeAssign(prob) }
+	reversed := false
 	switch {
-	case p.Graph.IsOutForest() || p.Graph.IsInForest():
+	case outForestShape(p.Graph):
+	case inForestShape(p.Graph):
+		// Reversing every edge preserves all path lengths, so both the
+		// frontier and the optimum carry over unchanged (cf. TreeAssign).
+		reversed = true
 	default:
-		return nil, fmt.Errorf("%w: TreeFrontier needs a tree-shaped graph", ErrShape)
+		return Solution{}, nil, fmt.Errorf("%w: TreeFrontier needs a tree-shaped graph", ErrShape)
 	}
-	min, err := MinMakespan(p.Graph, p.Table)
+	solver, err := newTreeSolver(p, nil, reversed)
 	if err != nil {
-		return nil, err
+		return Solution{}, nil, err
 	}
-	if min > p.Deadline {
-		return nil, ErrInfeasible
-	}
-	// One DP table holds every answer; re-solving per distinct deadline
-	// would be O(L) times more work. We exploit monotonicity instead:
-	// binary-search the breakpoints of the step function cost(L), each
-	// located with O(log L) solves — still far cheaper than L solves and
-	// independent of Tree_Assign internals.
-	costAt := func(L int) (int64, error) {
-		s, err := solve(Problem{Graph: p.Graph, Table: p.Table, Deadline: L})
+	var sol Solution
+	if withSolution {
+		sol, err = solver.solve()
 		if err != nil {
-			return 0, err
+			return Solution{}, nil, err
 		}
-		return s.Cost, nil
+	} else {
+		solver.recompute()
 	}
-	var frontier []FrontierPoint
-	lo := min
-	cLo, err := costAt(lo)
-	if err != nil {
-		return nil, err
+	front := solver.frontier()
+	if len(front) == 0 {
+		return Solution{}, nil, ErrInfeasible
 	}
-	frontier = append(frontier, FrontierPoint{Deadline: lo, Cost: cLo})
-	cEnd, err := costAt(p.Deadline)
-	if err != nil {
-		return nil, err
-	}
-	for cLo > cEnd {
-		// Find the smallest deadline with cost < cLo in (lo, p.Deadline].
-		a, b := lo+1, p.Deadline
-		for a < b {
-			mid := (a + b) / 2
-			c, err := costAt(mid)
-			if err != nil {
-				return nil, err
-			}
-			if c < cLo {
-				b = mid
-			} else {
-				a = mid + 1
-			}
-		}
-		c, err := costAt(a)
-		if err != nil {
-			return nil, err
-		}
-		frontier = append(frontier, FrontierPoint{Deadline: a, Cost: c})
-		lo, cLo = a, c
-	}
-	return frontier, nil
+	return sol, front, nil
 }

@@ -95,3 +95,39 @@ func TestTreeFrontierRejectsNonTreesAndInfeasible(t *testing.T) {
 		t.Fatalf("want ErrInfeasible, got %v", err)
 	}
 }
+
+func TestTreeAssignWithFrontierAgreesWithSeparateCalls(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.RandomTree(rng, 2+rng.Intn(10))
+		if rng.Intn(2) == 1 {
+			g = g.Transpose() // exercise the in-forest orientation too
+		}
+		tab := fu.RandomTable(rng, g.N(), 2+rng.Intn(2))
+		min, _ := MinMakespan(g, tab)
+		p := Problem{Graph: g, Table: tab, Deadline: min + rng.Intn(2*min+3)}
+		sol, front, err := TreeAssignWithFrontier(p)
+		sol2, err2 := TreeAssign(p)
+		front2, err3 := TreeFrontier(p)
+		if err != nil || err2 != nil || err3 != nil {
+			return errors.Is(err, ErrInfeasible) &&
+				errors.Is(err2, ErrInfeasible) && errors.Is(err3, ErrInfeasible)
+		}
+		if sol.Cost != sol2.Cost || sol.Length != sol2.Length {
+			return false
+		}
+		if len(front) != len(front2) {
+			return false
+		}
+		for i := range front {
+			if front[i] != front2[i] {
+				return false
+			}
+		}
+		// The loosest frontier point is the cost of the returned optimum.
+		return front[len(front)-1].Cost == sol.Cost
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"hetsynth/internal/dfg"
-	"hetsynth/internal/fu"
 )
 
 // TreeAssign solves HAP optimally when the DAG portion of the graph is an
@@ -23,7 +22,16 @@ import (
 // The per-child minima are independent because distinct root-to-leaf paths
 // of a tree share only ancestors, which are accounted at v and above; this
 // independence is exactly what fails on general DFGs and why HAP on DAGs is
-// NP-complete while trees admit an O(|V|·L·K) pseudo-polynomial optimum.
+// NP-complete while trees admit a pseudo-polynomial optimum.
+//
+// The engine stores each X_v sparsely, as the breakpoints of the
+// non-increasing step function j ↦ X_v[j] (see curve.go), so per-node work
+// is O((B_children + K·B_v) log) in the breakpoint counts B instead of the
+// dense table's O(L·K), and memory is the total frontier size instead of
+// O(|V|·L). Costs and assignments are identical to the dense formulation
+// (treeAssignDense keeps it as the differential-test oracle). Forests with
+// at least parallelMinDirty nodes are evaluated by a worker pool over
+// independent sibling subtrees.
 //
 // TreeAssign returns ErrShape on non-forests and ErrInfeasible when even
 // all-fastest types miss the deadline.
@@ -36,123 +44,53 @@ func TreeAssign(p Problem) (Solution, error) {
 		return Solution{}, err
 	}
 	switch {
-	case p.Graph.IsOutForest():
+	case outForestShape(p.Graph):
 		return treeAssignMasked(p, nil)
-	case p.Graph.IsInForest():
-		rp := Problem{Graph: p.Graph.Transpose(), Table: p.Table, Deadline: p.Deadline}
-		sol, err := treeAssignMasked(rp, nil)
+	case inForestShape(p.Graph):
+		// Solved on the edge-reversed orientation in place (see
+		// newTreeSolver): path lengths and per-node choices are preserved,
+		// so the solution needs no translation back.
+		s, err := newTreeSolver(p, nil, true)
 		if err != nil {
 			return Solution{}, err
 		}
-		return Evaluate(p, sol.Assign)
+		return s.solve()
 	default:
 		return Solution{}, fmt.Errorf("%w: Tree_Assign needs an out-forest or in-forest", ErrShape)
 	}
 }
 
+// outForestShape / inForestShape are Graph.IsOutForest / IsInForest minus
+// the acyclicity re-check: the callers here have already run
+// Problem.Validate, which proved the DAG portion acyclic, so only the
+// degree conditions remain to be tested.
+func outForestShape(g *dfg.Graph) bool {
+	for v := 0; v < g.N(); v++ {
+		if g.InDegree(dfg.NodeID(v)) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func inForestShape(g *dfg.Graph) bool {
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(dfg.NodeID(v)) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
 // treeAssignMasked is TreeAssign with an optional per-node type mask:
 // allowed[v][k] == false forbids assigning type k to node v. A nil mask (or
-// nil row) allows everything. DFG_Assign_Repeat uses the mask to pin
-// duplicated nodes to an already-fixed type between re-runs.
+// nil row) allows everything. It is a one-shot convenience over treeSolver,
+// which DFG_Assign_Repeat uses directly to re-solve incrementally after
+// pinning duplicated nodes.
 func treeAssignMasked(p Problem, allowed [][]bool) (Solution, error) {
-	g, t, L := p.Graph, p.Table, p.Deadline
-	n, K := g.N(), t.K()
-
-	// Per node, the candidate types: masked rows verbatim, unmasked rows
-	// with duplicate (time, cost) pairs collapsed — interchangeable options
-	// cannot change the optimum, and skipping them is what makes the
-	// PruneDominated pre-pass pay off inside the DP.
-	candidates := make([][]fu.TypeID, n)
-	for v := 0; v < n; v++ {
-		if allowed != nil && allowed[v] != nil {
-			for k := 0; k < K; k++ {
-				if allowed[v][k] {
-					candidates[v] = append(candidates[v], fu.TypeID(k))
-				}
-			}
-			continue
-		}
-		candidates[v] = distinctOptions(t, v)
-	}
-
-	rev, err := g.ReverseTopoOrder()
+	s, err := newTreeSolver(p, allowed, false)
 	if err != nil {
 		return Solution{}, err
 	}
-
-	// X[v][j]: DP value as documented above; inf marks infeasibility.
-	// choice[v][j]: the type realizing X[v][j], for traceback.
-	X := make([][]int64, n)
-	choice := make([][]fu.TypeID, n)
-	for v := 0; v < n; v++ {
-		X[v] = make([]int64, L+1)
-		choice[v] = make([]fu.TypeID, L+1)
-	}
-
-	for _, vid := range rev {
-		v := int(vid)
-		children := g.Succ(vid)
-		for j := 0; j <= L; j++ {
-			best := int64(inf)
-			bestK := fu.TypeID(-1)
-			for _, k := range candidates[v] {
-				rem := j - t.Time[v][k]
-				if rem < 0 {
-					continue
-				}
-				sum := t.Cost[v][k]
-				ok := true
-				for _, c := range children {
-					xc := X[c][rem]
-					if xc == inf {
-						ok = false
-						break
-					}
-					sum += xc
-				}
-				if ok && sum < best {
-					best = sum
-					bestK = fu.TypeID(k)
-				}
-			}
-			X[v][j] = best
-			choice[v][j] = bestK
-		}
-	}
-
-	var total int64
-	for _, r := range g.Roots() {
-		if X[r][L] == inf {
-			return Solution{}, ErrInfeasible
-		}
-		total += X[r][L]
-	}
-
-	// Traceback: every child of v inherits the remaining budget
-	// j − T_k(v); within a subtree all children share it.
-	assign := make(Assignment, n)
-	var walk func(v int, j int)
-	walk = func(v int, j int) {
-		k := choice[v][j]
-		assign[v] = k
-		rem := j - t.Time[v][k]
-		for _, c := range g.Succ(dfg.NodeID(v)) {
-			walk(int(c), rem)
-		}
-	}
-	for _, r := range g.Roots() {
-		walk(int(r), L)
-	}
-
-	sol, err := Evaluate(p, assign)
-	if err != nil {
-		return Solution{}, err
-	}
-	if sol.Cost != total {
-		return Solution{}, fmt.Errorf("hap: internal error: traceback cost %d != DP value %d", sol.Cost, total)
-	}
-	if sol.Length > L {
-		return Solution{}, fmt.Errorf("hap: internal error: Tree_Assign produced length %d > %d", sol.Length, L)
-	}
-	return sol, nil
+	return s.solve()
 }

@@ -1,0 +1,387 @@
+package hap
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// parallelMinDirty is the dirty-node count below which the tree DP stays
+// serial: handing a node to a worker costs more than computing a small
+// curve, and the paper's benchmark trees are all far below this size.
+const parallelMinDirty = 512
+
+// treeSolver carries the sparse-DP state of one out-forest problem so that
+// callers can re-solve incrementally. TreeAssign builds one, solves once and
+// discards it; DFG_Assign_Repeat keeps it across iterations — pinning a
+// duplicated node's copies dirties only the curves on the copies' ancestor
+// paths (tree parents are unique), so each re-solve recomputes Σ affected
+// path lengths worth of nodes instead of the whole tree.
+type treeSolver struct {
+	p        Problem
+	children [][]dfg.NodeID // zero-delay successors, precomputed once
+	parent   []int32        // unique tree parent, -1 at roots
+	roots    []dfg.NodeID
+	order    []dfg.NodeID // children before parents
+	cand     [][]fu.TypeID
+	curves   []curve
+	dirty    []bool
+	ndirty   int
+	down     []int     // scratch for the longest-path check in solve
+	sc       dpScratch // serial-path scratch, reused across re-solves
+}
+
+// newTreeSolver prepares the solver for an out-forest problem, with the same
+// optional per-node type mask treeAssignMasked documents: allowed[v][k] ==
+// false forbids type k on node v; a nil mask (or nil row) allows everything.
+// Every node starts dirty, so the first solve computes the full DP.
+//
+// reversed runs the DP on the edge-reversed graph without materializing the
+// transpose: children become the zero-delay predecessors and a plain
+// topological order serves as the children-before-parents order. Reversing
+// edges preserves every path length and the per-node type choices, so the
+// optimum (cost, length, assignment) carries over to the original unchanged —
+// this is how in-forests are solved without copying the graph each call.
+func newTreeSolver(p Problem, allowed [][]bool, reversed bool) (*treeSolver, error) {
+	g, t := p.Graph, p.Table
+	n, K := g.N(), t.K()
+	var order []dfg.NodeID
+	var err error
+	if reversed {
+		order, err = g.TopoOrder()
+	} else {
+		order, err = g.ReverseTopoOrder()
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &treeSolver{
+		p:        p,
+		children: make([][]dfg.NodeID, n),
+		parent:   make([]int32, n),
+		order:    order,
+		cand:     make([][]fu.TypeID, n),
+		curves:   make([]curve, n),
+		dirty:    make([]bool, n),
+		ndirty:   n,
+	}
+	for v := 0; v < n; v++ {
+		s.parent[v] = -1
+		s.dirty[v] = true
+	}
+	// Adjacency from the raw edge list into one shared arena: two
+	// allocations total instead of one g.Succ slice per node.
+	m := g.M()
+	deg := make([]int, n)
+	total := 0
+	for i := 0; i < m; i++ {
+		if e := g.Edge(i); e.Delays == 0 {
+			if reversed {
+				deg[e.To]++
+			} else {
+				deg[e.From]++
+			}
+			total++
+		}
+	}
+	childArena := make([]dfg.NodeID, 0, total)
+	for v := 0; v < n; v++ {
+		at := len(childArena)
+		s.children[v] = childArena[at:at:at+deg[v]]
+		childArena = childArena[:at+deg[v]]
+	}
+	fill := deg // reuse as per-node cursor
+	for v := range fill {
+		fill[v] = 0
+	}
+	for i := 0; i < m; i++ {
+		e := g.Edge(i)
+		if e.Delays != 0 {
+			continue
+		}
+		from, to := e.From, e.To
+		if reversed {
+			from, to = to, from
+		}
+		s.children[from] = s.children[from][:fill[from]+1]
+		s.children[from][fill[from]] = to
+		fill[from]++
+		s.parent[to] = int32(from)
+	}
+	for v := 0; v < n; v++ {
+		if s.parent[v] < 0 {
+			s.roots = append(s.roots, dfg.NodeID(v))
+		}
+	}
+	// Per node, the candidate types: masked rows verbatim, unmasked rows
+	// with duplicate (time, cost) pairs collapsed — interchangeable options
+	// cannot change the optimum, and skipping them is what makes the
+	// PruneDominated pre-pass pay off inside the DP. One arena backs every
+	// row (each appends at most K entries, so it never reallocates).
+	candArena := make([]fu.TypeID, 0, n*K)
+	for v := 0; v < n; v++ {
+		at := len(candArena)
+		if allowed != nil && allowed[v] != nil {
+			for k := 0; k < K; k++ {
+				if allowed[v][k] {
+					candArena = append(candArena, fu.TypeID(k))
+				}
+			}
+		} else {
+			for k := 0; k < K; k++ {
+				dup := false
+				for j := 0; j < k; j++ {
+					if t.Time[v][j] == t.Time[v][k] && t.Cost[v][j] == t.Cost[v][k] {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					candArena = append(candArena, fu.TypeID(k))
+				}
+			}
+		}
+		s.cand[v] = candArena[at:len(candArena):len(candArena)]
+	}
+	return s, nil
+}
+
+// pin restricts every listed node to the single type k and dirties the
+// curves that depend on it: the node itself and its ancestors up to the
+// root. The climb stops at the first already-dirty node, whose own climb
+// has marked the rest of the path.
+func (s *treeSolver) pin(nodes []dfg.NodeID, k fu.TypeID) {
+	for _, w := range nodes {
+		s.cand[w] = []fu.TypeID{k}
+		for v := int32(w); v >= 0; v = s.parent[v] {
+			if s.dirty[v] {
+				break
+			}
+			s.dirty[v] = true
+			s.ndirty++
+		}
+	}
+}
+
+// computeCurve builds node v's Pareto curve from its children's curves.
+func (s *treeSolver) computeCurve(v int, sc *dpScratch) curve {
+	var kids []curve
+	if n := len(s.children[v]); n > 0 {
+		if cap(sc.kids) < n {
+			sc.kids = make([]curve, n)
+		}
+		kids = sc.kids[:n]
+		for i, c := range s.children[v] {
+			kids[i] = s.curves[c]
+		}
+	}
+	sum := sumCurves(kids, s.p.Deadline, sc)
+	if len(sum) == 0 {
+		return nil
+	}
+	t := s.p.Table
+	return envelope(sum, s.cand[v], t.Time[v], t.Cost[v], s.p.Deadline, sc)
+}
+
+// recompute brings every dirty curve up to date, children before parents.
+// Large all-dirty solves fan independent sibling subtrees out over a worker
+// pool; incremental re-solves dirty only root paths (no parallelism to
+// exploit) and small trees don't amortize the handoff, so both stay serial.
+func (s *treeSolver) recompute() {
+	if s.ndirty == 0 {
+		return
+	}
+	if s.ndirty >= parallelMinDirty && runtime.GOMAXPROCS(0) > 1 {
+		s.recomputeParallel()
+	} else {
+		for _, v := range s.order {
+			if s.dirty[v] {
+				s.curves[v] = s.computeCurve(int(v), &s.sc)
+				s.dirty[v] = false
+			}
+		}
+	}
+	s.ndirty = 0
+}
+
+// recomputeParallel is the worker-pool evaluation of the dirty set: a node
+// becomes ready once its dirty children are done, so independent sibling
+// subtrees proceed concurrently. Each worker owns its scratch; a node's
+// curve is written by exactly one worker and read by its parent's worker
+// only after the ready handoff (atomic counter + channel), which is the
+// happens-before edge that keeps the solve race-free.
+func (s *treeSolver) recomputeParallel() {
+	pending := make([]int32, len(s.dirty))
+	ready := make(chan dfg.NodeID, s.ndirty)
+	for _, v := range s.order {
+		if !s.dirty[v] {
+			continue
+		}
+		cnt := int32(0)
+		for _, c := range s.children[v] {
+			if s.dirty[c] {
+				cnt++
+			}
+		}
+		pending[v] = cnt
+		if cnt == 0 {
+			ready <- v
+		}
+	}
+	var remaining atomic.Int32
+	remaining.Store(int32(s.ndirty))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > s.ndirty {
+		workers = s.ndirty
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc dpScratch
+			for v := range ready {
+				s.curves[v] = s.computeCurve(int(v), &sc)
+				s.dirty[v] = false
+				if p := s.parent[v]; p >= 0 && s.dirty[p] {
+					if atomic.AddInt32(&pending[p], -1) == 0 {
+						ready <- dfg.NodeID(p)
+					}
+				}
+				if remaining.Add(-1) == 0 {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// solve recomputes what is dirty and extracts the optimum at the deadline.
+func (s *treeSolver) solve() (Solution, error) {
+	s.recompute()
+	L := s.p.Deadline
+	var total int64
+	for _, r := range s.roots {
+		x := s.curves[r].eval(L)
+		if x == inf {
+			return Solution{}, ErrInfeasible
+		}
+		total += x
+	}
+	assign, err := s.traceback()
+	if err != nil {
+		return Solution{}, err
+	}
+	// Cost and length come straight from the forest structure the solver
+	// already holds — longest root-to-leaf time via the same children-first
+	// order the DP uses — saving Evaluate's topological re-sort of the graph.
+	t := s.p.Table
+	var cost int64
+	length := 0
+	if cap(s.down) < len(s.order) {
+		s.down = make([]int, len(s.order))
+	}
+	down := s.down[:len(s.order)]
+	for _, v := range s.order {
+		cost += t.Cost[v][assign[v]]
+		d := 0
+		for _, c := range s.children[v] {
+			if down[c] > d {
+				d = down[c]
+			}
+		}
+		down[v] = d + t.Time[v][assign[v]]
+		if down[v] > length {
+			length = down[v]
+		}
+	}
+	if cost != total {
+		return Solution{}, fmt.Errorf("hap: internal error: traceback cost %d != DP value %d", cost, total)
+	}
+	if length > L {
+		return Solution{}, fmt.Errorf("hap: internal error: Tree_Assign produced length %d > %d", length, L)
+	}
+	return Solution{Assign: assign, Cost: cost, Length: length}, nil
+}
+
+// traceback recovers the assignment realizing the DP optimum. At each node
+// it repeats the dense DP's selection rule — the first candidate, in
+// ascending type order, that strictly improves the subtree cost at the
+// node's budget — so the sparse engine returns the same assignment the
+// dense oracle would. The walk uses an explicit stack: path-shaped trees
+// (unfolded filters) recurse thousands of frames deep and would overflow a
+// goroutine stack.
+func (s *treeSolver) traceback() (Assignment, error) {
+	t, L := s.p.Table, s.p.Deadline
+	n := len(s.curves)
+	assign := make(Assignment, n)
+	type frame struct {
+		v      dfg.NodeID
+		budget int
+	}
+	stack := make([]frame, 0, 64)
+	for _, r := range s.roots {
+		stack = append(stack, frame{r, L})
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := int(f.v)
+		best := int64(inf)
+		bestK := fu.TypeID(-1)
+		for _, k := range s.cand[v] {
+			rem := f.budget - t.Time[v][k]
+			if rem < 0 {
+				continue
+			}
+			sum := t.Cost[v][k]
+			ok := true
+			for _, c := range s.children[v] {
+				xc := s.curves[c].eval(rem)
+				if xc == inf {
+					ok = false
+					break
+				}
+				sum += xc
+			}
+			if ok && sum < best {
+				best = sum
+				bestK = k
+			}
+		}
+		if bestK < 0 {
+			return nil, fmt.Errorf("hap: internal error: no type for node %d within budget %d", v, f.budget)
+		}
+		assign[v] = bestK
+		rem := f.budget - t.Time[v][bestK]
+		for _, c := range s.children[v] {
+			stack = append(stack, frame{c, rem})
+		}
+	}
+	return assign, nil
+}
+
+// frontier sums the root curves into the whole-forest deadline→cost curve:
+// the minimal set of (deadline, optimal cost) points up to the problem's
+// deadline, starting at the minimum makespan. Empty means no deadline up to
+// p.Deadline is feasible. Curves must be up to date (recompute first).
+func (s *treeSolver) frontier() []FrontierPoint {
+	if cap(s.sc.kids) < len(s.roots) {
+		s.sc.kids = make([]curve, len(s.roots))
+	}
+	kids := s.sc.kids[:len(s.roots)]
+	for i, r := range s.roots {
+		kids[i] = s.curves[r]
+	}
+	sum := sumCurves(kids, s.p.Deadline, &s.sc)
+	out := make([]FrontierPoint, len(sum))
+	for i, q := range sum {
+		out[i] = FrontierPoint{Deadline: q.T, Cost: q.C}
+	}
+	return out
+}
