@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench fuzz
+.PHONY: build test check race vet bench bench2 serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -12,19 +12,33 @@ vet:
 	$(GO) vet ./...
 
 # race limits itself to the packages with internal concurrency: the sparse
-# tree-DP worker pool (internal/hap) and the two-orientation expansion
-# (internal/cptree).
+# tree-DP worker pool (internal/hap), the two-orientation expansion
+# (internal/cptree), and the hetsynthd serving layer (internal/server).
 race:
-	$(GO) test -race ./internal/hap/... ./internal/cptree/...
+	$(GO) test -race ./internal/hap/... ./internal/cptree/... ./internal/server/...
 
-# check is the tier-1 gate: vet + build + tests + race over the parallel
+# check is the tier-1 gate: vet + build + tests + race over the concurrent
 # packages.
 check: vet build test race
 
-# bench runs the benchmark suite with allocation stats and writes the parsed
-# results to BENCH_1.json (see cmd/benchjson).
+# bench runs the solver benchmark suite with allocation stats and writes the
+# parsed results to BENCH_1.json (see cmd/benchjson).
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_1.json
+	$(GO) run ./cmd/benchjson -suite core
+
+# bench2 runs the end-to-end hetsynthd HTTP throughput benchmarks (cached /
+# uncached / frontier fast path at client concurrency 1, 8, 64) and writes
+# BENCH_2.json.
+bench2:
+	$(GO) run ./cmd/benchjson -suite server
+
+# serve-smoke boots a real hetsynthd on a random port, solves bundled
+# benchmarks over HTTP (asserting the second identical request is a cache
+# hit and a deadline-only change is served from the frontier), then SIGTERMs
+# the daemon and checks it drains cleanly.
+serve-smoke:
+	$(GO) build -o bin/hetsynthd ./cmd/hetsynthd
+	$(GO) run ./cmd/servesmoke -bin bin/hetsynthd
 
 fuzz:
 	$(GO) test ./internal/hap/ -fuzz FuzzCurveMerge -fuzztime 30s

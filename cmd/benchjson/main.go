@@ -6,6 +6,13 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-out BENCH_1.json] [-bench regexp] [-pkg ./...]
+//	go run ./cmd/benchjson -suite server      # hetsynthd end-to-end → BENCH_2.json
+//
+// The named suites bundle package/regexp/output presets: "core" is the
+// solver benchmarks (BENCH_1.json), "server" the end-to-end hetsynthd HTTP
+// throughput benchmarks — solve latency with and without the result cache
+// and off the frontier fast path, at client concurrency 1, 8 and 64
+// (BENCH_2.json). Explicit -out/-bench/-pkg flags override the preset.
 package main
 
 import (
@@ -37,11 +44,33 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
+// suites maps a suite name to its (pkg, bench regexp, default output).
+var suites = map[string][3]string{
+	"core":   {".", ".", "BENCH_1.json"},
+	"server": {"./internal/server/", "BenchmarkHTTP", "BENCH_2.json"},
+}
+
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output JSON file")
-	bench := flag.String("bench", ".", "benchmark regexp passed to -bench")
-	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	suite := flag.String("suite", "core", "benchmark suite preset (core|server)")
+	out := flag.String("out", "", "output JSON file (default: the suite's)")
+	bench := flag.String("bench", "", "benchmark regexp passed to -bench (default: the suite's)")
+	pkg := flag.String("pkg", "", "package pattern to benchmark (default: the suite's)")
 	flag.Parse()
+
+	preset, ok := suites[*suite]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want core|server)\n", *suite)
+		os.Exit(2)
+	}
+	if *pkg == "" {
+		*pkg = preset[0]
+	}
+	if *bench == "" {
+		*bench = preset[1]
+	}
+	if *out == "" {
+		*out = preset[2]
+	}
 
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchmem", *pkg)
 	var buf bytes.Buffer

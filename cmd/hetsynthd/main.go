@@ -1,0 +1,89 @@
+// Command hetsynthd is the synthesis daemon: an HTTP/JSON service exposing
+// the repository's assignment and scheduling solvers behind a bounded worker
+// pool, a canonical-hash result cache, and single-flight deduplication (see
+// internal/server).
+//
+// Endpoints:
+//
+//	POST   /v1/solve      synchronous solve (blocks until done or timeout)
+//	POST   /v1/jobs       asynchronous solve, returns a job id
+//	GET    /v1/jobs       list tracked jobs
+//	GET    /v1/jobs/{id}  poll a job
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /v1/benchmarks bundled benchmarks and FU catalogs
+//	GET    /healthz       liveness (503 while draining)
+//	GET    /metrics       queue depth, cache hit rate, latency histogram
+//
+// On SIGINT/SIGTERM the daemon stops admission and drains: in-flight and
+// queued jobs run to completion before the process exits.
+//
+// Usage:
+//
+//	hetsynthd -addr :8080 -workers 8 -queue 128
+//	hetsynthd -addr 127.0.0.1:0   # picks a free port, prints it on stdout
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hetsynth/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "solver pool size")
+		queue    = flag.Int("queue", 64, "job queue depth (admission bound)")
+		cache    = flag.Int("cache", 256, "result/frontier LRU capacity")
+		retain   = flag.Int("retain", 256, "finished async jobs kept for polling")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-solve time budget")
+		maxTO    = flag.Duration("max-timeout", 120*time.Second, "upper clamp on requested budgets")
+		logLevel = flag.String("log", "info", "log level (debug|info|warn|error)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cache, *retain, *timeout, *maxTO, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "hetsynthd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache, retain int, timeout, maxTO time.Duration, logLevel string) error {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(logLevel)); err != nil {
+		return fmt.Errorf("bad -log level %q: %w", logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout as the first line, so wrappers
+	// (e.g. the serve-smoke driver) can use "-addr 127.0.0.1:0" and parse
+	// the port the kernel handed out.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	logger.Info("hetsynthd starting", "addr", ln.Addr().String(), "workers", workers, "queue", queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	s := server.New(server.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		CacheSize:      cache,
+		JobRetention:   retain,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxTO,
+		Logger:         logger,
+	})
+	return s.Run(ctx, ln)
+}

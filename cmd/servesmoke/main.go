@@ -1,0 +1,160 @@
+// Command servesmoke is the end-to-end smoke test behind `make serve-smoke`:
+// it boots a real hetsynthd process on a random port, solves a bundled
+// benchmark over HTTP twice (asserting the second answer comes from the
+// cache), sweeps a second deadline off the frontier fast path, then sends
+// SIGTERM and verifies the daemon drains and exits cleanly.
+//
+// Usage:
+//
+//	servesmoke -bin ./bin/hetsynthd
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the hetsynthd binary")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "servesmoke: -bin is required")
+		os.Exit(2)
+	}
+	if err := smoke(*bin); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func smoke(bin string) error {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-log", "warn")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "listening on <addr>" as its first stdout line.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		return fmt.Errorf("daemon exited before announcing its address")
+	}
+	line := sc.Text()
+	addr, ok := strings.CutPrefix(line, "listening on ")
+	if !ok {
+		return fmt.Errorf("unexpected first line %q", line)
+	}
+	base := "http://" + addr
+	go func() { // keep draining stdout so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+
+	if err := waitHealthy(base); err != nil {
+		return err
+	}
+
+	post := func(body string) (map[string]any, error) {
+		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != 200 {
+			return nil, fmt.Errorf("status %d: %v", resp.StatusCode, m)
+		}
+		return m, nil
+	}
+
+	const req = `{"bench":"elliptic","seed":1,"slack":4}`
+	first, err := post(req)
+	if err != nil {
+		return fmt.Errorf("first solve: %w", err)
+	}
+	if first["source"] != "solve" {
+		return fmt.Errorf("first solve source = %v, want solve", first["source"])
+	}
+	second, err := post(req)
+	if err != nil {
+		return fmt.Errorf("second solve: %w", err)
+	}
+	if second["source"] != "cache" {
+		return fmt.Errorf("second identical request source = %v, want cache", second["source"])
+	}
+	if first["cost"] != second["cost"] {
+		return fmt.Errorf("cache returned a different cost: %v vs %v", second["cost"], first["cost"])
+	}
+
+	// A tree benchmark warms its frontier; a deadline-only change is then
+	// answered from the curve without another solver run.
+	if _, err := post(`{"bench":"volterra","seed":1,"slack":6}`); err != nil {
+		return fmt.Errorf("tree solve: %w", err)
+	}
+	shifted, err := post(`{"bench":"volterra","seed":1,"slack":3}`)
+	if err != nil {
+		return fmt.Errorf("shifted-deadline solve: %w", err)
+	}
+	if shifted["source"] != "frontier" {
+		return fmt.Errorf("deadline-only change source = %v, want frontier", shifted["source"])
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var met map[string]any
+	json.NewDecoder(resp.Body).Decode(&met)
+	resp.Body.Close()
+	if met["solves"].(float64) != 2 || met["cache_hits"].(float64) < 1 || met["frontier_hits"].(float64) < 1 {
+		return fmt.Errorf("unexpected metrics: %v", met)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon never became healthy at %s", base)
+}

@@ -33,6 +33,7 @@
 package hetsynth
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -146,6 +147,14 @@ func ParseAlgorithm(s string) (Algorithm, error) { return hap.ParseAlgorithm(s) 
 // Solve runs phase one: the selected assignment algorithm on the problem.
 func Solve(p Problem, algo Algorithm) (Solution, error) { return hap.Solve(p, algo) }
 
+// SolveContext is Solve with cooperative cancellation: the iterative and
+// exponential solvers (DFG_Assign_Repeat, branch-and-bound) poll the context
+// periodically and unwind with its error when it is cancelled or times out.
+// The polynomial solvers finish in microseconds and run to completion.
+func SolveContext(ctx context.Context, p Problem, algo Algorithm) (Solution, error) {
+	return hap.SolveCtx(ctx, p, algo)
+}
+
 // MinMakespan returns the smallest deadline for which the problem is
 // feasible (every node on its fastest type).
 func MinMakespan(g *Graph, t *Table) (int, error) { return hap.MinMakespan(g, t) }
@@ -182,7 +191,14 @@ type Result struct {
 // Synthesize runs both phases: assignment, then minimum-resource
 // scheduling of the chosen assignment.
 func Synthesize(p Problem, algo Algorithm) (Result, error) {
-	sol, err := Solve(p, algo)
+	return SynthesizeContext(context.Background(), p, algo)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation (see
+// SolveContext). Phase two is polynomial and always runs to completion once
+// phase one has produced an assignment.
+func SynthesizeContext(ctx context.Context, p Problem, algo Algorithm) (Result, error) {
+	sol, err := SolveContext(ctx, p, algo)
 	if err != nil {
 		return Result{}, err
 	}

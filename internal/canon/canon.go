@@ -1,0 +1,102 @@
+// Package canon computes canonical digests of synthesis requests so that a
+// serving layer can key caches and collapse duplicate work. Two requests
+// that describe the same computation — same graph structure (names, op
+// classes, edges with delays), same time/cost table, same deadline, same
+// algorithm — always hash to the same digest, regardless of how the request
+// arrived (inline JSON, benchmark name, catalog name): digests are computed
+// over the *resolved* problem, never over the request encoding.
+//
+// Two key spaces are exposed:
+//
+//   - Instance(graph, table): deadline- and algorithm-independent. Keys the
+//     per-instance artifacts that amortize across a design-space
+//     exploration, e.g. a tree's cost-versus-deadline frontier.
+//   - Request(graph, table, deadline, algo): the full solve key.
+//
+// The digest is SHA-256 over an unambiguous binary encoding: every variable-
+// length field is length-prefixed, every integer is fixed-width, and section
+// tags separate the graph, table, and scalar parts, so no two distinct
+// problems can serialize to the same byte stream.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// writeUvarint appends a varint; used only for lengths and tags, which are
+// unambiguous because every field is written in a fixed order.
+func writeUvarint(h hash.Hash, x uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	h.Write(buf[:n])
+}
+
+func writeInt(h hash.Hash, x int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(x))
+	h.Write(buf[:])
+}
+
+func writeString(h hash.Hash, s string) {
+	writeUvarint(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func writeGraph(h hash.Hash, g *dfg.Graph) {
+	h.Write([]byte{'G'})
+	writeUvarint(h, uint64(g.N()))
+	for _, n := range g.Nodes() {
+		writeString(h, n.Name)
+		writeString(h, n.Op)
+	}
+	writeUvarint(h, uint64(g.M()))
+	for _, e := range g.Edges() {
+		writeInt(h, int64(e.From))
+		writeInt(h, int64(e.To))
+		writeInt(h, int64(e.Delays))
+	}
+}
+
+func writeTable(h hash.Hash, t *fu.Table) {
+	h.Write([]byte{'T'})
+	writeUvarint(h, uint64(t.N()))
+	writeUvarint(h, uint64(t.K()))
+	for v := range t.Time {
+		for k := range t.Time[v] {
+			writeInt(h, int64(t.Time[v][k]))
+		}
+	}
+	for v := range t.Cost {
+		for k := range t.Cost[v] {
+			writeInt(h, t.Cost[v][k])
+		}
+	}
+}
+
+// Instance digests the deadline-independent part of a problem: the graph
+// and the time/cost table. Artifacts valid across deadlines (frontiers,
+// reusable solvers) are keyed by it.
+func Instance(g *dfg.Graph, t *fu.Table) string {
+	h := sha256.New()
+	writeGraph(h, g)
+	writeTable(h, t)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Request digests a complete solve request: instance plus deadline and
+// algorithm name. It is the result-cache and single-flight key.
+func Request(g *dfg.Graph, t *fu.Table, deadline int, algo string) string {
+	h := sha256.New()
+	writeGraph(h, g)
+	writeTable(h, t)
+	h.Write([]byte{'R'})
+	writeInt(h, int64(deadline))
+	writeString(h, algo)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -81,3 +81,86 @@ func TestStringIsStable(t *testing.T) {
 		t.Fatalf("String = %q, want %q", got, want)
 	}
 }
+
+// TestServerPayloadRoundTrip exercises the exact graph payload shape the
+// hetsynthd server accepts in its "graph" request field: a Graph embedded as
+// one member of a larger JSON object (decoded via json.RawMessage), with op
+// annotations and inter-iteration delays surviving the round trip.
+func TestServerPayloadRoundTrip(t *testing.T) {
+	g := New()
+	a := g.MustAddNode("a", "mul")
+	b := g.MustAddNode("b", "add")
+	c := g.MustAddNode("c", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(b, c, 0)
+	g.MustAddEdge(c, a, 2) // feedback with delays, legal in a DFG
+
+	inner, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope := []byte(`{"graph":` + string(inner) + `,"deadline":10}`)
+	var req struct {
+		Graph    json.RawMessage `json:"graph"`
+		Deadline int             `json:"deadline"`
+	}
+	if err := json.Unmarshal(envelope, &req); err != nil {
+		t.Fatal(err)
+	}
+	back := New()
+	if err := back.UnmarshalJSON(req.Graph); err != nil {
+		t.Fatalf("decode embedded graph: %v", err)
+	}
+	if back.String() != g.String() {
+		t.Fatalf("embedded round trip changed the graph: %s vs %s", back.String(), g.String())
+	}
+	if back.Node(NodeID(0)).Op != "mul" || back.Node(NodeID(1)).Op != "add" || back.Node(NodeID(2)).Op != "" {
+		t.Fatal("op annotations lost in embedded round trip")
+	}
+	if back.Edge(2).Delays != 2 {
+		t.Fatalf("delay count lost: %d", back.Edge(2).Delays)
+	}
+}
+
+// TestServerPayloadMalformed enumerates the malformed graph payloads the
+// server maps to HTTP 400; each must be rejected here, at the dfg layer, so
+// the server never sees a half-decoded graph.
+func TestServerPayloadMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not an object":   `[1,2,3]`,
+		"node sans name":  `{"nodes":[{"op":"add"}],"edges":[]}`,
+		"edge to nowhere": `{"nodes":[{"name":"a"}],"edges":[{"from":"a","to":"ghost"}]}`,
+		"self loop":       `{"nodes":[{"name":"a"}],"edges":[{"from":"a","to":"a"}]}`,
+		"negative delays": `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":"a","to":"b","delays":-3}]}`,
+		"duplicate nodes": `{"nodes":[{"name":"a"},{"name":"a"}],"edges":[]}`,
+	}
+	for name, payload := range cases {
+		g := New()
+		if err := g.UnmarshalJSON([]byte(payload)); err == nil {
+			t.Errorf("%s: accepted %s", name, payload)
+		}
+	}
+}
+
+// TestBenchmarkGraphsRoundTripStably round-trips a moderately sized graph
+// twice and checks full stability, the property the server's canonical
+// digests rely on (same payload -> same graph -> same digest).
+func TestBenchmarkGraphsRoundTripStably(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := RandomDAG(rng, 40, 0.15)
+	one, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := New()
+	if err := mid.UnmarshalJSON(one); err != nil {
+		t.Fatal(err)
+	}
+	two, err := json.Marshal(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatalf("marshal not stable across a round trip:\n%s\n%s", one, two)
+	}
+}

@@ -16,6 +16,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -124,6 +125,13 @@ func Deadlines(g *dfg.Graph, t *fu.Table, count int) ([]int, error) {
 
 // Run executes the experiment for one benchmark.
 func Run(b benchdfg.Benchmark, opt Options) (Result, error) {
+	return RunCtx(context.Background(), b, opt)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// between deadline points and threaded through the iterative solvers, so an
+// abandoned sweep stops within one deadline's worth of work.
+func RunCtx(ctx context.Context, b benchdfg.Benchmark, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	g := b.Build()
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -137,6 +145,9 @@ func Run(b benchdfg.Benchmark, opt Options) (Result, error) {
 	isTree := g.IsInForest() || g.IsOutForest()
 
 	for _, L := range deadlines {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("exper: %s at L=%d: %w", b.Name, L, err)
+		}
 		p := hap.Problem{Graph: g, Table: tab, Deadline: L}
 		row := Row{Deadline: L, Tree: -1, Exact: -1}
 
@@ -158,15 +169,17 @@ func Run(b benchdfg.Benchmark, opt Options) (Result, error) {
 			return Result{}, fmt.Errorf("exper: %s once at L=%d: %w", b.Name, L, err)
 		}
 		row.Once = once.Cost
-		rep, err := hap.AssignRepeat(p)
+		rep, err := hap.AssignRepeatCtx(ctx, p)
 		if err != nil {
 			return Result{}, fmt.Errorf("exper: %s repeat at L=%d: %w", b.Name, L, err)
 		}
 		row.Repeat = rep.Cost
 
 		if opt.Exact {
-			if xs, err := hap.Exact(p, hap.ExactOptions{}); err == nil {
+			if xs, err := hap.ExactCtx(ctx, p, hap.ExactOptions{}); err == nil {
 				row.Exact = xs.Cost
+			} else if ctx.Err() != nil {
+				return Result{}, fmt.Errorf("exper: %s exact at L=%d: %w", b.Name, L, ctx.Err())
 			}
 		}
 
@@ -184,9 +197,14 @@ func Run(b benchdfg.Benchmark, opt Options) (Result, error) {
 
 // RunAll executes Run for each benchmark in order.
 func RunAll(benches []benchdfg.Benchmark, opt Options) ([]Result, error) {
+	return RunAllCtx(context.Background(), benches, opt)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation between benchmarks.
+func RunAllCtx(ctx context.Context, benches []benchdfg.Benchmark, opt Options) ([]Result, error) {
 	out := make([]Result, 0, len(benches))
 	for _, b := range benches {
-		r, err := Run(b, opt)
+		r, err := RunCtx(ctx, b, opt)
 		if err != nil {
 			return nil, err
 		}

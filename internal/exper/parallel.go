@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -13,6 +14,13 @@ import (
 // are bit-identical to the serial harness; the only difference is wall
 // time on multicore machines. workers <= 0 uses GOMAXPROCS.
 func RunAllParallel(benches []benchdfg.Benchmark, opt Options, workers int) ([]Result, error) {
+	return RunAllParallelCtx(context.Background(), benches, opt, workers)
+}
+
+// RunAllParallelCtx is RunAllParallel with cooperative cancellation: no new
+// benchmark starts after the context dies, running ones unwind through
+// RunCtx, and the workers are always joined before returning.
+func RunAllParallelCtx(ctx context.Context, benches []benchdfg.Benchmark, opt Options, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -20,7 +28,7 @@ func RunAllParallel(benches []benchdfg.Benchmark, opt Options, workers int) ([]R
 		workers = len(benches)
 	}
 	if workers <= 1 {
-		return RunAll(benches, opt)
+		return RunAllCtx(ctx, benches, opt)
 	}
 
 	results := make([]Result, len(benches))
@@ -32,7 +40,11 @@ func RunAllParallel(benches []benchdfg.Benchmark, opt Options, workers int) ([]R
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = Run(benches[i], opt)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = RunCtx(ctx, benches[i], opt)
 			}
 		}()
 	}
@@ -41,6 +53,9 @@ func RunAllParallel(benches []benchdfg.Benchmark, opt Options, workers int) ([]R
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package hap
 
 import (
+	"context"
 	"fmt"
 
 	"hetsynth/internal/cptree"
@@ -90,7 +91,18 @@ func AssignOnce(p Problem) (Solution, error) {
 // The paper recommends this algorithm: it matches Tree_Assign exactly on
 // trees and dominates DFG_Assign_Once when many nodes are duplicated.
 func AssignRepeat(p Problem) (Solution, error) {
+	return AssignRepeatCtx(context.Background(), p)
+}
+
+// AssignRepeatCtx is AssignRepeat with cooperative cancellation: the context
+// is polled before the expansion and between fixing iterations (each of
+// which is an incremental re-solve, the unit of work worth interrupting), so
+// a cancelled sweep stops after at most one iteration's worth of DP.
+func AssignRepeatCtx(ctx context.Context, p Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Solution{}, err
 	}
 	tree, err := cptree.ExpandBoth(p.Graph)
@@ -112,6 +124,9 @@ func AssignRepeat(p Problem) (Solution, error) {
 	fixed := make([]bool, p.Graph.N())
 
 	for _, v := range dup {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
 		k := minTimeChoice(p.Table, v, tree.Copies[v], tsol.Assign)
 		assign[v] = k
 		fixed[v] = true

@@ -1,6 +1,8 @@
 package hap
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +10,11 @@ import (
 
 	"hetsynth/internal/fu"
 )
+
+// errStopped is the sentinel a worker returns when it unwound because the
+// shared stop flag was raised by another worker (or by cancellation); it
+// never escapes to callers.
+var errStopped = errors.New("hap: search stopped")
 
 // ExactParallel is Exact with the top level of the branch-and-bound fanned
 // out over worker goroutines: the K type choices of the first node in
@@ -21,13 +28,26 @@ import (
 // propagation is timing-dependent, so the state budget is enforced
 // per-worker.
 func ExactParallel(p Problem, opts ExactOptions) (Solution, error) {
+	return ExactParallelCtx(context.Background(), p, opts)
+}
+
+// ExactParallelCtx is ExactParallel with cooperative cancellation. Workers
+// poll the context every ~1k explored states and raise a shared stop flag
+// the moment it reports done (or any worker fails), so the whole fan-out
+// unwinds promptly — cancellation latency is bounded by one poll interval,
+// not by the remaining search. All workers are always joined before the
+// function returns: a cancelled call leaks no goroutines.
+func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Solution, error) {
 	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Solution{}, err
 	}
 	K := p.K()
 	workers := runtime.GOMAXPROCS(0)
 	if workers <= 1 || K <= 1 || p.Graph.N() < 2 {
-		return Exact(p, opts)
+		return ExactCtx(ctx, p, opts)
 	}
 	budget := opts.MaxStates
 	if budget <= 0 {
@@ -87,6 +107,10 @@ func ExactParallel(p Problem, opts ExactOptions) (Solution, error) {
 		cands[v] = distinctOptions(t, v)
 	}
 
+	// stop fans a failure or cancellation out to every worker: each polls it
+	// (and the context) every 1024 states, so the whole search collapses
+	// within one poll interval of the first worker noticing.
+	var stop atomic.Bool
 	first := int(order[0])
 	var wg sync.WaitGroup
 	errs := make([]error, K)
@@ -102,7 +126,17 @@ func ExactParallel(p Problem, opts ExactOptions) (Solution, error) {
 			var rec func(i int, cost int64) error
 			rec = func(i int, cost int64) error {
 				states++
+				if states&1023 == 0 {
+					if stop.Load() {
+						return errStopped
+					}
+					if ctx.Err() != nil {
+						stop.Store(true)
+						return errStopped
+					}
+				}
 				if states > budget {
+					stop.Store(true)
 					return fmt.Errorf("%w (budget %d per worker)", ErrSearchTooLarge, budget)
 				}
 				if cost+minCostSuffix[i] >= bestCost.Load() {
@@ -131,8 +165,11 @@ func ExactParallel(p Problem, opts ExactOptions) (Solution, error) {
 		}(k0)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Solution{}, err
+	}
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, errStopped) {
 			return Solution{}, err
 		}
 	}

@@ -1,6 +1,7 @@
 package hap
 
 import (
+	"context"
 	"fmt"
 
 	"hetsynth/internal/fu"
@@ -62,6 +63,17 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 
 // Solve runs the selected algorithm on the problem.
 func Solve(p Problem, algo Algorithm) (Solution, error) {
+	return SolveCtx(context.Background(), p, algo)
+}
+
+// SolveCtx is Solve with cooperative cancellation. The polynomial solvers
+// (path, tree, greedy) run to completion — they finish in microseconds to
+// milliseconds — while the iterative and exponential ones (Repeat, Exact)
+// poll the context periodically and unwind with its error when cancelled.
+func SolveCtx(ctx context.Context, p Problem, algo Algorithm) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, err
+	}
 	switch algo {
 	case AlgoAuto:
 		switch {
@@ -70,7 +82,7 @@ func Solve(p Problem, algo Algorithm) (Solution, error) {
 		case p.Graph != nil && (p.Graph.IsOutForest() || p.Graph.IsInForest()):
 			return TreeAssign(p)
 		default:
-			return AssignRepeat(p)
+			return AssignRepeatCtx(ctx, p)
 		}
 	case AlgoPath:
 		return PathAssign(p)
@@ -79,13 +91,13 @@ func Solve(p Problem, algo Algorithm) (Solution, error) {
 	case AlgoOnce:
 		return AssignOnce(p)
 	case AlgoRepeat:
-		return AssignRepeat(p)
+		return AssignRepeatCtx(ctx, p)
 	case AlgoGreedy:
 		return Greedy(p)
 	case AlgoGreedyRatio:
 		return GreedyRatio(p)
 	case AlgoExact:
-		return Exact(p, ExactOptions{})
+		return ExactCtx(ctx, p, ExactOptions{})
 	default:
 		return Solution{}, fmt.Errorf("hap: unknown algorithm %v", algo)
 	}

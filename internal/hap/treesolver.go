@@ -262,9 +262,14 @@ func (s *treeSolver) recomputeParallel() {
 }
 
 // solve recomputes what is dirty and extracts the optimum at the deadline.
-func (s *treeSolver) solve() (Solution, error) {
+func (s *treeSolver) solve() (Solution, error) { return s.solveAt(s.p.Deadline) }
+
+// solveAt extracts the optimum at an arbitrary budget <= p.Deadline from the
+// already-computed curves. The curves are truncated at p.Deadline, so budgets
+// beyond it would silently underreport feasibility; callers guard that.
+func (s *treeSolver) solveAt(budget int) (Solution, error) {
 	s.recompute()
-	L := s.p.Deadline
+	L := budget
 	var total int64
 	for _, r := range s.roots {
 		x := s.curves[r].eval(L)
@@ -273,7 +278,7 @@ func (s *treeSolver) solve() (Solution, error) {
 		}
 		total += x
 	}
-	assign, err := s.traceback()
+	assign, err := s.traceback(L)
 	if err != nil {
 		return Solution{}, err
 	}
@@ -316,8 +321,8 @@ func (s *treeSolver) solve() (Solution, error) {
 // dense oracle would. The walk uses an explicit stack: path-shaped trees
 // (unfolded filters) recurse thousands of frames deep and would overflow a
 // goroutine stack.
-func (s *treeSolver) traceback() (Assignment, error) {
-	t, L := s.p.Table, s.p.Deadline
+func (s *treeSolver) traceback(L int) (Assignment, error) {
+	t := s.p.Table
 	n := len(s.curves)
 	assign := make(Assignment, n)
 	type frame struct {

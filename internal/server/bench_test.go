@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// benchConcurrencies are the client fan-outs measured by the end-to-end
+// throughput benchmarks (BENCH_2.json).
+var benchConcurrencies = []int{1, 8, 64}
+
+// fire distributes b.N solve requests across conc client goroutines and
+// fails the benchmark on any non-200.
+func fire(b *testing.B, url string, conc int, body func(i int) string) {
+	b.Helper()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				resp, err := client.Post(url, "application/json", strings.NewReader(body(i)))
+				if err == nil {
+					var m map[string]any
+					json.NewDecoder(resp.Body).Decode(&m)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						err = fmt.Errorf("status %d: %v", resp.StatusCode, m)
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	b.StopTimer()
+	if firstErr != nil {
+		b.Fatal(firstErr)
+	}
+}
+
+// BenchmarkHTTPSolveCached measures served-from-cache throughput: every
+// request is identical, so after one warmup solve the pool is never touched.
+func BenchmarkHTTPSolveCached(b *testing.B) {
+	for _, conc := range benchConcurrencies {
+		b.Run(fmt.Sprintf("conc%d", conc), func(b *testing.B) {
+			ts, stop := newBenchServer()
+			defer stop()
+			body := `{"bench":"elliptic","seed":1,"slack":4}`
+			warm(b, ts.URL, body)
+			fire(b, ts.URL+"/v1/solve", conc, func(int) string { return body })
+		})
+	}
+}
+
+// BenchmarkHTTPSolveUncached measures full-solve throughput: every request
+// names a fresh instance (distinct seed), so nothing hits the cache and each
+// goes through the queue, the single-flight group, and a worker.
+func BenchmarkHTTPSolveUncached(b *testing.B) {
+	for _, conc := range benchConcurrencies {
+		b.Run(fmt.Sprintf("conc%d", conc), func(b *testing.B) {
+			ts, stop := newBenchServer()
+			defer stop()
+			fire(b, ts.URL+"/v1/solve", conc, func(i int) string {
+				return fmt.Sprintf(`{"bench":"elliptic","seed":%d,"slack":4}`, i+1)
+			})
+		})
+	}
+}
+
+// BenchmarkHTTPSolveFrontier measures the frontier fast path: one tree
+// instance, deadlines cycling over its curve, so after the first solve every
+// answer is traced from the cached frontier without a worker.
+func BenchmarkHTTPSolveFrontier(b *testing.B) {
+	for _, conc := range benchConcurrencies {
+		b.Run(fmt.Sprintf("conc%d", conc), func(b *testing.B) {
+			ts, stop := newBenchServer()
+			defer stop()
+			warm(b, ts.URL, `{"bench":"volterra","seed":1,"slack":12}`)
+			fire(b, ts.URL+"/v1/solve", conc, func(i int) string {
+				return fmt.Sprintf(`{"bench":"volterra","seed":1,"slack":%d}`, i%12)
+			})
+		})
+	}
+}
+
+func newBenchServer() (*httptest.Server, func()) {
+	s := New(Config{QueueDepth: 4096, CacheSize: 1 << 17, JobRetention: 16})
+	ts := httptest.NewServer(s.Handler())
+	return ts, func() { ts.Close(); s.Close() }
+}
+
+func warm(b *testing.B, base, body string) {
+	b.Helper()
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b.Fatalf("warmup status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used map. It backs both key
+// spaces the server caches — full solve results (request digest) and
+// per-instance frontier solvers (instance digest) — in one eviction domain,
+// so hot instances keep their frontiers while cold entries of either kind
+// age out together.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes a key, evicting the least recently used entry
+// when the cache is over capacity.
+func (c *lruCache) put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	el := c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.items[key] = el
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

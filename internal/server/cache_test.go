@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(3)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("c", 3)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	// a is now most recent; inserting d must evict b (the LRU).
+	c.put("d", 4)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction though it was least recently used")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("a", 2)
+	if v, _ := c.get("a"); v != 2 {
+		t.Fatalf("update lost: %v", v)
+	}
+	if c.len() != 1 {
+		t.Fatalf("duplicate key inflated len to %d", c.len())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRUCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%100)
+				c.put(k, i)
+				c.get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 64 {
+		t.Fatalf("cache exceeded capacity: %d", c.len())
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// solve-latency histogram; the implicit last bucket is +Inf.
+var latencyBucketsMS = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// metrics holds the server's operational counters. Everything is atomics so
+// the hot path never takes a lock; /metrics renders a consistent-enough
+// snapshot (individual counters are exact, cross-counter skew is bounded by
+// in-flight requests).
+type metrics struct {
+	start time.Time
+
+	queueDepth atomic.Int64 // tasks accepted but not yet running
+	inFlight   atomic.Int64 // tasks currently on a worker
+
+	requests      atomic.Int64 // HTTP solve/job submissions decoded OK
+	badRequests   atomic.Int64 // 4xx rejections at decode/validation
+	queueRejected atomic.Int64 // submissions bounced off a full queue
+
+	cacheHits    atomic.Int64 // answered from the result cache
+	frontierHits atomic.Int64 // answered from a cached frontier curve
+	coalesced    atomic.Int64 // shared another request's in-flight solve
+	solves       atomic.Int64 // full solver executions
+	solveErrors  atomic.Int64 // solver executions that returned an error
+
+	jobsSubmitted atomic.Int64
+	jobsCanceled  atomic.Int64
+
+	latCount atomic.Int64
+	latSumUS atomic.Int64   // microseconds, summed over solves
+	latHist  []atomic.Int64 // len(latencyBucketsMS)+1; last is +Inf
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), latHist: make([]atomic.Int64, len(latencyBucketsMS)+1)}
+}
+
+// observeSolve records one full solver execution's wall time.
+func (m *metrics) observeSolve(d time.Duration) {
+	m.latCount.Add(1)
+	m.latSumUS.Add(d.Microseconds())
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	m.latHist[i].Add(1)
+}
+
+// MetricsSnapshot is the JSON layout of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+
+	Requests      int64 `json:"requests"`
+	BadRequests   int64 `json:"bad_requests"`
+	QueueRejected int64 `json:"queue_rejected"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	FrontierHits int64   `json:"frontier_hits"`
+	Coalesced    int64   `json:"coalesced"`
+	Solves       int64   `json:"solves"`
+	SolveErrors  int64   `json:"solve_errors"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+
+	SolveLatency histogramSnapshot `json:"solve_latency"`
+}
+
+type histogramSnapshot struct {
+	Count     int64           `json:"count"`
+	MeanMS    float64         `json:"mean_ms"`
+	BucketsMS []bucketSample  `json:"buckets_ms"`
+}
+
+type bucketSample struct {
+	LE    string `json:"le"` // bucket upper bound in ms; "+Inf" for the last
+	Count int64  `json:"count"`
+}
+
+// snapshot renders the current counters.
+func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
+	s := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		QueueDepth:    m.queueDepth.Load(),
+		InFlight:      m.inFlight.Load(),
+		Requests:      m.requests.Load(),
+		BadRequests:   m.badRequests.Load(),
+		QueueRejected: m.queueRejected.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		FrontierHits:  m.frontierHits.Load(),
+		Coalesced:     m.coalesced.Load(),
+		Solves:        m.solves.Load(),
+		SolveErrors:   m.solveErrors.Load(),
+		CacheEntries:  cacheEntries,
+		JobsSubmitted: m.jobsSubmitted.Load(),
+		JobsCanceled:  m.jobsCanceled.Load(),
+	}
+	served := s.CacheHits + s.FrontierHits + s.Coalesced + s.Solves
+	if served > 0 {
+		s.CacheHitRate = float64(s.CacheHits+s.FrontierHits) / float64(served)
+	}
+	s.SolveLatency.Count = m.latCount.Load()
+	if s.SolveLatency.Count > 0 {
+		s.SolveLatency.MeanMS = float64(m.latSumUS.Load()) / 1000 / float64(s.SolveLatency.Count)
+	}
+	for i := range m.latHist {
+		le := "+Inf"
+		if i < len(latencyBucketsMS) {
+			le = strconv.FormatFloat(latencyBucketsMS[i], 'f', -1, 64)
+		}
+		s.SolveLatency.BucketsMS = append(s.SolveLatency.BucketsMS, bucketSample{LE: le, Count: m.latHist[i].Load()})
+	}
+	return s
+}
+

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestPoolRunsAllSubmittedTasks(t *testing.T) {
+	p := newPool(4, 64, newMetrics())
+	var ran atomic.Int64
+	var tasks []*task
+	for i := 0; i < 32; i++ {
+		tk := &task{
+			ctx:  context.Background(),
+			done: make(chan struct{}),
+			run:  func(ctx context.Context) { ran.Add(1) },
+		}
+		if err := p.submit(tk); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		tasks = append(tasks, tk)
+	}
+	for _, tk := range tasks {
+		<-tk.done
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d tasks, want 32", ran.Load())
+	}
+	p.drain()
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := newPool(1, 1, newMetrics())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	first := &task{ctx: context.Background(), done: make(chan struct{}),
+		run: func(ctx context.Context) { close(started); <-block }}
+	if err := p.submit(first); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	second := &task{ctx: context.Background(), done: make(chan struct{}), run: func(ctx context.Context) {}}
+	if err := p.submit(second); err != nil {
+		t.Fatalf("queue slot submit: %v", err)
+	}
+	third := &task{ctx: context.Background(), done: make(chan struct{}), run: func(ctx context.Context) {}}
+	if err := p.submit(third); err != errQueueFull {
+		t.Fatalf("over-capacity submit: %v, want errQueueFull", err)
+	}
+	close(block)
+	<-first.done
+	<-second.done
+	p.drain()
+}
+
+func TestPoolSkipsDeadTasks(t *testing.T) {
+	p := newPool(1, 4, newMetrics())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.submit(&task{ctx: context.Background(), done: make(chan struct{}),
+		run: func(ctx context.Context) { close(started); <-block }}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	dead := &task{ctx: ctx, done: make(chan struct{}), run: func(ctx context.Context) { ran.Store(true) }}
+	if err := p.submit(dead); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // dies while queued
+	close(block)
+	<-dead.done
+	if ran.Load() {
+		t.Fatal("pool ran a task whose context was already dead")
+	}
+	p.drain()
+}
+
+func TestPoolDrainWaitsAndRejects(t *testing.T) {
+	p := newPool(2, 8, newMetrics())
+	block := make(chan struct{})
+	var done atomic.Int64
+	for i := 0; i < 4; i++ {
+		if err := p.submit(&task{ctx: context.Background(), done: make(chan struct{}),
+			run: func(ctx context.Context) { <-block; done.Add(1) }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drained := make(chan struct{})
+	go func() { p.drain(); close(drained) }()
+	select {
+	case <-drained:
+		t.Fatal("drain returned with tasks still blocked")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	if done.Load() != 4 {
+		t.Fatalf("drain completed with %d/4 tasks done", done.Load())
+	}
+	if err := p.submit(&task{ctx: context.Background(), done: make(chan struct{}), run: func(ctx context.Context) {}}); err != errDraining {
+		t.Fatalf("post-drain submit: %v, want errDraining", err)
+	}
+	p.drain() // idempotent
+}
+
+// TestPoolSubmitDrainRace hammers submit against drain; under -race this
+// proves the closed-channel guard is sound.
+func TestPoolSubmitDrainRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := newPool(2, 16, newMetrics())
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					_ = p.submit(&task{ctx: context.Background(), done: make(chan struct{}), run: func(ctx context.Context) {}})
+				}
+			}()
+		}
+		p.drain()
+		wg.Wait()
+	}
+}
+
+func TestJobStoreRetention(t *testing.T) {
+	s := newJobStore(2)
+	mk := func(status string) *Job {
+		j := &Job{ID: newJobID(), status: status, created: time.Now(), done: make(chan struct{})}
+		s.add(j)
+		return j
+	}
+	a := mk(JobDone)
+	live := mk(JobRunning)
+	mk(JobDone)
+	mk(JobDone)
+	if _, ok := s.get(a.ID); ok {
+		t.Fatal("oldest finished job survived retention pruning")
+	}
+	if _, ok := s.get(live.ID); !ok {
+		t.Fatal("live job was pruned")
+	}
+	if got := len(s.list()); got < 2 {
+		t.Fatalf("list lost entries: %d", got)
+	}
+}
+
+func TestJobFinishExactlyOnce(t *testing.T) {
+	j := &Job{ID: "x", status: JobQueued, created: time.Now(), done: make(chan struct{})}
+	j.finish(JobDone, "solve", &SolveResult{Cost: 1}, "", 0)
+	j.finish(JobFailed, "", nil, "late", 500) // must be ignored
+	v := j.view()
+	if v.Status != JobDone || v.Error != "" || v.Result == nil {
+		t.Fatalf("second finish overwrote the first: %+v", v)
+	}
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("done channel not closed")
+	}
+}

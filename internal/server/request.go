@@ -1,0 +1,306 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/canon"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+// maxBodyBytes bounds a request body; a graph big enough to exceed this is
+// far past what the solvers handle interactively anyway.
+const maxBodyBytes = 8 << 20
+
+// SolveRequest is the JSON body of POST /v1/solve and POST /v1/jobs.
+//
+// The graph comes from exactly one of:
+//   - "graph": an inline DFG in the repository's JSON graph format
+//     ({"nodes":[{"name","op"}],"edges":[{"from","to","delays"}]});
+//   - "bench": a bundled benchmark name (see GET /v1/benchmarks).
+//
+// The time/cost table comes from exactly one of:
+//   - "table": inline per-node rows, {"time":[[...]],"cost":[[...]]};
+//   - "catalog": a named FU catalog, rows derived from node op classes;
+//   - "seed": a paper-style random table ("types" selects K, default 3).
+//
+// The deadline comes from "deadline" (absolute control steps) or "slack"
+// (steps above the instance's minimum makespan — the natural way to sweep a
+// design space without knowing absolute path lengths).
+type SolveRequest struct {
+	Graph json.RawMessage `json:"graph,omitempty"`
+	Bench string          `json:"bench,omitempty"`
+
+	Table   *TablePayload `json:"table,omitempty"`
+	Catalog string        `json:"catalog,omitempty"`
+	Seed    *int64        `json:"seed,omitempty"`
+	Types   int           `json:"types,omitempty"`
+
+	Deadline int  `json:"deadline,omitempty"`
+	Slack    *int `json:"slack,omitempty"`
+
+	Algorithm string `json:"algorithm,omitempty"` // default "auto"
+	Schedule  bool   `json:"schedule,omitempty"`  // also run phase 2
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// TablePayload is the inline table wire form.
+type TablePayload struct {
+	Time [][]int   `json:"time"`
+	Cost [][]int64 `json:"cost"`
+}
+
+// SolveResult is the cacheable outcome of one solve (everything but the
+// per-response source annotation).
+type SolveResult struct {
+	Algorithm  string                 `json:"algorithm"`
+	Deadline   int                    `json:"deadline"`
+	Cost       int64                  `json:"cost"`
+	Length     int                    `json:"length"`
+	Assignment []int                  `json:"assignment"`
+	Frontier   []FrontierPointPayload `json:"frontier,omitempty"`
+	Schedule   *SchedulePayload       `json:"schedule,omitempty"`
+	ElapsedMS  float64                `json:"elapsed_ms"`
+}
+
+// FrontierPointPayload is one (deadline, cost) breakpoint of a tree
+// instance's cost/deadline tradeoff curve, included for tree-shaped solves.
+type FrontierPointPayload struct {
+	Deadline int   `json:"deadline"`
+	Cost     int64 `json:"cost"`
+}
+
+// SchedulePayload is the phase-2 result wire form.
+type SchedulePayload struct {
+	Start    []int `json:"start"`    // 1-based control step per node
+	Instance []int `json:"instance"` // FU instance within its type
+	Length   int   `json:"length"`
+	Config   []int `json:"config"` // FU instances per type
+}
+
+// SolveResponse is SolveResult plus how the answer was produced.
+type SolveResponse struct {
+	Source string `json:"source"` // "solve", "cache", "frontier" or "coalesced"
+	SolveResult
+}
+
+// apiError carries an HTTP status with a client-facing message.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string { return e.Msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{Status: 400, Msg: fmt.Sprintf(format, args...)}
+}
+
+// solveSpec is a fully resolved request: concrete problem, canonical keys.
+type solveSpec struct {
+	prob     hap.Problem
+	algo     hap.Algorithm
+	algoName string
+	schedule bool
+	timeout  int // milliseconds; 0 = server default
+
+	key     string // result-cache / single-flight key
+	instKey string // deadline-independent instance key (frontier cache)
+	tree    bool   // frontier fast path applies
+}
+
+// decodeSolveRequest parses and resolves a request body into a solveSpec.
+// Every failure is a *apiError with status 400, so handlers can surface
+// malformed inputs uniformly.
+func decodeSolveRequest(r io.Reader) (*solveSpec, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("invalid request JSON: %v", err)
+	}
+	if dec.More() {
+		return nil, badRequest("trailing data after request object")
+	}
+	return resolve(&req)
+}
+
+// resolve turns the wire request into a concrete problem and canonical keys.
+func resolve(req *SolveRequest) (*solveSpec, error) {
+	g, err := resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := resolveTable(req, g)
+	if err != nil {
+		return nil, err
+	}
+
+	algoName := req.Algorithm
+	if algoName == "" {
+		algoName = "auto"
+	}
+	algo, err := hap.ParseAlgorithm(algoName)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	deadline := req.Deadline
+	switch {
+	case deadline > 0 && req.Slack != nil:
+		return nil, badRequest("use either deadline or slack, not both")
+	case deadline > 0:
+	case req.Slack != nil:
+		if *req.Slack < 0 {
+			return nil, badRequest("negative slack %d", *req.Slack)
+		}
+		min, err := hap.MinMakespan(g, tab)
+		if err != nil {
+			return nil, badRequest("cannot derive deadline: %v", err)
+		}
+		deadline = min + *req.Slack
+	default:
+		return nil, badRequest("deadline (or slack) is required")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, badRequest("negative timeout_ms %d", req.TimeoutMS)
+	}
+
+	p := hap.Problem{Graph: g, Table: tab, Deadline: deadline}
+	if err := p.Validate(); err != nil {
+		return nil, badRequest("invalid problem: %v", err)
+	}
+
+	spec := &solveSpec{
+		prob:     p,
+		algo:     algo,
+		algoName: algoName,
+		schedule: req.Schedule,
+		timeout:  req.TimeoutMS,
+		key:      canon.Request(g, tab, deadline, algoName),
+		instKey:  "inst/" + canon.Instance(g, tab),
+	}
+	// The frontier fast path serves only the algorithms for which the tree
+	// DP *is* the answer: auto (which dispatches trees to Tree_Assign) and
+	// tree. Heuristics like once/repeat coincide with the optimum on trees
+	// by the paper's Theorem, but may return different assignments, and
+	// greedy/exact have their own contracts — those always solve.
+	if algoName == "auto" || algoName == "tree" {
+		spec.tree = g.IsOutForest() || g.IsInForest()
+	}
+	return spec, nil
+}
+
+func resolveGraph(req *SolveRequest) (*dfg.Graph, error) {
+	switch {
+	case len(req.Graph) > 0 && req.Bench != "":
+		return nil, badRequest("use either graph or bench, not both")
+	case len(req.Graph) > 0:
+		g := dfg.New()
+		if err := g.UnmarshalJSON(req.Graph); err != nil {
+			return nil, badRequest("invalid graph: %v", err)
+		}
+		if g.N() == 0 {
+			return nil, badRequest("invalid graph: no nodes")
+		}
+		return g, nil
+	case req.Bench != "":
+		b, ok := benchdfg.Lookup(req.Bench)
+		if !ok {
+			return nil, badRequest("unknown benchmark %q (known: %s)", req.Bench, strings.Join(benchdfg.Names(), ", "))
+		}
+		return b.Build(), nil
+	default:
+		return nil, badRequest("a graph is required: set graph or bench")
+	}
+}
+
+func resolveTable(req *SolveRequest, g *dfg.Graph) (*fu.Table, error) {
+	sources := 0
+	if req.Table != nil {
+		sources++
+	}
+	if req.Catalog != "" {
+		sources++
+	}
+	if req.Seed != nil {
+		sources++
+	}
+	if sources > 1 {
+		return nil, badRequest("use exactly one of table, catalog or seed")
+	}
+	switch {
+	case req.Table != nil:
+		if len(req.Table.Time) != g.N() || len(req.Table.Cost) != g.N() {
+			return nil, badRequest("table covers %d/%d nodes, graph has %d",
+				len(req.Table.Time), len(req.Table.Cost), g.N())
+		}
+		k := 0
+		if g.N() > 0 {
+			k = len(req.Table.Time[0])
+		}
+		tab := fu.NewTable(g.N(), k)
+		for v := 0; v < g.N(); v++ {
+			if len(req.Table.Time[v]) != k || len(req.Table.Cost[v]) != k {
+				return nil, badRequest("ragged table row %d", v)
+			}
+			if err := tab.Set(v, req.Table.Time[v], req.Table.Cost[v]); err != nil {
+				return nil, badRequest("invalid table: %v", err)
+			}
+		}
+		if err := tab.Validate(); err != nil {
+			return nil, badRequest("invalid table: %v", err)
+		}
+		return tab, nil
+	case req.Catalog != "":
+		cat, err := fu.LookupCatalog(req.Catalog)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		tab, err := cat.TableFor(g.N(), func(v int) string { return g.Node(dfg.NodeID(v)).Op })
+		if err != nil {
+			return nil, badRequest("catalog %q cannot cover this graph: %v", req.Catalog, err)
+		}
+		return tab, nil
+	case req.Seed != nil:
+		types := req.Types
+		if types == 0 {
+			types = 3
+		}
+		if types < 1 || types > 16 {
+			return nil, badRequest("types must be in [1,16], got %d", types)
+		}
+		return fu.RandomTable(rand.New(rand.NewSource(*req.Seed)), g.N(), types), nil
+	default:
+		return nil, badRequest("a table is required: set table, catalog or seed")
+	}
+}
+
+// classifySolveErr maps solver errors onto HTTP statuses: infeasible and
+// oversized instances are unprocessable (the request was well-formed), shape
+// errors are the client picking the wrong algorithm (400), timeouts are 504,
+// cancellations 499 (client closed request, nginx-style), anything else 500.
+func classifySolveErr(err error) *apiError {
+	switch {
+	case errors.Is(err, hap.ErrInfeasible):
+		return &apiError{Status: 422, Msg: "infeasible: no assignment meets the timing constraint"}
+	case errors.Is(err, hap.ErrShape):
+		return &apiError{Status: 400, Msg: err.Error()}
+	case errors.Is(err, hap.ErrSearchTooLarge):
+		return &apiError{Status: 422, Msg: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{Status: 504, Msg: "solve exceeded its time budget"}
+	case errors.Is(err, context.Canceled):
+		return &apiError{Status: 499, Msg: "solve canceled"}
+	default:
+		return &apiError{Status: 500, Msg: err.Error()}
+	}
+}

@@ -1,0 +1,613 @@
+// Package server implements hetsynthd, an HTTP/JSON synthesis service over
+// the repository's assignment and scheduling solvers.
+//
+// Request flow for a solve (sync or async):
+//
+//	decode ──▶ result cache ──▶ frontier fast path ──▶ join in-flight ──▶ pool
+//	              (hit: no         (tree instance,        (coalesce on      (bounded FIFO
+//	               pool touch)      cached curve)          same digest)      queue, N workers)
+//
+// The result cache and the frontier cache share one LRU keyed by canonical
+// SHA-256 digests (package canon): a full request digest (graph + table +
+// deadline + algorithm) maps to a finished SolveResult, and a
+// deadline-independent instance digest maps to a hap.FrontierSolver whose
+// cost/deadline curve answers *any* covered deadline for that instance
+// without re-running the DP. Identical requests that race are collapsed to a
+// single solver execution by a single-flight group keyed by the request
+// digest; followers never occupy pool workers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"hetsynth/internal/benchdfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+	"hetsynth/internal/sched"
+)
+
+// Config tunes a Server. Zero values select sensible defaults.
+type Config struct {
+	Workers      int // solver pool size; default GOMAXPROCS
+	QueueDepth   int // FIFO admission bound; default 64
+	CacheSize    int // LRU entries (results + frontiers); default 256
+	JobRetention int // finished async jobs kept for polling; default 256
+
+	DefaultTimeout time.Duration // per-solve budget when the request sets none; default 30s
+	MaxTimeout     time.Duration // upper clamp on requested budgets; default 120s
+
+	Logger *slog.Logger // default: discard
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 256
+	}
+	if c.JobRetention < 1 {
+		c.JobRetention = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 120 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Server is the hetsynthd service: a worker pool, a shared LRU over results
+// and frontier solvers, a single-flight group, and an async job store.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	met     *metrics
+	cache   *lruCache
+	flights *flightGroup
+	pool    *pool
+	jobs    *jobStore
+
+	// baseCtx parents every solver execution, so solves survive client
+	// disconnects (the result still lands in the cache) and are only torn
+	// down when the server itself shuts down after draining.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+
+	// preSolve, when set, runs at the start of every real solver execution.
+	// It exists for package tests that need a solve to block deterministically
+	// (e.g. to prove concurrent duplicates coalesce onto one execution).
+	preSolve func(ctx context.Context)
+}
+
+// New builds a Server ready to serve; callers own shutdown via Run or Close.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		met:     newMetrics(),
+		cache:   newLRUCache(cfg.CacheSize),
+		flights: newFlightGroup(),
+		jobs:    newJobStore(cfg.JobRetention),
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.met)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
+}
+
+// Handler returns the server's HTTP routes wrapped in request logging.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logged(mux)
+}
+
+// Run serves on ln until ctx is cancelled, then drains: admission stops
+// (healthz reports draining, new work gets 503), in-flight HTTP requests and
+// queued jobs run to completion, and only then do solver contexts die.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("draining", "queue_depth", s.met.queueDepth.Load(), "in_flight", s.met.inFlight.Load())
+	s.draining.Store(true)
+	// Shutdown stops new connections and waits for in-flight handlers; the
+	// handlers in turn wait for their pool tasks, so the pool must still be
+	// alive here. Drain the pool after, then tear down solver contexts.
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	s.pool.drain()
+	s.baseCancel()
+	s.log.Info("drained")
+	return err
+}
+
+// Close drains the server without a listener (tests, embedded use).
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.pool.drain()
+	s.baseCancel()
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Metrics returns a point-in-time snapshot of the operational counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.cache.len()) }
+
+// ---- solve pipeline ----
+
+// solveBudget resolves a request's per-solve time budget.
+func (s *Server) solveBudget(spec *solveSpec) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if spec.timeout > 0 {
+		d = time.Duration(spec.timeout) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// tryFast answers a request without touching the worker pool: first the
+// result cache, then — for tree instances without a phase-2 request — a
+// cached frontier curve, which serves *any* covered deadline of the same
+// graph+table by tracing one assignment out of the DP tables.
+//
+// The returned apiError is a definitive negative answer (e.g. infeasible
+// read off the curve); (nil, "", nil) means "no fast answer, go solve".
+func (s *Server) tryFast(spec *solveSpec) (*SolveResult, string, *apiError) {
+	if v, ok := s.cache.get(spec.key); ok {
+		s.met.cacheHits.Add(1)
+		return v.(*SolveResult), "cache", nil
+	}
+	if !spec.tree || spec.schedule {
+		return nil, "", nil
+	}
+	v, ok := s.cache.get(spec.instKey)
+	if !ok {
+		return nil, "", nil
+	}
+	fs := v.(*hap.FrontierSolver)
+	sol, err := fs.SolveAt(spec.prob.Deadline)
+	switch {
+	case err == nil:
+		res := s.buildResult(spec, sol, fs, 0)
+		s.cache.put(spec.key, res)
+		s.met.frontierHits.Add(1)
+		return res, "frontier", nil
+	case errors.Is(err, hap.ErrInfeasible):
+		// The curve's first breakpoint is the instance's minimum makespan, so
+		// "below the curve" is authoritative infeasibility — no solver run
+		// could do better.
+		s.met.frontierHits.Add(1)
+		return nil, "frontier", classifySolveErr(err)
+	default:
+		// Beyond a truncated horizon: the full path rebuilds a wider curve.
+		return nil, "", nil
+	}
+}
+
+// runSolve is the body of a pool task: one more cache check (a flight keyed
+// the same may have landed while this task sat in the queue), then the
+// single-flight group guarantees at most one real execution per digest.
+func (s *Server) runSolve(ctx context.Context, spec *solveSpec) (*SolveResult, string, error) {
+	if v, ok := s.cache.get(spec.key); ok {
+		s.met.cacheHits.Add(1)
+		return v.(*SolveResult), "cache", nil
+	}
+	res, shared, err := s.flights.Do(spec.key, func() (*SolveResult, error) {
+		return s.executeSolve(ctx, spec)
+	})
+	source := "solve"
+	if shared {
+		source = "coalesced"
+		s.met.coalesced.Add(1)
+	}
+	return res, source, err
+}
+
+// executeSolve runs the actual solver (phase 1, optionally phase 2) and
+// caches the outcome. For tree-shaped instances it solves through a
+// FrontierSolver and caches the solver itself under the instance digest, so
+// later requests that differ only in deadline are answered from the curve.
+func (s *Server) executeSolve(ctx context.Context, spec *solveSpec) (*SolveResult, error) {
+	if s.preSolve != nil {
+		s.preSolve(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s.met.solves.Add(1)
+
+	var sol hap.Solution
+	var fs *hap.FrontierSolver
+	var err error
+	if spec.tree {
+		fs, sol, err = s.frontierSolve(spec)
+	} else {
+		sol, err = hap.SolveCtx(ctx, spec.prob, spec.algo)
+	}
+	if err != nil {
+		s.met.solveErrors.Add(1)
+		return nil, err
+	}
+
+	res := s.buildResult(spec, sol, fs, time.Since(start))
+	if spec.schedule {
+		schd, conf, serr := sched.MinRSchedule(spec.prob.Graph, spec.prob.Table, sol.Assign, spec.prob.Deadline)
+		if serr != nil {
+			s.met.solveErrors.Add(1)
+			return nil, serr
+		}
+		res.Schedule = &SchedulePayload{
+			Start:    schd.Start,
+			Instance: schd.Instance,
+			Length:   schd.Length,
+			Config:   conf,
+		}
+		res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	s.met.observeSolve(time.Since(start))
+	s.cache.put(spec.key, res)
+	return res, nil
+}
+
+// frontierSolve answers a tree instance through its cached frontier curve,
+// building (or widening) the FrontierSolver as needed. The curve is built
+// out to the instance's maximum makespan — the longest path under the
+// slowest FU choice per node — beyond which every assignment is feasible, so
+// the cached curve is complete and covers every future deadline.
+func (s *Server) frontierSolve(spec *solveSpec) (*hap.FrontierSolver, hap.Solution, error) {
+	var fs *hap.FrontierSolver
+	if v, ok := s.cache.get(spec.instKey); ok {
+		fs = v.(*hap.FrontierSolver)
+	}
+	if fs == nil || (!fs.Complete() && fs.Horizon() < spec.prob.Deadline) {
+		horizon := spec.prob.Deadline
+		wmax := make([]int, spec.prob.Graph.N())
+		for v := range wmax {
+			wmax[v] = spec.prob.Table.MaxTime(v)
+		}
+		if maxLen, _, err := spec.prob.Graph.LongestPath(wmax); err == nil && maxLen > horizon {
+			horizon = maxLen
+		}
+		wide := spec.prob
+		wide.Deadline = horizon
+		built, err := hap.NewFrontierSolver(wide)
+		if err != nil {
+			return nil, hap.Solution{}, err
+		}
+		fs = built
+		s.cache.put(spec.instKey, fs)
+	}
+	sol, err := fs.SolveAt(spec.prob.Deadline)
+	return fs, sol, err
+}
+
+// buildResult assembles the wire result for a finished phase-1 solve.
+func (s *Server) buildResult(spec *solveSpec, sol hap.Solution, fs *hap.FrontierSolver, elapsed time.Duration) *SolveResult {
+	res := &SolveResult{
+		Algorithm:  spec.algoName,
+		Deadline:   spec.prob.Deadline,
+		Cost:       sol.Cost,
+		Length:     sol.Length,
+		Assignment: assignmentInts(sol.Assign),
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+	if fs != nil {
+		for _, p := range fs.Frontier() {
+			res.Frontier = append(res.Frontier, FrontierPointPayload{Deadline: p.Deadline, Cost: p.Cost})
+		}
+	}
+	return res
+}
+
+func assignmentInts(a hap.Assignment) []int {
+	out := make([]int, len(a))
+	for i, k := range a {
+		out[i] = int(k)
+	}
+	return out
+}
+
+// dispatch submits spec to the pool and returns the task; the caller waits
+// on task.done and reads *out. A janitor goroutine releases the solve
+// context once the task completes (or is skipped), so an abandoned sync
+// request neither cancels a shared solve nor leaks its context.
+type solveOutcome struct {
+	res    *SolveResult
+	source string
+	err    error
+}
+
+func (s *Server) dispatch(spec *solveSpec, ctx context.Context, cancel context.CancelFunc, out *solveOutcome, before, after func()) (*task, *apiError) {
+	t := &task{
+		ctx:  ctx,
+		done: make(chan struct{}),
+		run: func(ctx context.Context) {
+			if before != nil {
+				before()
+			}
+			out.res, out.source, out.err = s.runSolve(ctx, spec)
+			// after runs on the worker, before done closes, so pool.drain()
+			// returning implies every accepted job has reached a final state.
+			if after != nil {
+				after()
+			}
+		},
+	}
+	if s.draining.Load() {
+		cancel()
+		return nil, &apiError{Status: 503, Msg: "server is draining"}
+	}
+	if err := s.pool.submit(t); err != nil {
+		cancel()
+		if errors.Is(err, errQueueFull) {
+			return nil, &apiError{Status: 503, Msg: "job queue full, retry later"}
+		}
+		return nil, &apiError{Status: 503, Msg: "server is draining"}
+	}
+	go func() { <-t.done; cancel() }()
+	return t, nil
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSolveRequest(r.Body)
+	if err != nil {
+		s.met.badRequests.Add(1)
+		writeErr(w, err.(*apiError))
+		return
+	}
+	s.met.requests.Add(1)
+
+	if res, source, apiErr := s.tryFast(spec); apiErr != nil {
+		writeErr(w, apiErr)
+		return
+	} else if res != nil {
+		writeResult(w, res, source)
+		return
+	}
+
+	// Piggyback on an identical in-flight solve without occupying a worker.
+	if f, ok := s.flights.Join(spec.key); ok {
+		select {
+		case <-f.Done():
+		case <-r.Context().Done():
+			return
+		}
+		res, ferr := f.Result()
+		if ferr != nil {
+			writeErr(w, classifySolveErr(ferr))
+			return
+		}
+		s.met.coalesced.Add(1)
+		writeResult(w, res, "coalesced")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.solveBudget(spec))
+	out := &solveOutcome{}
+	t, apiErr := s.dispatch(spec, ctx, cancel, out, nil, nil)
+	if apiErr != nil {
+		writeErr(w, apiErr)
+		return
+	}
+	select {
+	case <-t.done:
+	case <-r.Context().Done():
+		// Client gone; the solve keeps running and lands in the cache.
+		return
+	}
+	if out.res == nil && out.err == nil {
+		// The task was skipped: its context died while queued.
+		writeErr(w, classifySolveErr(ctx.Err()))
+		return
+	}
+	if out.err != nil {
+		writeErr(w, classifySolveErr(out.err))
+		return
+	}
+	writeResult(w, out.res, out.source)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSolveRequest(r.Body)
+	if err != nil {
+		s.met.badRequests.Add(1)
+		writeErr(w, err.(*apiError))
+		return
+	}
+	s.met.requests.Add(1)
+
+	j := &Job{ID: newJobID(), status: JobQueued, created: time.Now(), done: make(chan struct{})}
+
+	// Fast paths complete the job before it ever reaches the queue.
+	if res, source, apiErr := s.tryFast(spec); apiErr != nil {
+		j.finish(JobFailed, source, nil, apiErr.Msg, apiErr.Status)
+		s.jobs.add(j)
+		s.met.jobsSubmitted.Add(1)
+		writeJSON(w, http.StatusCreated, j.view())
+		return
+	} else if res != nil {
+		j.finish(JobDone, source, res, "", 0)
+		s.jobs.add(j)
+		s.met.jobsSubmitted.Add(1)
+		writeJSON(w, http.StatusCreated, j.view())
+		return
+	}
+
+	tctx, tcancel := context.WithTimeout(s.baseCtx, s.solveBudget(spec))
+	jctx, jcancel := context.WithCancel(tctx)
+	j.cancel = jcancel
+	out := &solveOutcome{}
+	finish := func() {
+		switch {
+		case out.res != nil:
+			j.finish(JobDone, out.source, out.res, "", 0)
+		default:
+			err := out.err
+			if err == nil { // skipped in queue: context cancelled or timed out
+				err = jctx.Err()
+			}
+			ae := classifySolveErr(err)
+			status := JobFailed
+			if errors.Is(err, context.Canceled) {
+				status = JobCanceled
+			}
+			j.finish(status, "", nil, ae.Msg, ae.Status)
+		}
+	}
+	// finish runs on the worker for executed jobs (so drain implies settled
+	// jobs); the janitor below settles jobs whose context died while queued.
+	t, apiErr := s.dispatch(spec, jctx, func() { jcancel(); tcancel() }, out, j.setRunning, finish)
+	if apiErr != nil {
+		writeErr(w, apiErr)
+		return
+	}
+	s.jobs.add(j)
+	s.met.jobsSubmitted.Add(1)
+	go func() { <-t.done; finish() }()
+	writeJSON(w, http.StatusCreated, j.view())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, &apiError{Status: 404, Msg: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, &apiError{Status: 404, Msg: "no such job"})
+		return
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.met.jobsCanceled.Add(1)
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"benchmarks": benchdfg.Names(),
+		"catalogs":   fu.Catalogs(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.snapshot(s.cache.len()))
+}
+
+// ---- response plumbing ----
+
+func writeResult(w http.ResponseWriter, res *SolveResult, source string) {
+	writeJSON(w, http.StatusOK, SolveResponse{Source: source, SolveResult: *res})
+}
+
+func writeErr(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.Status, map[string]any{"error": e.Msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}
+
+// logged wraps a handler with structured request logging.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", float64(time.Since(start))/float64(time.Millisecond),
+		)
+	})
+}
