@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench bench2 serve-smoke fuzz
+.PHONY: build test check race vet lint vuln bench bench2 serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,31 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs the stock vet passes plus hetsynthlint, the project's own
+# go/analysis-style suite (internal/lint): ctxpropagate, guardedby,
+# goroutinelife, apidoc, retval. See DESIGN.md §8 for the conventions each
+# analyzer enforces and how to suppress a finding with justification.
+lint: vet
+	$(GO) run ./cmd/hetsynthlint ./...
+
+# vuln runs govulncheck when it is installed; local dev containers may not
+# ship it, so absence is a skip, not a failure. CI installs and runs it.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # race limits itself to the packages with internal concurrency: the sparse
 # tree-DP worker pool (internal/hap), the two-orientation expansion
 # (internal/cptree), and the hetsynthd serving layer (internal/server).
 race:
 	$(GO) test -race ./internal/hap/... ./internal/cptree/... ./internal/server/...
 
-# check is the tier-1 gate: vet + build + tests + race over the concurrent
-# packages.
-check: vet build test race
+# check is the tier-1 gate: vet + hetsynthlint + build + tests + race over
+# the concurrent packages.
+check: lint build test race
 
 # bench runs the solver benchmark suite with allocation stats and writes the
 # parsed results to BENCH_1.json (see cmd/benchjson).

@@ -1,0 +1,60 @@
+// Command hetsynthlint runs the repository's custom static-analysis suite
+// (internal/lint) over the packages matched by its arguments and exits
+// non-zero when any analyzer reports a finding. It is the project-specific
+// complement to `go vet` — the Makefile's lint target runs both — and proves
+// the solver/server concurrency conventions: context propagation into
+// solvers, "guarded by mu" mutex discipline, goroutine lifecycle tie-down,
+// solver API documentation, and undiscarded errors.
+//
+// Usage:
+//
+//	hetsynthlint [-only ctxpropagate,guardedby,...] [-list] [packages]
+//
+// Findings print as file:line:col: message [analyzer]. Suppress a finding
+// with a justification comment on the flagged line or the line above:
+// //hetsynth:ignore <analyzer> <reason>, or // detached: <reason> for
+// goroutinelife.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsynth/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hetsynthlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -59,7 +59,9 @@ func smoke(bin string) error {
 		return fmt.Errorf("unexpected first line %q", line)
 	}
 	base := "http://" + addr
-	go func() { // keep draining stdout so the child never blocks on a full pipe
+	// detached: drains the child's stdout until the pipe closes at process
+	// exit, so the daemon never blocks on a full pipe; bounded by cmd.Wait.
+	go func() {
 		for sc.Scan() {
 		}
 	}()

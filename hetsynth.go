@@ -145,6 +145,9 @@ func SystemReliability(totalCost int64, scale float64) float64 {
 func ParseAlgorithm(s string) (Algorithm, error) { return hap.ParseAlgorithm(s) }
 
 // Solve runs phase one: the selected assignment algorithm on the problem.
+// Complexity follows the algorithm: the polynomial DP solvers (path, tree,
+// once, repeat) are optimal on their graph classes, greedy is a heuristic
+// baseline, and exact is an exponential branch-and-bound.
 func Solve(p Problem, algo Algorithm) (Solution, error) { return hap.Solve(p, algo) }
 
 // SolveContext is Solve with cooperative cancellation: the iterative and

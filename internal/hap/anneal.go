@@ -53,6 +53,8 @@ func Anneal(p Problem, opts AnnealOptions) (Solution, error) {
 	}
 	energy := func(a Assignment) (float64, int64, int) {
 		cost := CostOf(t, a)
+		//hetsynth:ignore retval LongestPath fails only on malformed weights;
+		// Times derives them from the validated table.
 		length, _, _ := p.Graph.LongestPath(Times(t, a))
 		e := float64(cost)
 		if length > p.Deadline {

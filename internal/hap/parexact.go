@@ -16,6 +16,42 @@ import (
 // never escapes to callers.
 var errStopped = errors.New("hap: search stopped")
 
+// incumbent is the workers' shared best-so-far. The cost bound is read
+// lock-free on the hot path; the assignment behind it is mutex-protected.
+type incumbent struct {
+	cost   atomic.Int64
+	mu     sync.Mutex
+	assign Assignment // guarded by mu
+}
+
+// record lowers the incumbent to (cost, a) when it improves on the current
+// bound; the CAS loop keeps losing workers off the mutex entirely.
+func (b *incumbent) record(cost int64, a Assignment) {
+	for {
+		cur := b.cost.Load()
+		if cost >= cur {
+			return
+		}
+		if b.cost.CompareAndSwap(cur, cost) {
+			b.mu.Lock()
+			// Another goroutine may have swapped in an even better
+			// cost after our CAS; only overwrite if we still hold it.
+			if b.cost.Load() == cost {
+				b.assign = a.Clone()
+			}
+			b.mu.Unlock()
+			return
+		}
+	}
+}
+
+// best returns the recorded assignment; nil when nothing feasible landed.
+func (b *incumbent) best() Assignment {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.assign
+}
+
 // ExactParallel is Exact with the top level of the branch-and-bound fanned
 // out over worker goroutines: the K type choices of the first node in
 // topological order become K independent subtree searches, each with its
@@ -31,7 +67,9 @@ func ExactParallel(p Problem, opts ExactOptions) (Solution, error) {
 	return ExactParallelCtx(context.Background(), p, opts)
 }
 
-// ExactParallelCtx is ExactParallel with cooperative cancellation. Workers
+// ExactParallelCtx is ExactParallel — the exponential branch-and-bound over
+// K-way type choices, parallelized at the top level — with cooperative
+// cancellation. Workers
 // poll the context every ~1k explored states and raise a shared stop flag
 // the moment it reports done (or any worker fails), so the whole fan-out
 // unwinds promptly — cancellation latency is bounded by one poll interval,
@@ -66,33 +104,11 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 		return Solution{}, ErrInfeasible
 	}
 
-	// Shared incumbent: the cost bound is read lock-free on the hot path;
-	// the assignment behind it is guarded by a mutex.
-	var bestCost atomic.Int64
-	bestCost.Store(int64(inf))
-	var mu sync.Mutex
-	var bestAssign Assignment
-	record := func(cost int64, a Assignment) {
-		for {
-			cur := bestCost.Load()
-			if cost >= cur {
-				return
-			}
-			if bestCost.CompareAndSwap(cur, cost) {
-				mu.Lock()
-				// Another goroutine may have swapped in an even better
-				// cost after our CAS; only overwrite if we still hold it.
-				if bestCost.Load() == cost {
-					bestAssign = a.Clone()
-				}
-				mu.Unlock()
-				return
-			}
-		}
-	}
+	inc := &incumbent{}
+	inc.cost.Store(int64(inf))
 	for _, seed := range []func(Problem) (Solution, error){GreedyRatio, Greedy, AssignOnce} {
 		if s, err := seed(p); err == nil {
-			record(s.Cost, s.Assign)
+			inc.record(s.Cost, s.Assign)
 		}
 	}
 
@@ -139,14 +155,16 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 					stop.Store(true)
 					return fmt.Errorf("%w (budget %d per worker)", ErrSearchTooLarge, budget)
 				}
-				if cost+minCostSuffix[i] >= bestCost.Load() {
+				if cost+minCostSuffix[i] >= inc.cost.Load() {
 					return nil
 				}
+				//hetsynth:ignore retval LongestPath fails only on malformed
+				// weights; times is sized by the validated table.
 				if l, _, _ := p.Graph.LongestPath(times); l > p.Deadline {
 					return nil
 				}
 				if i == n {
-					record(cost, assign)
+					inc.record(cost, assign)
 					return nil
 				}
 				v := int(order[i])
@@ -173,9 +191,7 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 			return Solution{}, err
 		}
 	}
-	mu.Lock()
-	a := bestAssign
-	mu.Unlock()
+	a := inc.best()
 	if a == nil {
 		return Solution{}, ErrInfeasible
 	}

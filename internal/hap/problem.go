@@ -104,7 +104,9 @@ func CostOf(t *fu.Table, a Assignment) int64 {
 }
 
 // Evaluate computes the system cost and schedule-length (longest-path time)
-// of an assignment, verifying it is complete and in range.
+// of an assignment, verifying it is complete and in range. It runs one
+// longest-path pass — O(|V|+|E|) — and performs no search, so it is exact
+// for the given assignment but makes no optimality claim about it.
 func Evaluate(p Problem, a Assignment) (Solution, error) {
 	if len(a) != p.Graph.N() {
 		return Solution{}, fmt.Errorf("hap: assignment covers %d nodes, graph has %d", len(a), p.Graph.N())

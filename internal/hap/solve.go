@@ -61,7 +61,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("hap: unknown algorithm %q (want auto|path|tree|once|repeat|greedy|greedy-ratio|exact)", s)
 }
 
-// Solve runs the selected algorithm on the problem.
+// Solve runs the selected algorithm on the problem. Complexity follows the
+// algorithm: path/tree are optimal polynomial DPs on their graph classes,
+// once/repeat are the paper's polynomial heuristics, greedy variants are
+// baseline heuristics, and exact is an exponential branch-and-bound.
 func Solve(p Problem, algo Algorithm) (Solution, error) {
 	return SolveCtx(context.Background(), p, algo)
 }

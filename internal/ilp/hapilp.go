@@ -74,8 +74,10 @@ func EncodeHAP(p hap.Problem) (*Model, [][]int, error) {
 	return m, x, nil
 }
 
-// SolveHAP encodes and solves the problem, returning the same Solution
-// shape as the combinatorial solvers in package hap. It returns
+// SolveHAP encodes and solves the problem as a mixed-integer program —
+// exact (optimal) but worst-case exponential in the branch-and-bound over
+// fractional assignment variables — returning the same Solution shape as
+// the combinatorial solvers in package hap. It returns
 // hap.ErrInfeasible when the MIP proves no assignment meets the deadline.
 func SolveHAP(p hap.Problem, opts Options) (hap.Solution, error) {
 	m, x, err := EncodeHAP(p)

@@ -31,6 +31,7 @@ const (
 	EQ            // ==
 )
 
+// String renders the relation as its comparison operator.
 func (r Rel) String() string {
 	switch r {
 	case LE:
@@ -54,6 +55,7 @@ const (
 	IterLimit
 )
 
+// String renders the solve outcome as a lowercase word.
 func (s Status) String() string {
 	switch s {
 	case Optimal:

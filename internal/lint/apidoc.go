@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// APIDoc enforces the documentation contract on exported API. In every
+// non-main package:
+//
+//   - exported functions, methods on exported receivers, and exported types
+//     must carry a doc comment whose first word is the declared name
+//     (standard Go doc style); and
+//   - solver entry points — exported functions returning a named Solution or
+//     FrontierSolver — must additionally state their complexity or
+//     algorithmic contract (big-O, optimal/heuristic, the algorithm class),
+//     so callers can tell an O(n·K) DP from an exponential search without
+//     reading the body.
+var APIDoc = &Analyzer{
+	Name: "apidoc",
+	Doc:  "exported API needs name-first doc comments; solver APIs must document complexity or contract",
+	Run:  runAPIDoc,
+}
+
+// complexityRe matches the vocabulary a solver doc must use to state its
+// contract: an explicit bound or a recognized algorithm class.
+var complexityRe = regexp.MustCompile(`(?i)\bO\(|optimal|optimum|heuristic|greedy|branch-and-bound|exponential|polynomial|linear|metaheuristic|anneal|pareto|dynamic program|\bDP\b|enumerat`)
+
+func runAPIDoc(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					if docText(doc) == "" {
+						pass.Report(ts.Pos(), "exported type %s must have a doc comment", ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || !receiverExported(d) {
+		return
+	}
+	doc := docText(d.Doc)
+	if doc == "" {
+		pass.Report(d.Pos(), "exported %s %s must have a doc comment", declKind(d), d.Name.Name)
+		return
+	}
+	if first := strings.Fields(doc)[0]; first != d.Name.Name {
+		pass.Report(d.Pos(), "doc comment for %s should start with %q, not %q", d.Name.Name, d.Name.Name, first)
+		return
+	}
+	if isSolverAPI(d) && !complexityRe.MatchString(doc) {
+		pass.Report(d.Pos(), "solver API %s must document its complexity or algorithmic contract (big-O or algorithm class)", d.Name.Name)
+	}
+}
+
+// receiverExported reports whether d is a plain function or a method whose
+// receiver type is itself exported — doc requirements don't apply to methods
+// of unexported types.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// isSolverAPI reports whether the function's results include a named
+// Solution or FrontierSolver — the shape of every solver entry point.
+func isSolverAPI(d *ast.FuncDecl) bool {
+	if d.Type.Results == nil {
+		return false
+	}
+	for _, r := range d.Type.Results.List {
+		t := r.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		name := ""
+		switch t := t.(type) {
+		case *ast.Ident:
+			name = t.Name
+		case *ast.SelectorExpr:
+			name = t.Sel.Name
+		}
+		if name == "Solution" || name == "FrontierSolver" {
+			return true
+		}
+	}
+	return false
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func docText(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	return strings.TrimSpace(cg.Text())
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxPropagate flags calls that drop an in-scope context on the floor: a
+// function that declares a context.Context parameter must not call a
+// non-context function when a sibling named <F>Ctx or <F>Context (with a
+// context.Context parameter) exists in the callee's package or method set.
+// This is the exact bug class the hetsynthd plumbing exists to prevent — a
+// ctx-accepting path that silently falls back to an uncancellable solver
+// variant (e.g. calling hap.Solve where hap.SolveCtx exists).
+var CtxPropagate = &Analyzer{
+	Name: "ctxpropagate",
+	Doc:  "in ctx-accepting functions, call the Ctx/Context variant of a solver when one exists",
+	Run:  runCtxPropagate,
+}
+
+func runCtxPropagate(pass *Pass) {
+	// Collect the body ranges of every function (declaration or literal)
+	// that declares a context.Context parameter. Nested literals inherit
+	// the obligation: they capture the context lexically.
+	var scopes []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && declaresCtxParam(pass.Info, fn.Type) {
+					scopes = append(scopes, fn.Body)
+				}
+			case *ast.FuncLit:
+				if declaresCtxParam(pass.Info, fn.Type) {
+					scopes = append(scopes, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+	inScope := func(pos token.Pos) bool {
+		for _, s := range scopes {
+			if s.Pos() <= pos && pos <= s.End() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !inScope(call.Pos()) {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok || hasCtxParam(sig) {
+				return true
+			}
+			if sib := ctxSibling(callee); sib != nil {
+				pass.Report(call.Pos(), "call to %s drops the in-scope context; use %s", callee.Name(), sib.Name())
+			}
+			return true
+		})
+	}
+}
+
+// declaresCtxParam reports whether the function type's own parameter list
+// includes a context.Context.
+func declaresCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isCtxType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSibling looks up a <name>Ctx / <name>Context variant of fn that accepts
+// a context.Context: in the package scope for plain functions, in the
+// receiver's method set for methods.
+func ctxSibling(fn *types.Func) *types.Func {
+	sig := fn.Type().(*types.Signature)
+	for _, suffix := range []string{"Ctx", "Context"} {
+		name := fn.Name() + suffix
+		var obj types.Object
+		if recv := sig.Recv(); recv != nil {
+			obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+		} else if fn.Pkg() != nil {
+			obj = fn.Pkg().Scope().Lookup(name)
+		}
+		sib, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if ssig, ok := sib.Type().(*types.Signature); ok && hasCtxParam(ssig) {
+			return sib
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation from a `// want `+"`regexp`"+`` comment,
+// the same convention analysistest uses (with backtick quoting).
+var wantRe = regexp.MustCompile("want `([^`]*)`")
+
+// runFixture loads testdata/src/<name> as one package, runs a single
+// analyzer over it, and checks the surviving diagnostics against the
+// fixture's // want comments: every diagnostic must be expected on its line
+// and every expectation must be matched.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	matched := map[key]int{}
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				ok = true
+				matched[k]++
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", k.file, k.line, d.Message)
+		}
+	}
+	for k, res := range wants {
+		if matched[k] < len(res) {
+			t.Errorf("missing diagnostic at %s:%d: want %v", k.file, k.line, res)
+		}
+	}
+}
+
+// writeFixture materializes one in-memory fixture file as a package in a
+// fresh temp dir and loads it.
+func writeFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading inline fixture: %v", err)
+	}
+	return pkg
+}
+
+func diagnosticsOf(pkg *Package, a *Analyzer) []string {
+	var out []string
+	for _, d := range RunPackage(pkg, []*Analyzer{a}) {
+		out = append(out, fmt.Sprintf("%d: %s", d.Pos.Line, d.Message))
+	}
+	return out
+}
+
+func TestCtxPropagateFixture(t *testing.T)  { runFixture(t, CtxPropagate, "ctxprop") }
+func TestGuardedByFixture(t *testing.T)     { runFixture(t, GuardedBy, "guardedby") }
+func TestGoroutineLifeFixture(t *testing.T) { runFixture(t, GoroutineLife, "goroutinelife") }
+func TestAPIDocFixture(t *testing.T)        { runFixture(t, APIDoc, "apidoc") }
+func TestRetValFixture(t *testing.T)        { runFixture(t, RetVal, "retval") }
+
+// TestGoroutineLifeRequiresJoin encodes the suite's core promise directly:
+// the exact same goroutine passes with its join point present and fails the
+// moment the wg.Wait() / done-channel receive is deleted.
+func TestGoroutineLifeRequiresJoin(t *testing.T) {
+	const waitGood = `package p
+
+import "sync"
+
+func f() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+`
+	if ds := diagnosticsOf(writeFixture(t, waitGood), GoroutineLife); len(ds) != 0 {
+		t.Fatalf("WaitGroup-joined goroutine flagged: %v", ds)
+	}
+	waitBad := strings.Replace(waitGood, "\twg.Wait()\n", "", 1)
+	ds := diagnosticsOf(writeFixture(t, waitBad), GoroutineLife)
+	if len(ds) != 1 || !strings.Contains(ds[0], "calls Wait") {
+		t.Fatalf("removing wg.Wait() should flag the goroutine, got %v", ds)
+	}
+
+	const chanGood = `package p
+
+func f() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+`
+	if ds := diagnosticsOf(writeFixture(t, chanGood), GoroutineLife); len(ds) != 0 {
+		t.Fatalf("done-channel goroutine flagged: %v", ds)
+	}
+	chanBad := strings.Replace(chanGood, "\t<-done\n", "", 1)
+	ds = diagnosticsOf(writeFixture(t, chanBad), GoroutineLife)
+	if len(ds) != 1 || !strings.Contains(ds[0], "signals a channel") {
+		t.Fatalf("removing the done-channel receive should flag the goroutine, got %v", ds)
+	}
+}
+
+// TestSuppressionNeedsReason verifies that bare markers do not suppress:
+// both //hetsynth:ignore and // detached: require a justification.
+func TestSuppressionNeedsReason(t *testing.T) {
+	const src = `package p
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func f() {
+	//hetsynth:ignore retval
+	_ = fail()
+}
+
+func g() {
+	// detached:
+	go func() {}()
+}
+`
+	pkg := writeFixture(t, src)
+	if ds := diagnosticsOf(pkg, RetVal); len(ds) != 1 {
+		t.Errorf("reasonless //hetsynth:ignore should not suppress retval, got %v", ds)
+	}
+	if ds := diagnosticsOf(pkg, GoroutineLife); len(ds) != 1 {
+		t.Errorf("reasonless // detached: should not suppress goroutinelife, got %v", ds)
+	}
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLife requires every `go` statement in production code to have a
+// provable lifecycle tie-down, preventing the goroutine-leak class the
+// server's leak test only catches dynamically. A goroutine is considered
+// tied when its body (or the body of the same-package function it invokes):
+//
+//   - calls Done on a sync.WaitGroup that some function in the package
+//     Waits on (removing the wg.Wait() breaks the proof);
+//   - blocks on a channel itself — a receive, a range over a channel, or a
+//     select — so its lifetime is bounded by its own exit signal; or
+//   - signals completion outward by sending on or closing a channel declared
+//     outside the goroutine that some function in the package receives from
+//     (removing the receive breaks the proof).
+//
+// Anything else must carry a `// detached: <reason>` annotation on the go
+// statement explaining why it legitimately outlives structured supervision.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement must be tied to a WaitGroup, a channel signal, or a // detached: justification",
+	Run:  runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) {
+	waited, received := collectJoinPoints(pass)
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, g, decls)
+			if body == nil {
+				pass.Report(g.Pos(), "goroutine body is not analyzable (func value or cross-package call); tie it down or annotate with // detached:")
+				return true
+			}
+			if reason := untiedReason(pass, body, waited, received); reason != "" {
+				pass.Report(g.Pos(), "goroutine has no lifecycle tie-down (%s); join it or annotate with // detached:", reason)
+			}
+			return true
+		})
+	}
+}
+
+// collectJoinPoints indexes, package-wide, the WaitGroups that are Waited on
+// and the channels that are received from (plain receive, range, or select).
+func collectJoinPoints(pass *Pass) (waited, received map[types.Object]bool) {
+	waited = map[types.Object]bool{}
+	received = map[types.Object]bool{}
+	markRecv := func(e ast.Expr) {
+		if o := baseObject(pass.Info, e); o != nil {
+			received[o] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				callee := calleeFunc(pass.Info, n)
+				if callee != nil && callee.Name() == "Wait" && callee.Pkg() != nil && callee.Pkg().Path() == "sync" {
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if o := baseObject(pass.Info, sel.X); o != nil && isNamedType(o.Type(), "sync", "WaitGroup") {
+							waited[o] = true
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					markRecv(n.X)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						markRecv(n.X)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return waited, received
+}
+
+// goBody resolves the statement's goroutine body: the literal itself for
+// `go func(){...}()`, or the declaration body for a call to a same-package
+// function or method.
+func goBody(pass *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if callee := calleeFunc(pass.Info, g.Call); callee != nil {
+		if fd, ok := decls[callee]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// untiedReason scans a goroutine body for a lifecycle tie and returns a
+// description of what is missing ("" when tied).
+func untiedReason(pass *Pass, body *ast.BlockStmt, waited, received map[types.Object]bool) string {
+	var doneNoWait, sendNoRecv bool
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					tied = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				tied = true
+			}
+		case *ast.SendStmt:
+			if o := baseObject(pass.Info, n.Chan); o != nil {
+				if received[o] {
+					tied = true
+				} else {
+					sendNoRecv = true
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.Info, n)
+			if callee == nil {
+				// close(ch) is a builtin, not a *types.Func.
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+					if o := baseObject(pass.Info, n.Args[0]); o != nil {
+						if received[o] {
+							tied = true
+						} else {
+							sendNoRecv = true
+						}
+					}
+				}
+				return true
+			}
+			if callee.Name() == "Done" && callee.Pkg() != nil && callee.Pkg().Path() == "sync" {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if o := baseObject(pass.Info, sel.X); o != nil && isNamedType(o.Type(), "sync", "WaitGroup") {
+						if waited[o] {
+							tied = true
+						} else {
+							doneNoWait = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case tied:
+		return ""
+	case doneNoWait:
+		return "calls wg.Done but nothing in the package calls Wait on that WaitGroup"
+	case sendNoRecv:
+		return "signals a channel nothing in the package receives from"
+	default:
+		return "no WaitGroup.Done, channel receive/range/select, or completion signal in the body"
+	}
+}

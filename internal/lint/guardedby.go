@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy enforces the machine-readable mutex annotation convention: a
+// struct field whose comment says "guarded by <mu>" (where <mu> is a
+// sync.Mutex or sync.RWMutex field of the same struct) may only be read or
+// written in a function that locks <mu> on the same receiver expression
+// before the access. Keyed composite-literal initialization is exempt — the
+// value is not yet shared. The check is lexical (a Lock anywhere earlier in
+// the same function body satisfies it), which is deliberately conservative
+// in what it *requires*, not in what it proves: it catches the "forgot to
+// lock at all" class, not every interleaving.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated 'guarded by mu' must be accessed with that mutex held",
+	Run:  runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runGuardedBy(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkGuardScope(pass, guards, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkGuardScope(pass, guards, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// collectGuards maps each annotated field to the mutex field that guards
+// it, reporting annotations that name a missing or non-mutex sibling.
+func collectGuards(pass *Pass) map[*types.Var]*types.Var {
+	guards := map[*types.Var]*types.Var{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				name := guardAnnotation(field)
+				if name == "" {
+					continue
+				}
+				mu := structFieldByName(pass.Info, st, name)
+				if mu == nil || !isSyncMutex(mu.Type()) {
+					pass.Report(field.Pos(), "'guarded by %s' names no sync.Mutex/RWMutex field of this struct", name)
+					continue
+				}
+				for _, id := range field.Names {
+					if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func structFieldByName(info *types.Info, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isSyncMutex(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// lockEvent is one base.mu.Lock()/RLock() call inside a function scope.
+type lockEvent struct {
+	mu   *types.Var // the mutex field locked
+	base string     // rendered receiver expression, e.g. "j" in j.mu.Lock()
+	pos  token.Pos
+}
+
+// checkGuardScope verifies guarded-field accesses in one function body,
+// treating nested function literals as separate scopes: a lock taken in the
+// enclosing function proves nothing about a closure that runs later.
+func checkGuardScope(pass *Pass, guards map[*types.Var]*types.Var, body *ast.BlockStmt) {
+	var locks []lockEvent
+	walkScope(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+			return
+		}
+		if callee.Name() != "Lock" && callee.Name() != "RLock" {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		muObj, _ := baseObject(pass.Info, sel.X).(*types.Var)
+		if muObj == nil {
+			return
+		}
+		base := ""
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			base = types.ExprString(inner.X)
+		}
+		locks = append(locks, lockEvent{mu: muObj, base: base, pos: call.Pos()})
+	})
+	walkScope(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		field, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return
+		}
+		mu, guarded := guards[field]
+		if !guarded {
+			return
+		}
+		base := types.ExprString(sel.X)
+		for _, l := range locks {
+			if l.mu == mu && l.base == base && l.pos < sel.Pos() {
+				return
+			}
+		}
+		pass.Report(sel.Pos(), "%s.%s is guarded by %s.%s but accessed without locking it in this function",
+			base, field.Name(), base, mu.Name())
+	})
+}
+
+// walkScope visits body without descending into nested function literals.
+func walkScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RetVal flags error returns discarded with the blank identifier. Production
+// code may not write `_ = f()` or `v, _ := g()` when the discarded value is
+// an error: either handle it or carry a `//hetsynth:ignore retval <reason>`
+// justification. Test files are out of scope (the suite never loads them).
+var RetVal = &Analyzer{
+	Name: "retval",
+	Doc:  "error returns must not be discarded with _ outside tests",
+	Run:  runRetVal,
+}
+
+func runRetVal(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" {
+					continue
+				}
+				if t := discardedType(pass.Info, as, i); t != nil && types.Identical(t, errType) {
+					pass.Report(id.Pos(), "error result discarded with _; handle it or annotate //hetsynth:ignore retval")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// discardedType resolves the type flowing into the i-th assignment target,
+// unpacking the tuple of a single multi-value call on the right-hand side.
+func discardedType(info *types.Info, as *ast.AssignStmt, i int) types.Type {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		tv, ok := info.Types[as.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || i >= tuple.Len() {
+			return nil
+		}
+		return tuple.At(i).Type()
+	}
+	if i < len(as.Rhs) {
+		if tv, ok := info.Types[as.Rhs[i]]; ok {
+			return tv.Type
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package apidoc is the apidoc fixture: exported API with present, absent,
+// misnamed, and contract-free doc comments.
+package apidoc
+
+// Solution is a solver result, mirroring hap.Solution's shape.
+type Solution struct{ Cost int }
+
+type Config struct{} // want `exported type Config must have a doc comment`
+
+// Good finds the optimal solution by dynamic programming in O(n) time.
+func Good(n int) (Solution, error) { return Solution{}, nil }
+
+// Heuristic is a greedy baseline.
+func Heuristic(n int) (Solution, error) { return Solution{}, nil }
+
+func Undocumented() {} // want `exported function Undocumented must have a doc comment`
+
+// Vague does something to the problem, somehow.
+func Vague(n int) (Solution, error) { return Solution{}, nil } // want `solver API Vague must document its complexity or algorithmic contract`
+
+// Something misleading: the doc does not start with the declared name.
+func Misnamed() {} // want `doc comment for Misnamed should start with "Misnamed"`
+
+// internal helpers are exempt however they look.
+func helper() {}
+
+type hidden struct{}
+
+func (hidden) NoDoc() {}
+
+// Widget is an exported type with documented and undocumented methods.
+type Widget struct{}
+
+// Weight reports the widget's weight.
+func (Widget) Weight() int { return 0 }
+
+func (Widget) Height() int { return 0 } // want `exported method Height must have a doc comment`

@@ -1,0 +1,52 @@
+// Package ctxprop is the ctxpropagate fixture: solver pairs with and
+// without Ctx/Context variants, called from context-carrying functions.
+package ctxprop
+
+import "context"
+
+func solve(n int) int { return n }
+
+func solveCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// lonely has no context sibling, so calling it anywhere is fine.
+func lonely(n int) int { return n }
+
+func good(ctx context.Context, n int) int { return solveCtx(ctx, n) }
+
+func bad(ctx context.Context, n int) int {
+	return solve(n) // want `call to solve drops the in-scope context; use solveCtx`
+}
+
+func callsLonely(ctx context.Context, n int) int {
+	return lonely(n)
+}
+
+// wrapper is the blessed pattern: a non-context function may delegate to
+// whatever it wants.
+func wrapper(n int) int { return solve(n) }
+
+type engine struct{}
+
+func (engine) run(n int) int { return n }
+
+func (engine) runContext(ctx context.Context, n int) int { return n }
+
+func methodBad(ctx context.Context, e engine) int {
+	return e.run(1) // want `call to run drops the in-scope context; use runContext`
+}
+
+func nestedLiteral(ctx context.Context) func() int {
+	return func() int {
+		return solve(1) // want `call to solve drops the in-scope context; use solveCtx`
+	}
+}
+
+func suppressedCall(ctx context.Context, n int) int {
+	//hetsynth:ignore ctxpropagate deliberately detached from the request context
+	return solve(n)
+}

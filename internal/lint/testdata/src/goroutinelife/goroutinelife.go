@@ -1,0 +1,99 @@
+// Package goroutinelife is the goroutinelife fixture: goroutines with and
+// without a provable lifecycle tie-down.
+package goroutinelife
+
+import "sync"
+
+func waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// leakWG is deliberately never Waited on.
+var leakWG sync.WaitGroup
+
+func leaky() {
+	leakWG.Add(1)
+	go func() { defer leakWG.Done() }() // want `nothing in the package calls Wait on that WaitGroup`
+}
+
+func doneChannel() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// orphan is deliberately never received from.
+var orphan = make(chan struct{})
+
+func orphanSignal() {
+	go func() { close(orphan) }() // want `signals a channel nothing in the package receives from`
+}
+
+func resultChannel() error {
+	errc := make(chan error, 1)
+	go func() { errc <- nil }()
+	return <-errc
+}
+
+func selectLoop(stop <-chan struct{}, work <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-work:
+			}
+		}
+	}()
+}
+
+func rangeLoop(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+func bare() {
+	go func() {}() // want `no WaitGroup.Done, channel receive/range/select, or completion signal`
+}
+
+func detachedOK() {
+	// detached: process-lifetime flusher, torn down with the process.
+	go func() {
+		for {
+		}
+	}()
+}
+
+// looper exercises the `go method()` form: the analyzer follows the call to
+// the same-package declaration body.
+type looper struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (l *looper) run() {
+	defer l.wg.Done()
+	for range l.ch {
+	}
+}
+
+func (l *looper) start() {
+	l.wg.Add(1)
+	go l.run()
+}
+
+func (l *looper) stop() {
+	close(l.ch)
+	l.wg.Wait()
+}
+
+func crossPackage() {
+	go notAnalyzable() // want `goroutine body is not analyzable`
+}
+
+var notAnalyzable = func() {}

@@ -1,0 +1,69 @@
+// Package guardedby is the guardedby fixture: annotated fields accessed
+// with and without their mutex held.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int  // guarded by mu
+	free bool // unannotated: never checked
+}
+
+type store struct {
+	rw   sync.RWMutex
+	vals map[string]int // guarded by rw
+}
+
+type broken struct {
+	x int // guarded by lk -- want `'guarded by lk' names no sync.Mutex/RWMutex field of this struct`
+}
+
+func newCounter() *counter {
+	// Keyed composite-literal initialization is exempt: not shared yet.
+	return &counter{n: 1}
+}
+
+func (c *counter) goodInc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `c\.n is guarded by c\.mu but accessed without locking it`
+}
+
+func (c *counter) freeRead() bool { return c.free }
+
+func (s *store) goodGet(k string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.vals[k]
+}
+
+func (s *store) badPut(k string, v int) {
+	s.vals[k] = v // want `s\.vals is guarded by s\.rw but accessed without locking it`
+}
+
+// closureLeak proves scope separation: the enclosing Lock does not license
+// an access inside a literal that may run after Unlock.
+func (c *counter) closureLeak() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `c\.n is guarded by c\.mu but accessed without locking it`
+	}
+}
+
+func otherBase(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	b.n++ // want `b\.n is guarded by b\.mu but accessed without locking it`
+}
+
+func (c *counter) suppressed() int {
+	//hetsynth:ignore guardedby snapshot read tolerated for metrics
+	return c.n
+}

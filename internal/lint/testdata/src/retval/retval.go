@@ -1,0 +1,38 @@
+// Package retval is the retval fixture: error returns discarded with the
+// blank identifier versus handled or justified ones.
+package retval
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func handled() error { return fail() }
+
+func bad() {
+	_ = fail() // want `error result discarded with _`
+}
+
+func badPair() int {
+	n, _ := pair() // want `error result discarded with _`
+	return n
+}
+
+func badReassign(n int) int {
+	var err error
+	n, err = pair()
+	_ = err // want `error result discarded with _`
+	return n
+}
+
+func suppressed() {
+	//hetsynth:ignore retval fixture demonstrates the justification form
+	_ = fail()
+}
+
+func nonError() int {
+	n, _ := 1, "ignored string"
+	_ = struct{}{}
+	return n
+}

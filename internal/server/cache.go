@@ -12,9 +12,9 @@ import (
 // age out together.
 type lruCache struct {
 	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	max   int                      // immutable after creation
+	ll    *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
 }
 
 type lruEntry struct {

@@ -32,11 +32,11 @@ type task struct {
 // while queued is skipped, and running tasks see the cancellation through
 // the context handed to run.
 type pool struct {
-	mu      sync.RWMutex // guards queue close vs. concurrent submit
-	queue   chan *task
-	wg      sync.WaitGroup
-	met     *metrics
-	closed  bool
+	mu     sync.RWMutex // serializes queue close vs. concurrent submit
+	queue  chan *task   // send under mu.RLock, close under mu.Lock; workers receive lock-free
+	wg     sync.WaitGroup
+	met    *metrics
+	closed bool // guarded by mu
 }
 
 func newPool(workers, depth int, met *metrics) *pool {
@@ -112,17 +112,17 @@ type Job struct {
 	ID string
 
 	mu       sync.Mutex
-	status   string
-	source   string
-	result   *SolveResult
-	errMsg   string
-	errCode  int // HTTP status a sync caller would have received
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	status   string       // guarded by mu
+	source   string       // guarded by mu
+	result   *SolveResult // guarded by mu
+	errMsg   string       // guarded by mu
+	errCode  int          // guarded by mu; HTTP status a sync caller would have received
+	created  time.Time    // guarded by mu
+	started  time.Time    // guarded by mu
+	finished time.Time    // guarded by mu
 
-	cancel context.CancelFunc
-	done   chan struct{}
+	cancel context.CancelFunc // guarded by mu
+	done   chan struct{}      // immutable after creation; closed exactly once by finish
 }
 
 // JobView is the wire form of a job's state.
@@ -188,9 +188,9 @@ func (j *Job) finish(status, source string, res *SolveResult, errMsg string, err
 // jobStore tracks jobs by ID and bounds how many finished jobs are retained.
 type jobStore struct {
 	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // insertion order, for retention pruning
-	retain int
+	jobs   map[string]*Job // guarded by mu
+	order  []string        // guarded by mu; insertion order, for retention pruning
+	retain int             // immutable after creation
 }
 
 func newJobStore(retain int) *jobStore {

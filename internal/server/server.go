@@ -140,7 +140,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.log.Info("draining", "queue_depth", s.met.queueDepth.Load(), "in_flight", s.met.inFlight.Load())
+	s.log.InfoContext(ctx, "draining", "queue_depth", s.met.queueDepth.Load(), "in_flight", s.met.inFlight.Load())
 	s.draining.Store(true)
 	// Shutdown stops new connections and waits for in-flight handlers; the
 	// handlers in turn wait for their pool tasks, so the pool must still be
@@ -150,7 +150,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	err := srv.Shutdown(shutCtx)
 	s.pool.drain()
 	s.baseCancel()
-	s.log.Info("drained")
+	s.log.InfoContext(ctx, "drained")
 	return err
 }
 
@@ -474,7 +474,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	tctx, tcancel := context.WithTimeout(s.baseCtx, s.solveBudget(spec))
 	jctx, jcancel := context.WithCancel(tctx)
+	// j is not yet shared, but take the lock anyway: the guardedby invariant
+	// is cheap here and survives any future reordering against jobs.add.
+	j.mu.Lock()
 	j.cancel = jcancel
+	j.mu.Unlock()
 	out := &solveOutcome{}
 	finish := func() {
 		switch {
@@ -569,6 +573,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
+	//hetsynth:ignore retval a failed write means the client is gone; the
+	// response status is already committed and there is no recovery path.
 	_ = enc.Encode(v)
 }
 

@@ -15,7 +15,7 @@ type flightResult struct {
 // depend on), trimmed to the one result type the server needs.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[string]*flight // guarded by mu
 }
 
 type flight struct {
