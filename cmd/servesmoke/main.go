@@ -4,9 +4,15 @@
 // cache), sweeps a second deadline off the frontier fast path, then sends
 // SIGTERM and verifies the daemon drains and exits cleanly.
 //
+// With -overload it instead runs the overload scenario (`make serve-overload`):
+// a 1-worker daemon with a short queue receives a burst of anytime solves
+// under a tight per-request compute deadline, and must shed with 429 +
+// Retry-After, keep every request's latency bounded, and degrade admitted
+// requests to finite-gap incumbents instead of stalling.
+//
 // Usage:
 //
-//	servesmoke -bin ./bin/hetsynthd
+//	servesmoke -bin ./bin/hetsynthd [-overload]
 package main
 
 import (
@@ -14,49 +20,60 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 )
 
 func main() {
 	bin := flag.String("bin", "", "path to the hetsynthd binary")
+	overload := flag.Bool("overload", false, "run the overload scenario instead of the cache/drain smoke")
 	flag.Parse()
 	if *bin == "" {
 		fmt.Fprintln(os.Stderr, "servesmoke: -bin is required")
 		os.Exit(2)
 	}
-	if err := smoke(*bin); err != nil {
+	run, name := smoke, "PASS"
+	if *overload {
+		run, name = overloadSmoke, "PASS (overload)"
+	}
+	if err := run(*bin); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
 		os.Exit(1)
 	}
-	fmt.Println("servesmoke: PASS")
+	fmt.Println("servesmoke:", name)
 }
 
-func smoke(bin string) error {
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-log", "warn")
+// boot starts the daemon with extra flags and returns the process plus the
+// base URL once it is healthy. The caller owns shutdown via cmd.
+func boot(bin string, extra ...string) (*exec.Cmd, string, error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-log", "warn"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return err
+		return nil, "", err
 	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		return err
+		return nil, "", err
 	}
-	defer cmd.Process.Kill()
 
 	// The daemon prints "listening on <addr>" as its first stdout line.
 	sc := bufio.NewScanner(stdout)
 	if !sc.Scan() {
-		return fmt.Errorf("daemon exited before announcing its address")
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("daemon exited before announcing its address")
 	}
 	line := sc.Text()
 	addr, ok := strings.CutPrefix(line, "listening on ")
 	if !ok {
-		return fmt.Errorf("unexpected first line %q", line)
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("unexpected first line %q", line)
 	}
 	base := "http://" + addr
 	// detached: drains the child's stdout until the pipe closes at process
@@ -67,8 +84,36 @@ func smoke(bin string) error {
 	}()
 
 	if err := waitHealthy(base); err != nil {
+		cmd.Process.Kill()
+		return nil, "", err
+	}
+	return cmd, base, nil
+}
+
+// terminate sends SIGTERM and verifies the daemon drains and exits cleanly.
+func terminate(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+func smoke(bin string) error {
+	cmd, base, err := boot(bin)
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
 
 	post := func(body string) (map[string]any, error) {
 		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
@@ -129,21 +174,146 @@ func smoke(bin string) error {
 		return fmt.Errorf("unexpected metrics: %v", met)
 	}
 
-	// Graceful shutdown: SIGTERM must drain and exit 0.
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+	return terminate(cmd)
+}
+
+// overloadSmoke floods a deliberately tiny pool (1 worker, 4 queue slots)
+// with concurrent anytime solves whose compute deadline is far shorter than
+// the backlog they create, then asserts the overload contract: nothing
+// hangs, the excess is shed with 429 + Retry-After, and answers that did get
+// compute report an honest quality with a finite optimality gap.
+func overloadSmoke(bin string) error {
+	cmd, base, err := boot(bin, "-workers", "1", "-queue", "4", "-timeout", "2s")
+	if err != nil {
 		return err
 	}
-	exited := make(chan error, 1)
-	go func() { exited <- cmd.Wait() }()
-	select {
-	case err := <-exited:
-		if err != nil {
-			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
-		}
-	case <-time.After(30 * time.Second):
-		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	defer cmd.Process.Kill()
+
+	const burst = 24
+	type outcome struct {
+		status  int
+		wall    time.Duration
+		quality string
+		retry   string
+		gap     float64
+		hasGap  bool
+		cost    float64
+		lower   float64
+		hasLB   bool
+		err     error
 	}
-	return nil
+	outcomes := make([]outcome, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := &outcomes[i]
+			// Unique seeds defeat the result cache and request coalescing, so
+			// every request really contends for the single worker.
+			body := fmt.Sprintf(`{"bench":"elliptic","seed":%d,"types":8,"slack":6,"algorithm":"anytime"}`, i+1)
+			req, err := http.NewRequest("POST", base+"/v1/solve", strings.NewReader(body))
+			if err != nil {
+				o.err = err
+				return
+			}
+			req.Header.Set("X-Hetsynth-Deadline-Ms", "150")
+			start := time.Now()
+			resp, err := http.DefaultClient.Do(req)
+			o.wall = time.Since(start)
+			if err != nil {
+				o.err = err
+				return
+			}
+			defer resp.Body.Close()
+			o.status = resp.StatusCode
+			o.quality = resp.Header.Get("X-Hetsynth-Quality")
+			o.retry = resp.Header.Get("Retry-After")
+			var m map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+				o.err = fmt.Errorf("bad response JSON: %w", err)
+				return
+			}
+			if g, ok := m["gap"].(float64); ok {
+				o.gap, o.hasGap = g, true
+			}
+			if c, ok := m["cost"].(float64); ok {
+				o.cost = c
+			}
+			if lb, ok := m["lower_bound"].(float64); ok {
+				o.lower, o.hasLB = lb, true
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var shed, ok200, degraded, timeouts int
+	for i, o := range outcomes {
+		if o.err != nil {
+			return fmt.Errorf("request %d: %v", i, o.err)
+		}
+		// Bounded latency is the core promise: budget (150ms) + abandon grace
+		// + HTTP overhead, never a park behind the whole backlog.
+		if o.wall > 5*time.Second {
+			return fmt.Errorf("request %d took %v; overload must not stall requests", i, o.wall)
+		}
+		switch o.status {
+		case 200:
+			ok200++
+			if o.quality == "" {
+				return fmt.Errorf("request %d: 200 without a %s header", i, "X-Hetsynth-Quality")
+			}
+			if o.quality != "exact" {
+				degraded++
+				if !o.hasGap || o.gap < 0 || math.IsNaN(o.gap) || math.IsInf(o.gap, 0) {
+					return fmt.Errorf("request %d: %s-quality response without a finite gap (%v)", i, o.quality, o.gap)
+				}
+				if !o.hasLB || o.lower > o.cost {
+					return fmt.Errorf("request %d: lower bound %v inconsistent with cost %v", i, o.lower, o.cost)
+				}
+			}
+			if o.quality == "timeout" {
+				timeouts++
+			}
+		case 429:
+			shed++
+			if o.retry == "" {
+				return fmt.Errorf("request %d: 429 without a Retry-After header", i)
+			}
+		case 504:
+			// Budget burned while queued; bounded and honestly reported.
+		default:
+			return fmt.Errorf("request %d: unexpected status %d", i, o.status)
+		}
+	}
+	if shed == 0 {
+		return fmt.Errorf("burst of %d against a 1-worker pool shed nothing (no 429s)", burst)
+	}
+	if ok200 == 0 {
+		return fmt.Errorf("no request succeeded under overload")
+	}
+	if degraded == 0 {
+		return fmt.Errorf("no admitted request was degraded; the 150ms budget should preclude exact answers")
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var met map[string]any
+	json.NewDecoder(resp.Body).Decode(&met)
+	resp.Body.Close()
+	if met["shed"].(float64) < 1 {
+		return fmt.Errorf("shed metric %v, want >= 1", met["shed"])
+	}
+	// Degraded counts solver executions; every timeout-quality *response*
+	// implies at least that many degraded executions (abandoned waiters can
+	// push the execution count higher, never lower).
+	if met["degraded"].(float64) < float64(timeouts) {
+		return fmt.Errorf("degraded metric %v < %d timeout responses", met["degraded"], timeouts)
+	}
+
+	return terminate(cmd)
 }
 
 func waitHealthy(base string) error {

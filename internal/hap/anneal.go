@@ -1,6 +1,7 @@
 package hap
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -13,6 +14,11 @@ type AnnealOptions struct {
 	Moves int     // total proposed moves (default 20000)
 	T0    float64 // initial temperature (default: cost spread estimate)
 	Alpha float64 // geometric cooling factor per move (default 0.9995)
+	// ReheatAfter, when positive, resets the temperature to its initial
+	// value after that many consecutive moves without improving the feasible
+	// incumbent — a restart that lets a frozen walk escape deep local minima
+	// late in the cooling schedule. Zero disables reheating.
+	ReheatAfter int
 }
 
 // Anneal is a randomized assignment solver used by the extended ablations:
@@ -25,6 +31,17 @@ type AnnealOptions struct {
 // heuristics (Once/Repeat) sit relative to a generic metaheuristic given
 // comparable effort.
 func Anneal(p Problem, opts AnnealOptions) (Solution, error) {
+	return AnnealCtx(context.Background(), p, opts)
+}
+
+// AnnealCtx is Anneal — the simulated-annealing metaheuristic over type
+// vectors — with cooperative cancellation: the move loop polls ctx every 256
+// moves. A cancelled run returns the best feasible incumbent found so far
+// (when one exists) together with ctx's error, so anytime callers can keep
+// the partial result; check Solution.Assign != nil before using it. The
+// RNG stream is unaffected by polling, so per-seed determinism of full runs
+// is preserved.
+func AnnealCtx(ctx context.Context, p Problem, opts AnnealOptions) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -76,11 +93,23 @@ func Anneal(p Problem, opts AnnealOptions) (Solution, error) {
 		bestA, bestCost = cur.Clone(), curCost
 	}
 
-	temp := opts.T0
-	if temp <= 0 {
-		temp = float64(lambda) * 2
+	t0 := opts.T0
+	if t0 <= 0 {
+		t0 = float64(lambda) * 2
 	}
+	temp := t0
+	sinceImprove := 0
 	for i := 0; i < moves; i++ {
+		if i&255 == 0 && ctx.Err() != nil {
+			if bestA == nil {
+				return Solution{}, ctx.Err()
+			}
+			sol, eerr := Evaluate(p, bestA)
+			if eerr != nil {
+				return Solution{}, eerr
+			}
+			return sol, ctx.Err()
+		}
 		v := rng.Intn(n)
 		k := fu.TypeID(rng.Intn(K))
 		if k == cur[v] {
@@ -90,15 +119,27 @@ func Anneal(p Problem, opts AnnealOptions) (Solution, error) {
 		cur[v] = k
 		newE, newCost, newLen := energy(cur)
 		accept := newE <= curE || rng.Float64() < math.Exp((curE-newE)/temp)
+		improved := false
 		if accept {
 			curE, curCost, curLen = newE, newCost, newLen
 			if curLen <= p.Deadline && curCost < bestCost {
 				bestA, bestCost = cur.Clone(), curCost
+				improved = true
 			}
 		} else {
 			cur[v] = old
 		}
-		temp *= alpha
+		if improved {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		if opts.ReheatAfter > 0 && sinceImprove >= opts.ReheatAfter {
+			temp = t0
+			sinceImprove = 0
+		} else {
+			temp *= alpha
+		}
 	}
 	if bestA == nil {
 		return Solution{}, ErrInfeasible

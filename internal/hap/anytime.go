@@ -1,0 +1,284 @@
+package hap
+
+import (
+	"context"
+	"errors"
+)
+
+// Quality classifies how an anytime result was obtained.
+type Quality string
+
+const (
+	// QualityExact marks a proven-optimal solution: either a shape-
+	// restricted polynomial DP (path/tree) or a completed branch-and-bound.
+	QualityExact Quality = "exact"
+	// QualityHeuristic marks a ladder that ran every stage it was going to
+	// run but holds no optimality proof (SkipExact, or the exact stage gave
+	// up on its state budget).
+	QualityHeuristic Quality = "heuristic"
+	// QualityTimeout marks a best-feasible incumbent returned because the
+	// context was cancelled or hit its deadline before the ladder finished.
+	QualityTimeout Quality = "timeout"
+)
+
+// AnytimeOptions tunes SolveAnytime. The zero value runs the full ladder
+// with package defaults.
+type AnytimeOptions struct {
+	// Exact tunes the final branch-and-bound stage. Stats is managed
+	// internally; a caller-provided Stats is ignored.
+	Exact ExactOptions
+	// Anneal tunes the annealing stage; the zero value uses package
+	// defaults (20k moves, geometric cooling).
+	Anneal AnnealOptions
+	// SkipExact stops the ladder after the heuristic stages; the result is
+	// QualityHeuristic at best (no optimality proof is attempted).
+	SkipExact bool
+	// Sequential forces the single-threaded exact solver, whose explored-
+	// state counts (and therefore timeout-path traces) are deterministic.
+	// The default fans the branch-and-bound out over worker goroutines.
+	Sequential bool
+}
+
+// StageOutcome records one rung of the anytime ladder, in execution order.
+// Incumbent is the cheapest feasible cost known after the stage, which is
+// monotonically non-increasing down the ladder by construction.
+type StageOutcome struct {
+	Stage     string // "greedy", "repeat", "anneal", "exact" (or "path"/"tree")
+	Cost      int64  // the stage's own result cost; meaningful when Err is empty or partial
+	Err       string // why the stage produced nothing (or was cut short), empty on success
+	Incumbent int64  // best feasible cost after this stage; 0 if none yet
+}
+
+// AnytimeResult is a Solution plus how good it provably is: Quality says
+// whether it is optimal, LowerBound is a proven lower bound on the optimal
+// cost, and Gap is the relative distance between the two.
+type AnytimeResult struct {
+	Solution
+	Quality Quality
+	// Gap is the relative optimality gap (Cost − LowerBound) / max(LowerBound, 1).
+	// It is 0 for proven-optimal results and always finite: a lower bound
+	// exists whenever a feasible incumbent does.
+	Gap float64
+	// LowerBound is the best proven lower bound on the optimal cost: the
+	// per-node admissible-cost bound (CostLowerBound), tightened by the
+	// exact stage's live prune-frontier bound when that stage ran.
+	LowerBound int64
+	// Stage names the ladder rung that produced the returned assignment.
+	Stage string
+	// Stages is the full ladder trace, in execution order.
+	Stages []StageOutcome
+}
+
+// CostLowerBound computes a proven lower bound on the optimal cost of p in
+// O(|V|·K): every node must run on a type whose execution time fits the
+// deadline on its own (a node's time is a lower bound on the longest path
+// through it), so summing each node's cheapest admissible cost bounds every
+// feasible assignment from below. A node with no admissible type makes the
+// instance ErrInfeasible.
+func CostLowerBound(p Problem) (int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	t := p.Table
+	var lb int64
+	for v := 0; v < t.N(); v++ {
+		best := int64(-1)
+		for k := 0; k < t.K(); k++ {
+			if t.Time[v][k] <= p.Deadline && (best < 0 || t.Cost[v][k] < best) {
+				best = t.Cost[v][k]
+			}
+		}
+		if best < 0 {
+			return 0, ErrInfeasible
+		}
+		lb += best
+	}
+	return lb, nil
+}
+
+// SolveAnytime runs the quality/latency ladder of the paper's Phase-1
+// solvers — greedy baselines, then DFG_Assign_Repeat, then simulated
+// annealing, then the exact branch-and-bound — keeping the cheapest feasible
+// incumbent throughout, and returns early with that incumbent the moment ctx
+// is cancelled or past its deadline. Shape-restricted optimal DPs short-
+// circuit the ladder: simple paths and forests are solved exactly in
+// polynomial time. The result always carries a proven LowerBound and a
+// finite Gap; Quality reports whether the answer is optimal, a completed
+// heuristic, or a timeout incumbent. An error is returned only when no
+// feasible solution was found: ErrInfeasible when that is proven (or every
+// stage agreed), or ctx's error when time ran out first.
+func SolveAnytime(ctx context.Context, p Problem, opts AnytimeOptions) (AnytimeResult, error) {
+	if err := p.Validate(); err != nil {
+		return AnytimeResult{}, err
+	}
+	lb, err := CostLowerBound(p)
+	if err != nil {
+		return AnytimeResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return AnytimeResult{}, err
+	}
+
+	// Shape fast paths: optimal pseudo-polynomial DPs, fast enough to run
+	// to completion regardless of the remaining budget.
+	switch {
+	case p.Graph.IsSimplePath():
+		sol, err := PathAssign(p)
+		return exactLadderResult(sol, "path", err)
+	case p.Graph.IsOutForest() || p.Graph.IsInForest():
+		sol, err := TreeAssign(p)
+		return exactLadderResult(sol, "tree", err)
+	}
+
+	r := AnytimeResult{LowerBound: lb}
+	var best *Solution
+	bestStage := ""
+	// absorb records a stage outcome and folds its solution (possibly a
+	// partial one carried alongside a cancellation error) into the incumbent.
+	absorb := func(stage string, sol Solution, err error) {
+		out := StageOutcome{Stage: stage}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		if sol.Assign != nil {
+			out.Cost = sol.Cost
+			if best == nil || sol.Cost < best.Cost {
+				s := sol
+				best = &s
+				bestStage = stage
+			}
+		}
+		if best != nil {
+			out.Incumbent = best.Cost
+		}
+		r.Stages = append(r.Stages, out)
+	}
+	finish := func(q Quality) (AnytimeResult, error) {
+		if best == nil {
+			if err := ctx.Err(); err != nil {
+				return AnytimeResult{}, err
+			}
+			return AnytimeResult{}, ErrInfeasible
+		}
+		r.Solution = *best
+		r.Stage = bestStage
+		r.Quality = q
+		if q == QualityExact {
+			r.LowerBound = best.Cost
+			r.Gap = 0
+			return r, nil
+		}
+		den := r.LowerBound
+		if den < 1 {
+			den = 1
+		}
+		if g := float64(best.Cost-r.LowerBound) / float64(den); g > 0 {
+			r.Gap = g
+		}
+		return r, nil
+	}
+
+	// Rung 1: greedy baselines (microseconds; not worth interrupting).
+	gsol, gerr := bestGreedy(p)
+	if gerr != nil && errors.Is(gerr, ErrInfeasible) {
+		// Greedy fails only when even the all-fastest assignment misses the
+		// deadline, which proves the instance infeasible outright.
+		return AnytimeResult{}, ErrInfeasible
+	}
+	absorb("greedy", gsol, gerr)
+	if ctx.Err() != nil {
+		return finish(QualityTimeout)
+	}
+
+	// Rung 2: DFG_Assign_Repeat, the paper's recommended heuristic.
+	rsol, rerr := AssignRepeatCtx(ctx, p)
+	absorb("repeat", rsol, rerr)
+	if ctx.Err() != nil {
+		return finish(QualityTimeout)
+	}
+
+	// Rung 3: simulated annealing; a cancelled run still contributes its
+	// partial incumbent.
+	asol, aerr := AnnealCtx(ctx, p, opts.Anneal)
+	absorb("anneal", asol, aerr)
+	if ctx.Err() != nil {
+		return finish(QualityTimeout)
+	}
+
+	if opts.SkipExact {
+		return finish(QualityHeuristic)
+	}
+
+	// Rung 4: exact branch-and-bound with a live observer, so an interrupted
+	// search still yields its incumbent and a prune-frontier lower bound.
+	stats := &SearchStats{}
+	eopts := opts.Exact
+	eopts.Stats = stats
+	var esol Solution
+	var eerr error
+	if opts.Sequential {
+		esol, eerr = ExactCtx(ctx, p, eopts)
+	} else {
+		esol, eerr = ExactParallelCtx(ctx, p, eopts)
+	}
+	switch {
+	case eerr == nil:
+		absorb("exact", esol, nil)
+		return finish(QualityExact)
+	case errors.Is(eerr, ErrInfeasible):
+		if best == nil {
+			return AnytimeResult{}, ErrInfeasible
+		}
+		// A feasible incumbent contradicts the infeasibility verdict; keep
+		// the incumbent and report honestly that no proof was obtained.
+		absorb("exact", Solution{}, eerr)
+		return finish(QualityHeuristic)
+	default:
+		// Cancelled, past deadline, or over the state budget: salvage the
+		// search's incumbent and tighten the bound with its frontier.
+		if a, _, ok := stats.Incumbent(); ok {
+			if s, verr := Evaluate(p, a); verr == nil && s.Length <= p.Deadline {
+				absorb("exact", s, eerr)
+			}
+		} else {
+			absorb("exact", Solution{}, eerr)
+		}
+		if slb, ok := stats.LowerBound(); ok && slb > r.LowerBound {
+			r.LowerBound = slb
+		}
+		if errors.Is(eerr, ErrSearchTooLarge) {
+			return finish(QualityHeuristic)
+		}
+		return finish(QualityTimeout)
+	}
+}
+
+// bestGreedy runs both greedy baselines and keeps the cheaper feasible one.
+// It is a heuristic stage helper: O(upgrades · (V+E)) like Greedy itself.
+func bestGreedy(p Problem) (Solution, error) {
+	s1, e1 := GreedyRatio(p)
+	s2, e2 := Greedy(p)
+	switch {
+	case e1 == nil && (e2 != nil || s1.Cost <= s2.Cost):
+		return s1, nil
+	case e2 == nil:
+		return s2, nil
+	default:
+		return Solution{}, e1
+	}
+}
+
+// exactLadderResult wraps a shape-restricted optimal solve as a one-stage
+// anytime result (the DP is optimal, so the gap is zero by definition).
+func exactLadderResult(sol Solution, stage string, err error) (AnytimeResult, error) {
+	if err != nil {
+		return AnytimeResult{}, err
+	}
+	return AnytimeResult{
+		Solution:   sol,
+		Quality:    QualityExact,
+		LowerBound: sol.Cost,
+		Stage:      stage,
+		Stages:     []StageOutcome{{Stage: stage, Cost: sol.Cost, Incumbent: sol.Cost}},
+	}, nil
+}

@@ -1,0 +1,336 @@
+package hap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// diamondProblem builds a 4-node diamond (two parallel branches), the
+// smallest graph that is neither a simple path nor a forest, so SolveAnytime
+// must run the full ladder instead of a shape fast path.
+func diamondProblem() Problem {
+	g := dfg.New()
+	a := g.MustAddNode("a", "")
+	b := g.MustAddNode("b", "")
+	c := g.MustAddNode("c", "")
+	d := g.MustAddNode("d", "")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, d, 0)
+	g.MustAddEdge(c, d, 0)
+	t := fu.NewTable(4, 2)
+	t.MustSet(0, []int{1, 3}, []int64{9, 2})
+	t.MustSet(1, []int{1, 2}, []int64{8, 3})
+	t.MustSet(2, []int{2, 4}, []int64{7, 1})
+	t.MustSet(3, []int{1, 2}, []int64{6, 2})
+	return Problem{Graph: g, Table: t, Deadline: 7}
+}
+
+func TestCostLowerBound(t *testing.T) {
+	p := diamondProblem()
+	lb, err := CostLowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every type fits the deadline per node, so the bound is the cheapest
+	// column sum: 2 + 3 + 1 + 2.
+	if lb != 8 {
+		t.Fatalf("lower bound %d, want 8", lb)
+	}
+	opt, err := Exact(p, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > opt.Cost {
+		t.Fatalf("lower bound %d exceeds optimum %d", lb, opt.Cost)
+	}
+
+	tight := p
+	tight.Deadline = 1
+	if _, err := CostLowerBound(tight); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("deadline below every per-node time: err %v, want ErrInfeasible", err)
+	}
+	if _, err := CostLowerBound(Problem{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+// TestSolveAnytimeDifferential is the anytime property test: across random
+// small instances with an unconstrained context, the ladder must (a) return
+// a feasible assignment, (b) match the exact optimum with a zero gap, and
+// (c) keep its per-stage incumbent trace monotonically non-increasing.
+func TestSolveAnytimeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		p := randomProblem(rng, 8, false)
+		res, err := SolveAnytime(context.Background(), p, AnytimeOptions{Sequential: i%2 == 0})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		s, verr := Evaluate(p, res.Assign)
+		if verr != nil {
+			t.Fatalf("instance %d: invalid assignment: %v", i, verr)
+		}
+		if s.Length > p.Deadline {
+			t.Fatalf("instance %d: infeasible incumbent: length %d > deadline %d", i, s.Length, p.Deadline)
+		}
+		if s.Cost != res.Cost {
+			t.Fatalf("instance %d: reported cost %d, recomputed %d", i, res.Cost, s.Cost)
+		}
+		if res.Quality != QualityExact {
+			t.Fatalf("instance %d: quality %q with an unconstrained context, want exact", i, res.Quality)
+		}
+		if res.Gap != 0 || res.LowerBound != res.Cost {
+			t.Fatalf("instance %d: exact result with gap %v / bound %d (cost %d)", i, res.Gap, res.LowerBound, res.Cost)
+		}
+		opt, err := Exact(p, ExactOptions{})
+		if err != nil {
+			t.Fatalf("instance %d: exact reference: %v", i, err)
+		}
+		if res.Cost != opt.Cost {
+			t.Fatalf("instance %d: anytime cost %d, exact optimum %d", i, res.Cost, opt.Cost)
+		}
+		last := int64(0)
+		for j, st := range res.Stages {
+			if st.Incumbent == 0 {
+				continue
+			}
+			if last != 0 && st.Incumbent > last {
+				t.Fatalf("instance %d: incumbent rose %d -> %d at stage %d (%q)", i, last, st.Incumbent, j, st.Stage)
+			}
+			last = st.Incumbent
+		}
+		if last != res.Cost {
+			t.Fatalf("instance %d: final stage incumbent %d, result cost %d", i, last, res.Cost)
+		}
+	}
+}
+
+// TestSolveAnytimeBudgetExhausted starves the exact stage with a tiny state
+// budget: the result must degrade to a heuristic verdict with a consistent
+// finite gap, never an unproven "exact".
+func TestSolveAnytimeBudgetExhausted(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	sawHeuristic := false
+	for i := 0; i < 40; i++ {
+		p := randomProblem(rng, 12, false)
+		if p.Graph.IsSimplePath() || p.Graph.IsOutForest() || p.Graph.IsInForest() {
+			continue // shape fast path proves optimality without the B&B
+		}
+		opts := AnytimeOptions{Exact: ExactOptions{MaxStates: 50}, Sequential: true}
+		res, err := SolveAnytime(context.Background(), p, opts)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		switch res.Quality {
+		case QualityExact:
+			// The search fit in 50 states; the proof stands.
+		case QualityHeuristic:
+			sawHeuristic = true
+		default:
+			t.Fatalf("instance %d: quality %q, want exact or heuristic", i, res.Quality)
+		}
+		s, verr := Evaluate(p, res.Assign)
+		if verr != nil || s.Length > p.Deadline {
+			t.Fatalf("instance %d: infeasible incumbent (%v, length %d)", i, verr, s.Length)
+		}
+		if res.LowerBound > res.Cost {
+			t.Fatalf("instance %d: lower bound %d exceeds cost %d", i, res.LowerBound, res.Cost)
+		}
+		den := res.LowerBound
+		if den < 1 {
+			den = 1
+		}
+		want := float64(res.Cost-res.LowerBound) / float64(den)
+		if want < 0 {
+			want = 0
+		}
+		if res.Gap != want || math.IsNaN(res.Gap) || math.IsInf(res.Gap, 0) {
+			t.Fatalf("instance %d: gap %v inconsistent with cost %d / bound %d", i, res.Gap, res.Cost, res.LowerBound)
+		}
+		opt, err := Exact(p, ExactOptions{})
+		if err != nil {
+			t.Fatalf("instance %d: exact reference: %v", i, err)
+		}
+		if res.Cost < opt.Cost {
+			t.Fatalf("instance %d: anytime cost %d beats the optimum %d", i, res.Cost, opt.Cost)
+		}
+		if res.LowerBound > opt.Cost {
+			t.Fatalf("instance %d: claimed lower bound %d exceeds the true optimum %d", i, res.LowerBound, opt.Cost)
+		}
+	}
+	if !sawHeuristic {
+		t.Fatal("no instance exhausted the 50-state budget; the degraded path went untested")
+	}
+}
+
+// countdownCtx reports itself cancelled after a fixed number of Err polls —
+// a deterministic stand-in for a deadline that fires between ladder rungs.
+type countdownCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestSolveAnytimeTimeoutKeepsIncumbent(t *testing.T) {
+	p := diamondProblem()
+	// Poll budget 1: the entry check passes, the post-greedy check fails, so
+	// the ladder must stop after the greedy rung with a timeout verdict.
+	ctx := &countdownCtx{Context: context.Background(), after: 1}
+	res, err := SolveAnytime(ctx, p, AnytimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != QualityTimeout {
+		t.Fatalf("quality %q, want timeout", res.Quality)
+	}
+	if res.Stage != "greedy" || len(res.Stages) != 1 {
+		t.Fatalf("stage %q with trace %+v, want a single greedy rung", res.Stage, res.Stages)
+	}
+	s, verr := Evaluate(p, res.Assign)
+	if verr != nil || s.Length > p.Deadline {
+		t.Fatalf("timeout incumbent infeasible (%v, length %d)", verr, s.Length)
+	}
+	if res.Gap < 0 || math.IsInf(res.Gap, 0) || math.IsNaN(res.Gap) {
+		t.Fatalf("gap %v, want finite and non-negative", res.Gap)
+	}
+	if res.LowerBound > res.Cost {
+		t.Fatalf("lower bound %d exceeds cost %d", res.LowerBound, res.Cost)
+	}
+
+	// A context dead on arrival yields no incumbent, only its error.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveAnytime(dead, p, AnytimeOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context: err %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveAnytimeShapeFastPaths(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		prob  Problem
+		stage string
+	}{
+		{"path", pathProblem(), "path"},
+		{"tree", treeProblem(), "tree"},
+	} {
+		res, err := SolveAnytime(context.Background(), tc.prob, AnytimeOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Quality != QualityExact || res.Stage != tc.stage || res.Gap != 0 {
+			t.Fatalf("%s: quality %q stage %q gap %v, want exact/%s/0", tc.name, res.Quality, res.Stage, res.Gap, tc.stage)
+		}
+		opt, err := Exact(tc.prob, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != opt.Cost {
+			t.Fatalf("%s: cost %d, optimum %d", tc.name, res.Cost, opt.Cost)
+		}
+	}
+}
+
+func TestSolveAnytimeSkipExact(t *testing.T) {
+	p := diamondProblem()
+	res, err := SolveAnytime(context.Background(), p, AnytimeOptions{SkipExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != QualityHeuristic {
+		t.Fatalf("quality %q, want heuristic when the exact stage is skipped", res.Quality)
+	}
+	for _, st := range res.Stages {
+		if st.Stage == "exact" {
+			t.Fatal("exact stage ran despite SkipExact")
+		}
+	}
+}
+
+func TestSolveAnytimeInfeasible(t *testing.T) {
+	p := diamondProblem()
+	p.Deadline = 2 // below the 3-node critical path at all-fastest speeds
+	if _, err := SolveAnytime(context.Background(), p, AnytimeOptions{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err %v, want ErrInfeasible", err)
+	}
+}
+
+// FuzzSolveAnytime hammers the anytime ladder with randomized instances and
+// deadlines from microseconds (everything times out) to milliseconds: any
+// returned incumbent must be feasible with consistent gap accounting, and
+// the solver must not leak goroutines regardless of where the deadline cut.
+func FuzzSolveAnytime(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(1), uint16(500), false)
+	f.Add(int64(7), uint8(0), uint8(2), uint16(0), true)
+	f.Add(int64(-3), uint8(40), uint8(9), uint16(5000), false)
+	f.Fuzz(func(t *testing.T, seed int64, n, k uint8, budgetUS uint16, seq bool) {
+		before := runtime.NumGoroutine()
+		nn := 2 + int(n%7)
+		kk := 2 + int(k%3)
+		rng := rand.New(rand.NewSource(seed))
+		g := dfg.RandomDAG(rng, nn, 0.3)
+		tab := fu.RandomTable(rng, nn, kk)
+		min, err := MinMakespan(g, tab)
+		if err != nil {
+			t.Fatalf("min makespan: %v", err)
+		}
+		p := Problem{Graph: g, Table: tab, Deadline: min + rng.Intn(min+3)}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(budgetUS+1)*time.Microsecond)
+		res, rerr := SolveAnytime(ctx, p, AnytimeOptions{Sequential: seq})
+		cancel()
+		switch {
+		case rerr == nil:
+			s, verr := Evaluate(p, res.Assign)
+			if verr != nil {
+				t.Fatalf("invalid assignment: %v", verr)
+			}
+			if s.Length > p.Deadline {
+				t.Fatalf("infeasible incumbent: length %d > deadline %d", s.Length, p.Deadline)
+			}
+			if s.Cost != res.Cost {
+				t.Fatalf("cost mismatch: reported %d, recomputed %d", res.Cost, s.Cost)
+			}
+			if res.Gap < 0 || math.IsNaN(res.Gap) || math.IsInf(res.Gap, 0) {
+				t.Fatalf("gap %v, want finite and non-negative", res.Gap)
+			}
+			if res.LowerBound > res.Cost {
+				t.Fatalf("lower bound %d exceeds cost %d", res.LowerBound, res.Cost)
+			}
+			if res.Quality == QualityExact && res.Gap != 0 {
+				t.Fatalf("exact result with nonzero gap %v", res.Gap)
+			}
+		case errors.Is(rerr, context.DeadlineExceeded), errors.Is(rerr, context.Canceled):
+			// Out of time before any feasible incumbent: legitimate.
+		case errors.Is(rerr, ErrInfeasible):
+			t.Fatalf("deadline %d >= min makespan %d reported infeasible", p.Deadline, min)
+		default:
+			t.Fatalf("unexpected error: %v", rerr)
+		}
+		// Everything the ladder spawns must join before it returns; allow the
+		// runtime a moment to retire exiting goroutines.
+		settle := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before+2 && time.Now().Before(settle) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after := runtime.NumGoroutine(); after > before+2 {
+			t.Fatalf("goroutine leak: %d before, %d after", before, after)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"hetsynth/internal/dfg"
 	"hetsynth/internal/fu"
@@ -18,7 +19,63 @@ type ExactOptions struct {
 	// MaxStates bounds the number of branch-and-bound nodes explored;
 	// zero means DefaultMaxStates.
 	MaxStates int
+	// Stats, when non-nil, is reset at the start of the run and observes it
+	// live: incumbents are published as they are found, and when the search
+	// stops early (cancellation, deadline, or state budget) the optimistic
+	// bound of the unexplored frontier is recorded as a proven lower bound
+	// on the optimum. This is what turns a cancelled Exact run into an
+	// anytime result instead of a discarded one (see SolveAnytime).
+	Stats *SearchStats
 }
+
+// SearchStats observes one branch-and-bound run (Exact or ExactParallel):
+// the live incumbent — best feasible assignment found so far — and, once the
+// run returns, a proven lower bound on the optimal cost. A completed search
+// proves its incumbent optimal (bound == incumbent cost); an early-stopped
+// one bounds the optimum by the cheapest optimistic cost of any subtree the
+// search never entered, taken off the prune frontier instead of being
+// thrown away. Safe for concurrent use; reused across runs (each run resets
+// it).
+type SearchStats struct {
+	inc      incumbent
+	lower    atomic.Int64 // proven lower bound on the optimal cost; inf until established
+	explored atomic.Int64 // branch-and-bound states visited
+}
+
+// reset prepares the stats for a fresh run.
+func (s *SearchStats) reset() {
+	s.inc.cost.Store(int64(inf))
+	s.inc.mu.Lock()
+	s.inc.assign = nil
+	s.inc.assignCost = 0
+	s.inc.mu.Unlock()
+	s.lower.Store(int64(inf))
+	s.explored.Store(0)
+}
+
+// Incumbent returns a copy of the best feasible assignment the observed
+// search has found so far, with its cost; ok is false when none has landed
+// yet. Safe to call while the search is still running.
+func (s *SearchStats) Incumbent() (Assignment, int64, bool) {
+	a, c, ok := s.inc.snapshot()
+	if !ok {
+		return nil, 0, false
+	}
+	return a.Clone(), c, true
+}
+
+// LowerBound returns a proven lower bound on the optimal cost, valid once
+// the observed search has returned: the optimum itself when the search
+// completed, or min(incumbent cost, cheapest unexplored-subtree bound) when
+// it stopped early. ok is false when no bound was established (infeasible
+// instance, or a run that never started).
+func (s *SearchStats) LowerBound() (int64, bool) {
+	lb := s.lower.Load()
+	return lb, lb < int64(inf)
+}
+
+// Explored reports how many branch-and-bound states the run visited.
+func (s *SearchStats) Explored() int64 { return s.explored.Load() }
 
 // DefaultMaxStates is the default exploration budget of Exact.
 const DefaultMaxStates = 20_000_000
@@ -61,6 +118,10 @@ func ExactCtx(ctx context.Context, p Problem, opts ExactOptions) (Solution, erro
 	if budget <= 0 {
 		budget = DefaultMaxStates
 	}
+	stats := opts.Stats
+	if stats != nil {
+		stats.reset()
+	}
 
 	order, err := p.Graph.TopoOrder()
 	if err != nil {
@@ -83,6 +144,9 @@ func ExactCtx(ctx context.Context, p Problem, opts ExactOptions) (Solution, erro
 		if s, err := seed(p); err == nil && s.Cost < bestCost {
 			bestCost, bestAssign = s.Cost, s.Assign.Clone()
 		}
+	}
+	if stats != nil && bestAssign != nil {
+		stats.inc.record(bestCost, bestAssign)
 	}
 
 	// minCostSuffix[i]: sum of per-node minimum costs of order[i:].
@@ -113,18 +177,28 @@ func ExactCtx(ctx context.Context, p Problem, opts ExactOptions) (Solution, erro
 		return l
 	}
 
+	// frontierLB tracks the cheapest optimistic bound over subtrees the
+	// search abandoned on an early stop: every unexplored solution costs at
+	// least frontierLB, so min(bestCost, frontierLB) is a proven lower
+	// bound on the optimum even when the search did not finish.
+	frontierLB := int64(inf)
+	note := func(b int64) {
+		if b < frontierLB {
+			frontierLB = b
+		}
+	}
+
 	var rec func(i int, cost int64)
 	rec = func(i int, cost int64) {
-		if overBudget || cancelled {
-			return
-		}
 		states++
 		if states > budget {
 			overBudget = true
+			note(cost + minCostSuffix[i])
 			return
 		}
 		if states&ctxCheckMask == 0 && ctx.Err() != nil {
 			cancelled = true
+			note(cost + minCostSuffix[i])
 			return
 		}
 		if cost+minCostSuffix[i] >= bestCost {
@@ -136,19 +210,45 @@ func ExactCtx(ctx context.Context, p Problem, opts ExactOptions) (Solution, erro
 		if i == n {
 			bestCost = cost
 			bestAssign = assign.Clone()
+			if stats != nil {
+				stats.inc.record(cost, bestAssign)
+			}
 			return
 		}
 		v := int(order[i])
 		saved := times[v]
-		for _, k := range cands[v] {
+		for idx, k := range cands[v] {
 			assign[v] = k
 			times[v] = t.Time[v][k]
 			rec(i+1, cost+t.Cost[v][k])
+			if overBudget || cancelled {
+				// The aborted child accounted for its own remainder; the
+				// untried sibling subtrees are accounted for here, so the
+				// whole open frontier ends up in frontierLB.
+				for _, k2 := range cands[v][idx+1:] {
+					note(cost + t.Cost[v][k2] + minCostSuffix[i+1])
+				}
+				break
+			}
 		}
 		times[v] = saved
 	}
 	rec(0, 0)
 
+	if stats != nil {
+		stats.explored.Store(int64(states))
+		switch {
+		case cancelled || overBudget:
+			lb := frontierLB
+			if bestAssign != nil && bestCost < lb {
+				lb = bestCost
+			}
+			stats.lower.Store(lb)
+		case bestAssign != nil:
+			// Search completed: the incumbent is the optimum.
+			stats.lower.Store(bestCost)
+		}
+	}
 	if cancelled {
 		return Solution{}, ctx.Err()
 	}

@@ -19,9 +19,10 @@ var errStopped = errors.New("hap: search stopped")
 // incumbent is the workers' shared best-so-far. The cost bound is read
 // lock-free on the hot path; the assignment behind it is mutex-protected.
 type incumbent struct {
-	cost   atomic.Int64
-	mu     sync.Mutex
-	assign Assignment // guarded by mu
+	cost       atomic.Int64
+	mu         sync.Mutex
+	assign     Assignment // guarded by mu
+	assignCost int64      // guarded by mu; cost of assign, kept consistent with it
 }
 
 // record lowers the incumbent to (cost, a) when it improves on the current
@@ -38,6 +39,7 @@ func (b *incumbent) record(cost int64, a Assignment) {
 			// cost after our CAS; only overwrite if we still hold it.
 			if b.cost.Load() == cost {
 				b.assign = a.Clone()
+				b.assignCost = cost
 			}
 			b.mu.Unlock()
 			return
@@ -45,11 +47,16 @@ func (b *incumbent) record(cost int64, a Assignment) {
 	}
 }
 
-// best returns the recorded assignment; nil when nothing feasible landed.
-func (b *incumbent) best() Assignment {
+// snapshot returns the recorded assignment with its cost, read consistently
+// under the mutex; ok is false when nothing feasible landed. Callers must
+// treat the returned assignment as read-only (SearchStats.Incumbent clones).
+func (b *incumbent) snapshot() (Assignment, int64, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.assign
+	if b.assign == nil {
+		return nil, 0, false
+	}
+	return b.assign, b.assignCost, true
 }
 
 // ExactParallel is Exact with the top level of the branch-and-bound fanned
@@ -91,6 +98,7 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 	if budget <= 0 {
 		budget = DefaultMaxStates
 	}
+	stats := opts.Stats
 
 	order, err := p.Graph.TopoOrder()
 	if err != nil {
@@ -104,7 +112,13 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 		return Solution{}, ErrInfeasible
 	}
 
+	// With stats attached, the stats incumbent IS the shared incumbent, so
+	// observers see every improvement the moment a worker records it.
 	inc := &incumbent{}
+	if stats != nil {
+		stats.reset()
+		inc = &stats.inc
+	}
 	inc.cost.Store(int64(inf))
 	for _, seed := range []func(Problem) (Solution, error){GreedyRatio, Greedy, AssignOnce} {
 		if s, err := seed(p); err == nil {
@@ -130,7 +144,12 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 	first := int(order[0])
 	var wg sync.WaitGroup
 	errs := make([]error, K)
+	// Per-worker frontier bounds and state counts; each worker owns its own
+	// index, read only after the join.
+	fronts := make([]int64, K)
+	statesBy := make([]int64, K)
 	for k0 := 0; k0 < K; k0++ {
+		fronts[k0] = int64(inf)
 		wg.Add(1)
 		go func(k0 int) {
 			defer wg.Done()
@@ -139,20 +158,28 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 			assign[first] = fu.TypeID(k0)
 			times[first] = t.Time[first][k0]
 			states := 0
+			note := func(b int64) {
+				if b < fronts[k0] {
+					fronts[k0] = b
+				}
+			}
 			var rec func(i int, cost int64) error
 			rec = func(i int, cost int64) error {
 				states++
 				if states&1023 == 0 {
 					if stop.Load() {
+						note(cost + minCostSuffix[i])
 						return errStopped
 					}
 					if ctx.Err() != nil {
 						stop.Store(true)
+						note(cost + minCostSuffix[i])
 						return errStopped
 					}
 				}
 				if states > budget {
 					stop.Store(true)
+					note(cost + minCostSuffix[i])
 					return fmt.Errorf("%w (budget %d per worker)", ErrSearchTooLarge, budget)
 				}
 				if cost+minCostSuffix[i] >= inc.cost.Load() {
@@ -169,10 +196,15 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 				}
 				v := int(order[i])
 				saved := times[v]
-				for _, k := range cands[v] {
+				for idx, k := range cands[v] {
 					assign[v] = k
 					times[v] = t.Time[v][k]
 					if err := rec(i+1, cost+t.Cost[v][k]); err != nil {
+						// The aborted child accounted for its own remainder;
+						// the untried siblings are accounted for here.
+						for _, k2 := range cands[v][idx+1:] {
+							note(cost + t.Cost[v][k2] + minCostSuffix[i+1])
+						}
 						return err
 					}
 				}
@@ -180,19 +212,51 @@ func ExactParallelCtx(ctx context.Context, p Problem, opts ExactOptions) (Soluti
 				return nil
 			}
 			errs[k0] = rec(1, t.Cost[first][k0])
+			statesBy[k0] = int64(states)
 		}(k0)
 	}
 	wg.Wait()
+
+	var stopErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errStopped) {
+			stopErr = err
+			break
+		}
+	}
+	earlyStop := ctx.Err() != nil || stopErr != nil
+	if stats != nil {
+		var tot int64
+		for _, s := range statesBy {
+			tot += s
+		}
+		stats.explored.Store(tot)
+		_, cost, ok := inc.snapshot()
+		switch {
+		case earlyStop:
+			lb := int64(inf)
+			for _, fb := range fronts {
+				if fb < lb {
+					lb = fb
+				}
+			}
+			if ok && cost < lb {
+				lb = cost
+			}
+			stats.lower.Store(lb)
+		case ok:
+			// All workers ran dry: the incumbent is the optimum.
+			stats.lower.Store(cost)
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return Solution{}, err
 	}
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, errStopped) {
-			return Solution{}, err
-		}
+	if stopErr != nil {
+		return Solution{}, stopErr
 	}
-	a := inc.best()
-	if a == nil {
+	a, _, ok := inc.snapshot()
+	if !ok {
 		return Solution{}, ErrInfeasible
 	}
 	return Evaluate(p, a)

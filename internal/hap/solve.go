@@ -30,6 +30,10 @@ const (
 	AlgoGreedyRatio
 	// AlgoExact is the branch-and-bound optimum (small graphs).
 	AlgoExact
+	// AlgoAnytime is the deadline-aware ladder (greedy → repeat → anneal →
+	// exact) that returns the best feasible incumbent when the context
+	// expires; see SolveAnytime for the full contract.
+	AlgoAnytime
 )
 
 var algoNames = map[Algorithm]string{
@@ -41,6 +45,7 @@ var algoNames = map[Algorithm]string{
 	AlgoGreedy:      "greedy",
 	AlgoGreedyRatio: "greedy-ratio",
 	AlgoExact:       "exact",
+	AlgoAnytime:     "anytime",
 }
 
 // String returns the CLI name of the algorithm.
@@ -58,7 +63,7 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("hap: unknown algorithm %q (want auto|path|tree|once|repeat|greedy|greedy-ratio|exact)", s)
+	return 0, fmt.Errorf("hap: unknown algorithm %q (want auto|path|tree|once|repeat|greedy|greedy-ratio|exact|anytime)", s)
 }
 
 // Solve runs the selected algorithm on the problem. Complexity follows the
@@ -101,6 +106,9 @@ func SolveCtx(ctx context.Context, p Problem, algo Algorithm) (Solution, error) 
 		return GreedyRatio(p)
 	case AlgoExact:
 		return ExactCtx(ctx, p, ExactOptions{})
+	case AlgoAnytime:
+		r, err := SolveAnytime(ctx, p, AnytimeOptions{})
+		return r.Solution, err
 	default:
 		return Solution{}, fmt.Errorf("hap: unknown algorithm %v", algo)
 	}

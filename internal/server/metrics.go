@@ -30,8 +30,18 @@ type metrics struct {
 	solves       atomic.Int64 // full solver executions
 	solveErrors  atomic.Int64 // solver executions that returned an error
 
+	shed      atomic.Int64 // requests load-shed with 429 (queue full or predicted overload)
+	abandoned atomic.Int64 // sync waits given up past deadline + grace (504, result discarded)
+	degraded  atomic.Int64 // solver executions that returned a timeout-quality incumbent
+	exactRes  atomic.Int64 // solver executions that returned a proven-optimal result
+
 	jobsSubmitted atomic.Int64
-	jobsCanceled  atomic.Int64
+	jobsCanceled  atomic.Int64 // DELETE /v1/jobs/{id} cancel requests
+	// Terminal job states; after a drain,
+	// jobsSubmitted == jobsDone + jobsFailed + jobsCanceledFinal.
+	jobsDone          atomic.Int64
+	jobsFailed        atomic.Int64
+	jobsCanceledFinal atomic.Int64
 
 	latCount atomic.Int64
 	latSumUS atomic.Int64   // microseconds, summed over solves
@@ -54,6 +64,17 @@ func (m *metrics) observeSolve(d time.Duration) {
 	m.latHist[i].Add(1)
 }
 
+// meanSolve returns the observed mean solver-execution latency, or zero
+// before any solve has completed. It feeds the queue-wait estimate behind
+// admission control and Retry-After hints.
+func (m *metrics) meanSolve() time.Duration {
+	n := m.latCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(m.latSumUS.Load()/n) * time.Microsecond
+}
+
 // MetricsSnapshot is the JSON layout of GET /metrics.
 type MetricsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -73,8 +94,16 @@ type MetricsSnapshot struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
 
-	JobsSubmitted int64 `json:"jobs_submitted"`
-	JobsCanceled  int64 `json:"jobs_canceled"`
+	Shed      int64 `json:"shed"`
+	Abandoned int64 `json:"abandoned"`
+	Degraded  int64 `json:"degraded"`
+	ExactRes  int64 `json:"exact_results"`
+
+	JobsSubmitted     int64 `json:"jobs_submitted"`
+	JobsCanceled      int64 `json:"jobs_canceled"`
+	JobsDone          int64 `json:"jobs_done"`
+	JobsFailed        int64 `json:"jobs_failed"`
+	JobsCanceledFinal int64 `json:"jobs_canceled_final"`
 
 	SolveLatency histogramSnapshot `json:"solve_latency"`
 }
@@ -105,8 +134,16 @@ func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
 		Solves:        m.solves.Load(),
 		SolveErrors:   m.solveErrors.Load(),
 		CacheEntries:  cacheEntries,
-		JobsSubmitted: m.jobsSubmitted.Load(),
-		JobsCanceled:  m.jobsCanceled.Load(),
+		Shed:          m.shed.Load(),
+		Abandoned:     m.abandoned.Load(),
+		Degraded:      m.degraded.Load(),
+		ExactRes:      m.exactRes.Load(),
+
+		JobsSubmitted:     m.jobsSubmitted.Load(),
+		JobsCanceled:      m.jobsCanceled.Load(),
+		JobsDone:          m.jobsDone.Load(),
+		JobsFailed:        m.jobsFailed.Load(),
+		JobsCanceledFinal: m.jobsCanceledFinal.Load(),
 	}
 	served := s.CacheHits + s.FrontierHits + s.Coalesced + s.Solves
 	if served > 0 {

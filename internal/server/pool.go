@@ -168,12 +168,15 @@ func (j *Job) setRunning() {
 	j.mu.Unlock()
 }
 
-// finish records the outcome exactly once and releases waiters.
-func (j *Job) finish(status, source string, res *SolveResult, errMsg string, errCode int) {
+// finish records the outcome exactly once and releases waiters. It reports
+// whether this call performed the transition; false means the job had already
+// reached a terminal state and nothing changed, so callers can keep terminal
+// counters exact even when a worker and a janitor race to settle the same job.
+func (j *Job) finish(status, source string, res *SolveResult, errMsg string, errCode int) bool {
 	j.mu.Lock()
 	if j.status == JobDone || j.status == JobFailed || j.status == JobCanceled {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.status = status
 	j.source = source
@@ -183,6 +186,7 @@ func (j *Job) finish(status, source string, res *SolveResult, errMsg string, err
 	j.finished = time.Now()
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }
 
 // jobStore tracks jobs by ID and bounds how many finished jobs are retained.

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"strconv"
 	"strings"
 
 	"hetsynth/internal/benchdfg"
@@ -19,6 +21,26 @@ import (
 // maxBodyBytes bounds a request body; a graph big enough to exceed this is
 // far past what the solvers handle interactively anyway.
 const maxBodyBytes = 8 << 20
+
+// maxDeadline caps client-supplied deadlines and slacks; DP horizons and
+// path sums stay far away from integer overflow below it.
+const maxDeadline = 1<<31 - 1
+
+// maxTableEntry caps inline table times and costs (~1.1e12): with at most
+// maxBodyBytes/8 entries, no longest-path or cost sum can overflow int64.
+const maxTableEntry = 1 << 40
+
+// DeadlineHeader is the request header carrying the per-request compute
+// deadline in milliseconds. It bounds how long the server may spend solving
+// (queue wait included); the effective budget is min(header, body
+// timeout_ms, server max). Responses echo the degradation outcome in the
+// QualityHeader.
+const DeadlineHeader = "X-Hetsynth-Deadline-Ms"
+
+// QualityHeader is the response header mirroring the result's quality field
+// ("exact", "heuristic" or "timeout"), so load balancers and clients can
+// spot degraded answers without parsing the body.
+const QualityHeader = "X-Hetsynth-Quality"
 
 // SolveRequest is the JSON body of POST /v1/solve and POST /v1/jobs.
 //
@@ -60,12 +82,24 @@ type TablePayload struct {
 
 // SolveResult is the cacheable outcome of one solve (everything but the
 // per-response source annotation).
+//
+// Quality reports how good the answer provably is: "exact" (proven
+// optimal), "heuristic" (completed heuristic, no optimality proof), or
+// "timeout" (best feasible incumbent when the compute deadline expired).
+// Degraded ("timeout") and anytime results also carry Gap — the relative
+// optimality gap (cost − lower_bound)/max(lower_bound, 1), always finite —
+// and the proven LowerBound itself; Stage names the ladder rung that
+// produced the assignment.
 type SolveResult struct {
 	Algorithm  string                 `json:"algorithm"`
 	Deadline   int                    `json:"deadline"`
 	Cost       int64                  `json:"cost"`
 	Length     int                    `json:"length"`
 	Assignment []int                  `json:"assignment"`
+	Quality    string                 `json:"quality,omitempty"`
+	Gap        *float64               `json:"gap,omitempty"`
+	LowerBound *int64                 `json:"lower_bound,omitempty"`
+	Stage      string                 `json:"stage,omitempty"`
 	Frontier   []FrontierPointPayload `json:"frontier,omitempty"`
 	Schedule   *SchedulePayload       `json:"schedule,omitempty"`
 	ElapsedMS  float64                `json:"elapsed_ms"`
@@ -93,9 +127,13 @@ type SolveResponse struct {
 }
 
 // apiError carries an HTTP status with a client-facing message.
+// RetryAfter, when positive, is surfaced as a Retry-After header (seconds)
+// — set on 429 load-shed rejections so clients back off instead of
+// hammering a saturated pool.
 type apiError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	RetryAfter int
 }
 
 func (e *apiError) Error() string { return e.Msg }
@@ -115,6 +153,7 @@ type solveSpec struct {
 	key     string // result-cache / single-flight key
 	instKey string // deadline-independent instance key (frontier cache)
 	tree    bool   // frontier fast path applies
+	anytime bool   // solve through the anytime ladder, report quality + gap
 }
 
 // decodeSolveRequest parses and resolves a request body into a solveSpec.
@@ -154,6 +193,9 @@ func resolve(req *SolveRequest) (*solveSpec, error) {
 	}
 
 	deadline := req.Deadline
+	if deadline < 0 {
+		return nil, badRequest("negative deadline %d", deadline)
+	}
 	switch {
 	case deadline > 0 && req.Slack != nil:
 		return nil, badRequest("use either deadline or slack, not both")
@@ -162,6 +204,9 @@ func resolve(req *SolveRequest) (*solveSpec, error) {
 		if *req.Slack < 0 {
 			return nil, badRequest("negative slack %d", *req.Slack)
 		}
+		if *req.Slack > maxDeadline {
+			return nil, badRequest("slack %d exceeds the supported maximum %d", *req.Slack, maxDeadline)
+		}
 		min, err := hap.MinMakespan(g, tab)
 		if err != nil {
 			return nil, badRequest("cannot derive deadline: %v", err)
@@ -169,6 +214,9 @@ func resolve(req *SolveRequest) (*solveSpec, error) {
 		deadline = min + *req.Slack
 	default:
 		return nil, badRequest("deadline (or slack) is required")
+	}
+	if deadline > maxDeadline {
+		return nil, badRequest("deadline %d exceeds the supported maximum %d", deadline, maxDeadline)
 	}
 	if req.TimeoutMS < 0 {
 		return nil, badRequest("negative timeout_ms %d", req.TimeoutMS)
@@ -189,13 +237,15 @@ func resolve(req *SolveRequest) (*solveSpec, error) {
 		instKey:  "inst/" + canon.Instance(g, tab),
 	}
 	// The frontier fast path serves only the algorithms for which the tree
-	// DP *is* the answer: auto (which dispatches trees to Tree_Assign) and
-	// tree. Heuristics like once/repeat coincide with the optimum on trees
-	// by the paper's Theorem, but may return different assignments, and
-	// greedy/exact have their own contracts — those always solve.
-	if algoName == "auto" || algoName == "tree" {
+	// DP *is* the answer: auto (which dispatches trees to Tree_Assign),
+	// tree, and anytime (whose ladder short-circuits forests to the same
+	// optimal DP). Heuristics like once/repeat coincide with the optimum on
+	// trees by the paper's Theorem, but may return different assignments,
+	// and greedy/exact have their own contracts — those always solve.
+	if algoName == "auto" || algoName == "tree" || algoName == "anytime" {
 		spec.tree = g.IsOutForest() || g.IsInForest()
 	}
+	spec.anytime = algoName == "anytime"
 	return spec, nil
 }
 
@@ -252,6 +302,11 @@ func resolveTable(req *SolveRequest, g *dfg.Graph) (*fu.Table, error) {
 			if len(req.Table.Time[v]) != k || len(req.Table.Cost[v]) != k {
 				return nil, badRequest("ragged table row %d", v)
 			}
+			for j := 0; j < k; j++ {
+				if req.Table.Time[v][j] > maxTableEntry || req.Table.Cost[v][j] > maxTableEntry {
+					return nil, badRequest("table entry at node %d exceeds the supported maximum %d", v, int64(maxTableEntry))
+				}
+			}
 			if err := tab.Set(v, req.Table.Time[v], req.Table.Cost[v]); err != nil {
 				return nil, badRequest("invalid table: %v", err)
 			}
@@ -282,6 +337,27 @@ func resolveTable(req *SolveRequest, g *dfg.Graph) (*fu.Table, error) {
 	default:
 		return nil, badRequest("a table is required: set table, catalog or seed")
 	}
+}
+
+// applyComputeDeadline folds the X-Hetsynth-Deadline-Ms request header into
+// the spec's compute budget: when present it must be a positive integer
+// millisecond count, and the effective timeout becomes the minimum of the
+// header and any body timeout_ms (the server-side cap still applies on top).
+// A malformed header is a 400 — silently ignoring it would let a client
+// believe a deadline is being honored when it is not.
+func applyComputeDeadline(spec *solveSpec, r *http.Request) *apiError {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return nil
+	}
+	ms, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || ms <= 0 {
+		return badRequest("invalid %s header %q: want a positive integer millisecond count", DeadlineHeader, h)
+	}
+	if spec.timeout == 0 || ms < spec.timeout {
+		spec.timeout = ms
+	}
+	return nil
 }
 
 // classifySolveErr maps solver errors onto HTTP statuses: infeasible and

@@ -26,6 +26,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -169,6 +170,12 @@ func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.cache.len()
 
 // ---- solve pipeline ----
 
+// abandonGrace bounds how long a sync handler keeps waiting after the solve
+// budget has already expired: enough for a cooperative solver to observe the
+// cancellation and surface a partial result, short enough that a client is
+// never parked behind a worker that will not yield.
+const abandonGrace = 500 * time.Millisecond
+
 // solveBudget resolves a request's per-solve time budget.
 func (s *Server) solveBudget(spec *solveSpec) time.Duration {
 	d := s.cfg.DefaultTimeout
@@ -179,6 +186,32 @@ func (s *Server) solveBudget(spec *solveSpec) time.Duration {
 		d = s.cfg.MaxTimeout
 	}
 	return d
+}
+
+// estimatedQueueWait predicts how long a newly queued task sits before a
+// worker picks it up: queue depth over pool width, times the observed mean
+// solve latency. Zero before any solve has completed — with no data the
+// server admits optimistically and lets the queue bound do its job.
+func (s *Server) estimatedQueueWait() time.Duration {
+	mean := s.met.meanSolve()
+	if mean == 0 {
+		return 0
+	}
+	return time.Duration(s.met.queueDepth.Load()/int64(s.cfg.Workers)) * mean
+}
+
+// retryAfterSeconds turns the queue-wait estimate into a Retry-After hint,
+// clamped to [1, 30] seconds (at least 1 even when the estimate is cold, so
+// shed clients always back off a little).
+func (s *Server) retryAfterSeconds() int {
+	sec := int(s.estimatedQueueWait() / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
 }
 
 // tryFast answers a request without touching the worker pool: first the
@@ -255,10 +288,21 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec) (*SolveResul
 
 	var sol hap.Solution
 	var fs *hap.FrontierSolver
+	var anyRes *hap.AnytimeResult
 	var err error
-	if spec.tree {
+	switch {
+	case spec.tree:
+		// Tree shapes take the frontier DP even for anytime requests: the
+		// curve is the exact answer and serves future deadlines for free.
 		fs, sol, err = s.frontierSolve(spec)
-	} else {
+	case spec.anytime:
+		var ar hap.AnytimeResult
+		ar, err = hap.SolveAnytime(ctx, spec.prob, hap.AnytimeOptions{})
+		if err == nil {
+			sol = ar.Solution
+			anyRes = &ar
+		}
+	default:
 		sol, err = hap.SolveCtx(ctx, spec.prob, spec.algo)
 	}
 	if err != nil {
@@ -267,6 +311,19 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec) (*SolveResul
 	}
 
 	res := s.buildResult(spec, sol, fs, time.Since(start))
+	if anyRes != nil {
+		res.Quality = string(anyRes.Quality)
+		gap, lb := anyRes.Gap, anyRes.LowerBound
+		res.Gap = &gap
+		res.LowerBound = &lb
+		res.Stage = anyRes.Stage
+	}
+	switch res.Quality {
+	case string(hap.QualityTimeout):
+		s.met.degraded.Add(1)
+	case string(hap.QualityExact):
+		s.met.exactRes.Add(1)
+	}
 	if spec.schedule {
 		schd, conf, serr := sched.MinRSchedule(spec.prob.Graph, spec.prob.Table, sol.Assign, spec.prob.Deadline)
 		if serr != nil {
@@ -282,7 +339,12 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec) (*SolveResul
 		res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	}
 	s.met.observeSolve(time.Since(start))
-	s.cache.put(spec.key, res)
+	// Timeout-quality incumbents are budget-dependent — the same request with
+	// a roomier deadline deserves a fresh solve — so only settled qualities
+	// enter the cache.
+	if res.Quality != string(hap.QualityTimeout) {
+		s.cache.put(spec.key, res)
+	}
 	return res, nil
 }
 
@@ -326,7 +388,16 @@ func (s *Server) buildResult(spec *solveSpec, sol hap.Solution, fs *hap.Frontier
 		Cost:       sol.Cost,
 		Length:     sol.Length,
 		Assignment: assignmentInts(sol.Assign),
+		Quality:    staticQuality(spec),
 		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+	if spec.anytime && spec.tree {
+		// Anytime on a tree rides the frontier DP, which is optimal: report
+		// the zero gap explicitly so anytime clients always see gap fields.
+		gap, lb := 0.0, sol.Cost
+		res.Gap = &gap
+		res.LowerBound = &lb
+		res.Stage = "tree"
 	}
 	if fs != nil {
 		for _, p := range fs.Frontier() {
@@ -334,6 +405,27 @@ func (s *Server) buildResult(spec *solveSpec, sol hap.Solution, fs *hap.Frontier
 		}
 	}
 	return res
+}
+
+// staticQuality classifies a completed non-anytime solve: the shape-
+// restricted DPs and the branch-and-bound return proven optima, everything
+// else is a heuristic without a proof. Anytime executions overwrite this
+// with the ladder's own verdict (which can also be "timeout").
+func staticQuality(spec *solveSpec) string {
+	if spec.tree {
+		return string(hap.QualityExact)
+	}
+	switch spec.algoName {
+	case "path", "tree", "exact":
+		return string(hap.QualityExact)
+	case "auto":
+		if spec.prob.Graph.IsSimplePath() {
+			return string(hap.QualityExact)
+		}
+		return string(hap.QualityHeuristic)
+	default:
+		return string(hap.QualityHeuristic)
+	}
 }
 
 func assignmentInts(a hap.Assignment) []int {
@@ -374,10 +466,30 @@ func (s *Server) dispatch(spec *solveSpec, ctx context.Context, cancel context.C
 		cancel()
 		return nil, &apiError{Status: 503, Msg: "server is draining"}
 	}
+	// Predictive admission control: when every worker is busy and the queued
+	// backlog is already predicted to outlast this request's compute budget,
+	// shed now with a back-off hint instead of queueing a task doomed to be
+	// skipped after burning its whole budget in line.
+	if dl, ok := ctx.Deadline(); ok && s.met.queueDepth.Load() >= int64(s.cfg.Workers) {
+		if est := s.estimatedQueueWait(); est > 0 && est > time.Until(dl) {
+			cancel()
+			s.met.shed.Add(1)
+			return nil, &apiError{
+				Status:     http.StatusTooManyRequests,
+				Msg:        "overloaded: predicted queue wait exceeds the request's compute budget",
+				RetryAfter: s.retryAfterSeconds(),
+			}
+		}
+	}
 	if err := s.pool.submit(t); err != nil {
 		cancel()
 		if errors.Is(err, errQueueFull) {
-			return nil, &apiError{Status: 503, Msg: "job queue full, retry later"}
+			s.met.shed.Add(1)
+			return nil, &apiError{
+				Status:     http.StatusTooManyRequests,
+				Msg:        "job queue full, retry later",
+				RetryAfter: s.retryAfterSeconds(),
+			}
 		}
 		return nil, &apiError{Status: 503, Msg: "server is draining"}
 	}
@@ -392,6 +504,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.met.badRequests.Add(1)
 		writeErr(w, err.(*apiError))
+		return
+	}
+	if aerr := applyComputeDeadline(spec, r); aerr != nil {
+		s.met.badRequests.Add(1)
+		writeErr(w, aerr)
 		return
 	}
 	s.met.requests.Add(1)
@@ -433,6 +550,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		// Client gone; the solve keeps running and lands in the cache.
 		return
+	case <-ctx.Done():
+		// The compute budget expired with the task still queued or running.
+		// Grant a short grace for the cooperative solver to observe the
+		// cancellation and surface a partial (anytime) result; past that,
+		// abandon the wait — a sync client is never parked behind a worker
+		// that will not yield. After abandoning, out must not be read: the
+		// worker may still write it.
+		grace := time.NewTimer(abandonGrace)
+		defer grace.Stop()
+		select {
+		case <-t.done:
+		case <-r.Context().Done():
+			return
+		case <-grace.C:
+			s.met.abandoned.Add(1)
+			writeErr(w, &apiError{Status: 504, Msg: "solve exceeded its time budget"})
+			return
+		}
 	}
 	if out.res == nil && out.err == nil {
 		// The task was skipped: its context died while queued.
@@ -453,19 +588,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err.(*apiError))
 		return
 	}
+	if aerr := applyComputeDeadline(spec, r); aerr != nil {
+		s.met.badRequests.Add(1)
+		writeErr(w, aerr)
+		return
+	}
 	s.met.requests.Add(1)
 
 	j := &Job{ID: newJobID(), status: JobQueued, created: time.Now(), done: make(chan struct{})}
 
 	// Fast paths complete the job before it ever reaches the queue.
 	if res, source, apiErr := s.tryFast(spec); apiErr != nil {
-		j.finish(JobFailed, source, nil, apiErr.Msg, apiErr.Status)
+		s.settleJob(j, JobFailed, source, nil, apiErr.Msg, apiErr.Status)
 		s.jobs.add(j)
 		s.met.jobsSubmitted.Add(1)
 		writeJSON(w, http.StatusCreated, j.view())
 		return
 	} else if res != nil {
-		j.finish(JobDone, source, res, "", 0)
+		s.settleJob(j, JobDone, source, res, "", 0)
 		s.jobs.add(j)
 		s.met.jobsSubmitted.Add(1)
 		writeJSON(w, http.StatusCreated, j.view())
@@ -483,7 +623,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	finish := func() {
 		switch {
 		case out.res != nil:
-			j.finish(JobDone, out.source, out.res, "", 0)
+			s.settleJob(j, JobDone, out.source, out.res, "", 0)
 		default:
 			err := out.err
 			if err == nil { // skipped in queue: context cancelled or timed out
@@ -494,7 +634,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, context.Canceled) {
 				status = JobCanceled
 			}
-			j.finish(status, "", nil, ae.Msg, ae.Status)
+			s.settleJob(j, status, "", nil, ae.Msg, ae.Status)
 		}
 	}
 	// finish runs on the worker for executed jobs (so drain implies settled
@@ -508,6 +648,25 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.met.jobsSubmitted.Add(1)
 	go func() { <-t.done; finish() }()
 	writeJSON(w, http.StatusCreated, j.view())
+}
+
+// settleJob finishes j and, when this call actually performed the terminal
+// transition, bumps the matching terminal-state counter — keeping the books
+// balanced (jobs_submitted == jobs_done + jobs_failed + jobs_canceled_final
+// after a drain) even when a worker and the queue janitor race to settle the
+// same job.
+func (s *Server) settleJob(j *Job, status, source string, res *SolveResult, errMsg string, errCode int) {
+	if !j.finish(status, source, res, errMsg, errCode) {
+		return
+	}
+	switch status {
+	case JobDone:
+		s.met.jobsDone.Add(1)
+	case JobCanceled:
+		s.met.jobsCanceledFinal.Add(1)
+	default:
+		s.met.jobsFailed.Add(1)
+	}
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -561,10 +720,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // ---- response plumbing ----
 
 func writeResult(w http.ResponseWriter, res *SolveResult, source string) {
+	if res.Quality != "" {
+		w.Header().Set(QualityHeader, res.Quality)
+	}
 	writeJSON(w, http.StatusOK, SolveResponse{Source: source, SolveResult: *res})
 }
 
 func writeErr(w http.ResponseWriter, e *apiError) {
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
 	writeJSON(w, e.Status, map[string]any{"error": e.Msg})
 }
 

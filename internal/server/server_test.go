@@ -388,7 +388,7 @@ func TestQueueFullRejects(t *testing.T) {
 	t.Cleanup(func() { ts.Close(); close(release); s.Close() })
 
 	// Distinct instances (different seeds) so nothing coalesces: #1 occupies
-	// the worker, #2 the queue slot, #3 must bounce with 503.
+	// the worker, #2 the queue slot, #3 must be load-shed with 429.
 	submit := func(seed int) int {
 		code, _ := postJSON(t, ts, "POST", "/v1/jobs",
 			fmt.Sprintf(`{"bench":"diffeq","seed":%d,"slack":4,"algorithm":"repeat"}`, seed))
@@ -401,11 +401,24 @@ func TestQueueFullRejects(t *testing.T) {
 	if code := submit(2); code != 201 {
 		t.Fatalf("job 2: status %d", code)
 	}
-	if code := submit(3); code != 503 {
-		t.Fatalf("job 3: status %d, want 503 (queue full)", code)
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"diffeq","seed":3,"slack":4,"algorithm":"repeat"}`))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if s.Metrics().QueueRejected == 0 {
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status %d, want 429 (queue full)", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After header")
+	}
+	m := s.Metrics()
+	if m.QueueRejected == 0 {
 		t.Fatal("queue_rejected metric not incremented")
+	}
+	if m.Shed == 0 {
+		t.Fatal("shed metric not incremented")
 	}
 }
 

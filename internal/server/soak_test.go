@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJobSoakCountersBalance hammers the async job API from concurrent
+// clients against a single-worker pool with aggressive compute deadlines —
+// submits racing cancels racing status polls — then drains and asserts the
+// terminal accounting identity: every accepted job ends in exactly one of
+// done/failed/canceled, the queue is empty, and nothing is left in flight.
+// Run under -race this doubles as the concurrency soak for the job store,
+// pool, and metrics paths.
+func TestJobSoakCountersBalance(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const clients = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < iters; i++ {
+				seed := c*iters + i // unique per request: no cache hits, no coalescing
+				action := rng.Intn(3)
+				// Jobs about to be canceled get a roomy budget and a solver
+				// that runs long and propagates cancellation as an error, so
+				// the DELETE is what terminates them; the rest run the anytime
+				// ladder under an aggressive deadline and degrade instead.
+				algo, deadlineMS := "anytime", 1+rng.Intn(20)
+				if action == 0 {
+					algo, deadlineMS = "exact", 2000
+				}
+				body := fmt.Sprintf(`{"bench":"elliptic","seed":%d,"types":6,"slack":6,"algorithm":%q}`, seed, algo)
+				req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set(DeadlineHeader, fmt.Sprint(deadlineMS))
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusCreated:
+				case http.StatusTooManyRequests:
+					continue // shed; never entered the books
+				default:
+					t.Errorf("submit: status %d: %s", resp.StatusCode, raw)
+					return
+				}
+				var v struct {
+					ID string `json:"id"`
+				}
+				if err := json.Unmarshal(raw, &v); err != nil || v.ID == "" {
+					t.Errorf("submit response without id: %s", raw)
+					return
+				}
+				switch action {
+				case 0: // racing cancel
+					req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+v.ID, nil)
+					resp, err := ts.Client().Do(req)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				case 1: // racing status poll
+					resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + v.ID)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Drain the pool, then wait for the settle janitors (they close jobs a
+	// hair after the worker marks the task done).
+	s.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	var m MetricsSnapshot
+	for {
+		m = s.Metrics()
+		if m.JobsSubmitted == m.JobsDone+m.JobsFailed+m.JobsCanceledFinal {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job accounting never balanced: submitted %d != done %d + failed %d + canceled %d",
+				m.JobsSubmitted, m.JobsDone, m.JobsFailed, m.JobsCanceledFinal)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.JobsSubmitted == 0 {
+		t.Fatal("soak submitted no jobs")
+	}
+	if m.QueueDepth != 0 || m.InFlight != 0 {
+		t.Fatalf("drained pool not idle: queue_depth %d, in_flight %d", m.QueueDepth, m.InFlight)
+	}
+	if m.JobsCanceledFinal == 0 {
+		t.Fatal("no job ended canceled; the cancel race went unexercised")
+	}
+	t.Logf("soak: submitted=%d done=%d failed=%d canceled=%d shed=%d degraded=%d",
+		m.JobsSubmitted, m.JobsDone, m.JobsFailed, m.JobsCanceledFinal, m.Shed, m.Degraded)
+}
