@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet lint vuln bench bench2 serve-smoke serve-overload fuzz cover-gate
+.PHONY: build test check race vet lint vuln bench bench2 bench3 bench-compare serve-smoke serve-overload fuzz cover-gate
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,22 @@ bench:
 # BENCH_2.json.
 bench2:
 	$(GO) run ./cmd/benchjson -suite server
+
+# bench3 re-runs the server suite (now including the batch-vs-individual
+# sweep benchmarks) and records BENCH_3.json alongside a delta table against
+# the pre-sharding BENCH_2.json baseline.
+bench3:
+	$(GO) run ./cmd/benchjson -suite server -out BENCH_3.json -compare BENCH_2.json
+
+# bench-compare is the regression gate CI runs as a smoke: a short-benchtime
+# server-suite run diffed against the committed BENCH_3.json, failing when
+# the cached-hit benchmark regresses by more than 25% ns/op or 10% allocs/op.
+# BENCHTIME is overridable; the default keeps the smoke under a minute.
+BENCHTIME ?= 200ms
+bench-compare:
+	$(GO) run ./cmd/benchjson -suite server -out bin/bench-compare.json \
+		-benchtime $(BENCHTIME) -compare BENCH_3.json \
+		-gate 'BenchmarkHTTPSolveCached'
 
 # serve-smoke boots a real hetsynthd on a random port, solves bundled
 # benchmarks over HTTP (asserting the second identical request is a cache

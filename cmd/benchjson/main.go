@@ -13,6 +13,19 @@
 // throughput benchmarks — solve latency with and without the result cache
 // and off the frontier fast path, at client concurrency 1, 8 and 64
 // (BENCH_2.json). Explicit -out/-bench/-pkg flags override the preset.
+//
+// Compare mode diffs a run (or an existing report) against a baseline file
+// and can gate CI on regressions:
+//
+//	go run ./cmd/benchjson -suite server -compare BENCH_2.json -out BENCH_3.json
+//	go run ./cmd/benchjson -compare old.json new.json    # no run, pure diff
+//	go run ./cmd/benchjson -suite server -benchtime 200ms \
+//	    -compare BENCH_2.json -gate 'BenchmarkHTTPSolveCached'
+//
+// With -gate, benchmarks matching the regexp fail the run (exit 1) when
+// ns/op regresses more than -max-ns-regress (default 25%) or allocs/op more
+// than -max-allocs-regress (default 10%) versus the baseline. Results only
+// in one of the two reports are reported but never gate.
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -55,45 +69,139 @@ func main() {
 	out := flag.String("out", "", "output JSON file (default: the suite's)")
 	bench := flag.String("bench", "", "benchmark regexp passed to -bench (default: the suite's)")
 	pkg := flag.String("pkg", "", "package pattern to benchmark (default: the suite's)")
+	benchtime := flag.String("benchtime", "", "per-benchmark time passed to -benchtime (e.g. 200ms)")
+	compare := flag.String("compare", "", "baseline JSON report to diff the run (or a positional new report) against")
+	gate := flag.String("gate", "", "regexp of benchmark names whose regression fails the run (needs -compare)")
+	maxNs := flag.Float64("max-ns-regress", 0.25, "gated ns/op regression tolerance (0.25 = +25%)")
+	maxAllocs := flag.Float64("max-allocs-regress", 0.10, "gated allocs/op regression tolerance")
 	flag.Parse()
 
-	preset, ok := suites[*suite]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want core|server)\n", *suite)
-		os.Exit(2)
-	}
-	if *pkg == "" {
-		*pkg = preset[0]
-	}
-	if *bench == "" {
-		*bench = preset[1]
-	}
-	if *out == "" {
-		*out = preset[2]
+	var gateRe *regexp.Regexp
+	if *gate != "" {
+		if *compare == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -compare")
+			os.Exit(2)
+		}
+		var err error
+		if gateRe, err = regexp.Compile(*gate); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -gate regexp: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchmem", *pkg)
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n", err)
-		os.Exit(1)
-	}
-	os.Stdout.Write(buf.Bytes())
+	var rep Report
+	if *compare != "" && flag.NArg() == 1 {
+		// Pure file-to-file diff: benchjson -compare old.json new.json.
+		rep = loadReport(flag.Arg(0))
+	} else {
+		preset, ok := suites[*suite]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want core|server)\n", *suite)
+			os.Exit(2)
+		}
+		if *pkg == "" {
+			*pkg = preset[0]
+		}
+		if *bench == "" {
+			*bench = preset[1]
+		}
+		if *out == "" {
+			*out = preset[2]
+		}
 
-	rep := parse(&buf)
-	data, err := json.MarshalIndent(rep, "", "  ")
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, *pkg)
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(buf.Bytes())
+
+		rep = parse(&buf)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+	}
+
+	if *compare != "" {
+		old := loadReport(*compare)
+		if !diff(old, rep, gateRe, *maxNs, *maxAllocs) {
+			os.Exit(1)
+		}
+	}
+}
+
+func loadReport(path string) Report {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+	return rep
+}
+
+// diff prints a per-benchmark delta table (new vs old, matched by name) and
+// reports whether every gated benchmark stayed within tolerance.
+func diff(old, new Report, gateRe *regexp.Regexp, maxNs, maxAllocs float64) bool {
+	byName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	pass := true
+	for _, r := range new.Results {
+		o, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("%-55s %12.0f ns/op %8d allocs/op  (new)\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+			continue
+		}
+		delete(byName, r.Name)
+		nsDelta := ratio(r.NsPerOp, o.NsPerOp)
+		allocDelta := ratio(float64(r.AllocsPerOp), float64(o.AllocsPerOp))
+		status := ""
+		if gateRe != nil && gateRe.MatchString(r.Name) {
+			if nsDelta > maxNs || allocDelta > maxAllocs {
+				status = "  REGRESSION"
+				pass = false
+			} else {
+				status = "  ok"
+			}
+		}
+		fmt.Printf("%-55s %12.0f ns/op (%+6.1f%%) %8d allocs/op (%+6.1f%%)%s\n",
+			r.Name, r.NsPerOp, 100*nsDelta, r.AllocsPerOp, 100*allocDelta, status)
+	}
+	for name := range byName {
+		fmt.Printf("%-55s (only in baseline)\n", name)
+	}
+	return pass
+}
+
+// ratio is (new-old)/old, treating a zero or missing old value as no change
+// so fresh benchmarks never divide by zero.
+func ratio(new, old float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
 }
 
 func parse(buf *bytes.Buffer) Report {

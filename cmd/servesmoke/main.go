@@ -174,6 +174,40 @@ func smoke(bin string) error {
 		return fmt.Errorf("unexpected metrics: %v", met)
 	}
 
+	// Batch endpoint: a deadline sweep over the already-warmed tree instance
+	// plus one fresh entry, answered in one round trip. Every entry must
+	// succeed and the duplicated sweep point must be deduped server-side.
+	batch := `{"entries":[
+		{"bench":"volterra","seed":1,"slack":1},
+		{"bench":"volterra","seed":1,"slack":2},
+		{"bench":"volterra","seed":1,"slack":2},
+		{"bench":"elliptic","seed":2,"slack":4}]}`
+	bresp, err := http.Post(base+"/v1/solve-batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		return fmt.Errorf("batch solve: %w", err)
+	}
+	var bm map[string]any
+	if err := json.NewDecoder(bresp.Body).Decode(&bm); err != nil {
+		return fmt.Errorf("batch decode: %w", err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != 200 {
+		return fmt.Errorf("batch status %d: %v", bresp.StatusCode, bm)
+	}
+	results, _ := bm["results"].([]any)
+	if len(results) != 4 {
+		return fmt.Errorf("batch returned %d results, want 4", len(results))
+	}
+	for i, r := range results {
+		e := r.(map[string]any)
+		if e["result"] == nil || e["error"] != nil {
+			return fmt.Errorf("batch entry %d failed: %v", i, e)
+		}
+	}
+	if bm["deduped"].(float64) != 1 {
+		return fmt.Errorf("batch deduped = %v, want 1", bm["deduped"])
+	}
+
 	return terminate(cmd)
 }
 

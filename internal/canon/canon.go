@@ -13,90 +13,121 @@
 //     exploration, e.g. a tree's cost-versus-deadline frontier.
 //   - Request(graph, table, deadline, algo): the full solve key.
 //
+// Keys computes both in one pass over the problem; serving hot paths use it
+// so the instance encoding — by far the bulk of the work — is built once.
+//
 // The digest is SHA-256 over an unambiguous binary encoding: every variable-
 // length field is length-prefixed, every integer is fixed-width, and section
 // tags separate the graph, table, and scalar parts, so no two distinct
-// problems can serialize to the same byte stream.
+// problems can serialize to the same byte stream. The encoding is built in a
+// pooled scratch buffer and hashed in one shot, so digesting allocates only
+// the returned hex strings regardless of problem size.
 package canon
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"hash"
+	"sync"
 
 	"hetsynth/internal/dfg"
 	"hetsynth/internal/fu"
 )
 
-// writeUvarint appends a varint; used only for lengths and tags, which are
+// encPool recycles the encoding scratch buffers. Buffers grow to the largest
+// problem they have seen and are reused verbatim; the pool hands them out
+// exclusively, so no two digests ever share a live buffer.
+var encPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// appendUvarint appends a varint; used only for lengths and tags, which are
 // unambiguous because every field is written in a fixed order.
-func writeUvarint(h hash.Hash, x uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], x)
-	h.Write(buf[:n])
+func appendUvarint(b []byte, x uint64) []byte {
+	return binary.AppendUvarint(b, x)
 }
 
-func writeInt(h hash.Hash, x int64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(x))
-	h.Write(buf[:])
+func appendInt(b []byte, x int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(x))
 }
 
-func writeString(h hash.Hash, s string) {
-	writeUvarint(h, uint64(len(s)))
-	h.Write([]byte(s))
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
 }
 
-func writeGraph(h hash.Hash, g *dfg.Graph) {
-	h.Write([]byte{'G'})
-	writeUvarint(h, uint64(g.N()))
-	for _, n := range g.Nodes() {
-		writeString(h, n.Name)
-		writeString(h, n.Op)
+func appendGraph(b []byte, g *dfg.Graph) []byte {
+	b = append(b, 'G')
+	n := g.N()
+	b = appendUvarint(b, uint64(n))
+	for v := 0; v < n; v++ {
+		node := g.Node(dfg.NodeID(v))
+		b = appendString(b, node.Name)
+		b = appendString(b, node.Op)
 	}
-	writeUvarint(h, uint64(g.M()))
-	for _, e := range g.Edges() {
-		writeInt(h, int64(e.From))
-		writeInt(h, int64(e.To))
-		writeInt(h, int64(e.Delays))
+	m := g.M()
+	b = appendUvarint(b, uint64(m))
+	for i := 0; i < m; i++ {
+		e := g.Edge(i)
+		b = appendInt(b, int64(e.From))
+		b = appendInt(b, int64(e.To))
+		b = appendInt(b, int64(e.Delays))
 	}
+	return b
 }
 
-func writeTable(h hash.Hash, t *fu.Table) {
-	h.Write([]byte{'T'})
-	writeUvarint(h, uint64(t.N()))
-	writeUvarint(h, uint64(t.K()))
+func appendTable(b []byte, t *fu.Table) []byte {
+	b = append(b, 'T')
+	b = appendUvarint(b, uint64(t.N()))
+	b = appendUvarint(b, uint64(t.K()))
 	for v := range t.Time {
 		for k := range t.Time[v] {
-			writeInt(h, int64(t.Time[v][k]))
+			b = appendInt(b, int64(t.Time[v][k]))
 		}
 	}
 	for v := range t.Cost {
 		for k := range t.Cost[v] {
-			writeInt(h, t.Cost[v][k])
+			b = appendInt(b, t.Cost[v][k])
 		}
 	}
+	return b
+}
+
+func hexSum(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Instance digests the deadline-independent part of a problem: the graph
 // and the time/cost table. Artifacts valid across deadlines (frontiers,
 // reusable solvers) are keyed by it.
 func Instance(g *dfg.Graph, t *fu.Table) string {
-	h := sha256.New()
-	writeGraph(h, g)
-	writeTable(h, t)
-	return hex.EncodeToString(h.Sum(nil))
+	bp := encPool.Get().(*[]byte)
+	b := appendTable(appendGraph((*bp)[:0], g), t)
+	d := hexSum(b)
+	*bp = b
+	encPool.Put(bp)
+	return d
 }
 
 // Request digests a complete solve request: instance plus deadline and
 // algorithm name. It is the result-cache and single-flight key.
 func Request(g *dfg.Graph, t *fu.Table, deadline int, algo string) string {
-	h := sha256.New()
-	writeGraph(h, g)
-	writeTable(h, t)
-	h.Write([]byte{'R'})
-	writeInt(h, int64(deadline))
-	writeString(h, algo)
-	return hex.EncodeToString(h.Sum(nil))
+	req, _ := Keys(g, t, deadline, algo)
+	return req
+}
+
+// Keys digests a request and its instance in one pass: the instance encoding
+// is built once and hashed, then extended with the deadline/algorithm suffix
+// and hashed again. The two digests are byte-identical to what Request and
+// Instance return separately.
+func Keys(g *dfg.Graph, t *fu.Table, deadline int, algo string) (request, instance string) {
+	bp := encPool.Get().(*[]byte)
+	b := appendTable(appendGraph((*bp)[:0], g), t)
+	instance = hexSum(b)
+	b = append(b, 'R')
+	b = appendInt(b, int64(deadline))
+	b = appendString(b, algo)
+	request = hexSum(b)
+	*bp = b
+	encPool.Put(bp)
+	return request, instance
 }

@@ -23,6 +23,7 @@ package cptree
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"hetsynth/internal/dfg"
 )
@@ -96,22 +97,33 @@ func Expand(g *dfg.Graph) (*Tree, error) {
 
 	// Seed the workspace with the DAG portion itself: work node i mirrors
 	// DFG node i. Multi-parent nodes temporarily record parent -1 and are
-	// fixed up as they are processed.
-	work := make([]workNode, n)
+	// fixed up as they are processed. Seeding walks the raw edge list
+	// instead of calling g.Succ per node, which would allocate a successor
+	// slice per call; parallel edges are deduplicated with a linear scan of
+	// the (short) child list they would join.
+	work := make([]workNode, n, 2*n)
 	parents := make([][]int, n) // current parent work-node indices, per original position
 	for i := 0; i < n; i++ {
 		work[i] = workNode{orig: dfg.NodeID(i), parent: -1}
 	}
-	for i := 0; i < n; i++ {
-		seen := make(map[dfg.NodeID]bool)
-		for _, c := range g.Succ(dfg.NodeID(i)) {
-			if seen[c] {
-				continue // parallel edges carry no extra precedence
-			}
-			seen[c] = true
-			work[i].children = append(work[i].children, int(c))
-			parents[c] = append(parents[c], i)
+	m := g.M()
+	for ei := 0; ei < m; ei++ {
+		e := g.Edge(ei)
+		if e.Delays != 0 {
+			continue
 		}
+		dup := false
+		for _, c := range work[e.From].children {
+			if c == int(e.To) {
+				dup = true // parallel edges carry no extra precedence
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		work[e.From].children = append(work[e.From].children, int(e.To))
+		parents[e.To] = append(parents[e.To], int(e.From))
 	}
 
 	// cloneSubtree deep-copies the tree rooted at work node w and returns
@@ -164,13 +176,18 @@ func Expand(g *dfg.Graph) (*Tree, error) {
 	// workspace order, which keeps the original nodes at their original IDs
 	// and appends clones after them — convenient and deterministic.
 	tree := dfg.New()
-	t := &Tree{Graph: tree, Copies: make([][]dfg.NodeID, n)}
-	nameCount := make(map[dfg.NodeID]int, n)
+	tree.Grow(len(work), len(work))
+	t := &Tree{Graph: tree, Copies: make([][]dfg.NodeID, n), Orig: make([]dfg.NodeID, 0, len(work))}
+	nameCount := make([]int, n)
+	var nameBuf []byte
 	for _, w := range work {
 		nameCount[w.orig]++
 		name := g.Node(w.orig).Name
 		if nameCount[w.orig] > 1 {
-			name = fmt.Sprintf("%s#%d", name, nameCount[w.orig])
+			nameBuf = append(nameBuf[:0], name...)
+			nameBuf = append(nameBuf, '#')
+			nameBuf = strconv.AppendInt(nameBuf, int64(nameCount[w.orig]), 10)
+			name = string(nameBuf)
 		}
 		id := tree.MustAddNode(name, g.Node(w.orig).Op)
 		t.Orig = append(t.Orig, w.orig)

@@ -55,6 +55,24 @@ func New() *Graph {
 	return &Graph{byName: make(map[string]NodeID)}
 }
 
+// Grow preallocates capacity for at least nodes more nodes and edges more
+// edges, so bulk builders (expansion, transpose, benchmark construction) pay
+// one allocation per backing array instead of a geometric growth series.
+// Growing is advisory: exceeding the hint stays correct, merely slower.
+func (g *Graph) Grow(nodes, edges int) {
+	if nodes > 0 {
+		g.nodes = append(make([]Node, 0, len(g.nodes)+nodes), g.nodes...)
+		g.succ = append(make([][]int, 0, len(g.succ)+nodes), g.succ...)
+		g.pred = append(make([][]int, 0, len(g.pred)+nodes), g.pred...)
+		if len(g.byName) == 0 {
+			g.byName = make(map[string]NodeID, nodes)
+		}
+	}
+	if edges > 0 {
+		g.edges = append(make([]Edge, 0, len(g.edges)+edges), g.edges...)
+	}
+}
+
 // N reports the number of nodes.
 func (g *Graph) N() int { return len(g.nodes) }
 
@@ -259,6 +277,7 @@ func (g *Graph) Leaves() []NodeID {
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := New()
+	c.Grow(len(g.nodes), len(g.edges))
 	for _, n := range g.nodes {
 		c.MustAddNode(n.Name, n.Op)
 	}
@@ -272,6 +291,7 @@ func (g *Graph) Clone() *Graph {
 // and delay counts are preserved.
 func (g *Graph) Transpose() *Graph {
 	t := New()
+	t.Grow(len(g.nodes), len(g.edges))
 	for _, n := range g.nodes {
 		t.MustAddNode(n.Name, n.Op)
 	}

@@ -103,10 +103,15 @@ type Table struct {
 // NewTable allocates an n-node table for a k-type library, zero-filled.
 // Callers must populate every entry; Validate enforces it.
 func NewTable(n, k int) *Table {
+	// All rows are carved out of two flat arenas, so building a table costs
+	// four allocations instead of 2n+2. Rows are full-slice expressions, so
+	// an append to one row can never clobber its neighbor.
 	t := &Table{Time: make([][]int, n), Cost: make([][]int64, n)}
+	timeArena := make([]int, n*k)
+	costArena := make([]int64, n*k)
 	for v := 0; v < n; v++ {
-		t.Time[v] = make([]int, k)
-		t.Cost[v] = make([]int64, k)
+		t.Time[v] = timeArena[v*k : (v+1)*k : (v+1)*k]
+		t.Cost[v] = costArena[v*k : (v+1)*k : (v+1)*k]
 	}
 	return t
 }

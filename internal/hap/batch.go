@@ -1,0 +1,214 @@
+package hap
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// BatchEntry is one problem of a batch solve: a fully specified Problem plus
+// the algorithm to run on it.
+type BatchEntry struct {
+	Problem Problem
+	Algo    Algorithm
+}
+
+// BatchResult is the outcome of one batch entry, index-aligned with the
+// input. Exactly one of Solution or Err is meaningful; Quality classifies a
+// successful solution ("exact" for proven optima, "heuristic" otherwise,
+// with anytime entries reporting the ladder's own verdict).
+type BatchResult struct {
+	Solution Solution
+	Quality  Quality
+	Err      error
+}
+
+// BatchOptions tunes SolveBatch. The zero value selects sensible defaults.
+type BatchOptions struct {
+	Workers int // concurrent solve units; default GOMAXPROCS
+}
+
+// SolveBatch solves many entries together, exploiting structure a sequence
+// of Solve calls cannot see: entries that share the same *dfg.Graph and
+// *fu.Table (pointer identity) and are tree-eligible — algorithm auto, tree
+// or anytime on an out- or in-forest — are answered by ONE sparse frontier
+// DP run at the group's loosest deadline, every other deadline of the group
+// being a pure traceback. A same-instance sweep of m deadlines therefore
+// costs one DP + m tracebacks instead of m DPs, while costs, feasibility
+// verdicts and qualities are identical to solving each entry on its own
+// (assignments may differ between equal-cost optima).
+//
+// Everything else runs through SolveCtx / SolveAnytime individually. Units
+// are fanned out over a bounded worker pool; errors are isolated per entry
+// (an infeasible sweep point never voids its siblings). Cancelling ctx stops
+// the batch between units and entries: already-finished entries keep their
+// results, unprocessed ones report the context error.
+//
+// Complexity: one tree DP per distinct tree-eligible (graph, table) group
+// plus one solver run per remaining entry, across min(Workers, units)
+// goroutines. The result slice is index-aligned with entries.
+func SolveBatch(ctx context.Context, entries []BatchEntry, opts BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(entries))
+	if len(entries) == 0 {
+		return results
+	}
+
+	// Partition into units: shared-frontier groups keyed by (graph, table)
+	// identity, and singleton units for everything else.
+	type gkey struct {
+		g *dfg.Graph
+		t *fu.Table
+	}
+	groups := make(map[gkey][]int)
+	var order []gkey // deterministic unit order
+	var units [][]int
+	for i := range entries {
+		e := &entries[i]
+		if batchTreeEligible(e) {
+			k := gkey{e.Problem.Graph, e.Problem.Table}
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], i)
+		} else {
+			units = append(units, []int{i})
+		}
+	}
+	for _, k := range order {
+		units = append(units, groups[k])
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	unitc := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// Joined by wg.Wait below; workers exit when unitc closes (they keep
+		// draining after cancellation — each unit fast-fails on a dead ctx —
+		// so the sends below never block forever).
+		go func() {
+			defer wg.Done()
+			for idxs := range unitc {
+				solveBatchUnit(ctx, entries, idxs, results)
+			}
+		}()
+	}
+	for _, u := range units {
+		unitc <- u
+	}
+	close(unitc)
+	wg.Wait()
+	return results
+}
+
+// batchTreeEligible reports whether an entry may join a shared-frontier
+// group: the algorithms for which the tree DP is (or optimally answers) the
+// requested computation, on a tree-shaped graph. Heuristics like once/repeat
+// coincide with the optimum on trees but promise their own procedure, so
+// they always solve individually.
+func batchTreeEligible(e *BatchEntry) bool {
+	if e.Problem.Graph == nil || e.Problem.Table == nil {
+		return false
+	}
+	switch e.Algo {
+	case AlgoAuto, AlgoTree, AlgoAnytime:
+	default:
+		return false
+	}
+	return e.Problem.Graph.IsOutForest() || e.Problem.Graph.IsInForest()
+}
+
+// solveBatchUnit runs one unit on the calling goroutine: a singleton entry
+// through its own solver, a group through one shared FrontierSolver built at
+// the group's loosest deadline.
+func solveBatchUnit(ctx context.Context, entries []BatchEntry, idxs []int, results []BatchResult) {
+	if len(idxs) == 1 {
+		solveBatchOne(ctx, &entries[idxs[0]], &results[idxs[0]])
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		for _, i := range idxs {
+			results[i] = BatchResult{Err: err}
+		}
+		return
+	}
+	horizon := 0
+	for _, i := range idxs {
+		if d := entries[i].Problem.Deadline; d > horizon {
+			horizon = d
+		}
+	}
+	base := entries[idxs[0]].Problem
+	base.Deadline = horizon
+	fs, err := NewFrontierSolver(base)
+	if err != nil {
+		// Construction fails only for deadline-independent reasons (shape,
+		// table mismatch), which condemn every entry of the group alike.
+		for _, i := range idxs {
+			results[i] = BatchResult{Err: err}
+		}
+		return
+	}
+	for _, i := range idxs {
+		if err := ctx.Err(); err != nil {
+			results[i] = BatchResult{Err: err}
+			continue
+		}
+		sol, err := fs.SolveAt(entries[i].Problem.Deadline)
+		if err != nil {
+			results[i] = BatchResult{Err: err}
+			continue
+		}
+		results[i] = BatchResult{Solution: sol, Quality: QualityExact}
+	}
+}
+
+// solveBatchOne answers a single entry exactly as a standalone Solve call
+// would, plus the quality classification.
+func solveBatchOne(ctx context.Context, e *BatchEntry, r *BatchResult) {
+	if err := ctx.Err(); err != nil {
+		*r = BatchResult{Err: err}
+		return
+	}
+	if e.Algo == AlgoAnytime {
+		ar, err := SolveAnytime(ctx, e.Problem, AnytimeOptions{})
+		if err != nil {
+			*r = BatchResult{Err: err}
+			return
+		}
+		*r = BatchResult{Solution: ar.Solution, Quality: ar.Quality}
+		return
+	}
+	sol, err := SolveCtx(ctx, e.Problem, e.Algo)
+	if err != nil {
+		*r = BatchResult{Err: err}
+		return
+	}
+	*r = BatchResult{Solution: sol, Quality: batchQuality(&e.Problem, e.Algo)}
+}
+
+// batchQuality mirrors the serving layer's static classification: the
+// shape-restricted DPs and the branch-and-bound return proven optima,
+// everything else is a heuristic without a proof.
+func batchQuality(p *Problem, algo Algorithm) Quality {
+	switch algo {
+	case AlgoPath, AlgoTree, AlgoExact:
+		return QualityExact
+	case AlgoAuto:
+		if p.Graph != nil && (p.Graph.IsSimplePath() || p.Graph.IsOutForest() || p.Graph.IsInForest()) {
+			return QualityExact
+		}
+		return QualityHeuristic
+	default:
+		return QualityHeuristic
+	}
+}

@@ -1,0 +1,181 @@
+package hap
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// sequentialBatch answers a batch the slow way — one standalone solve per
+// entry — and is the oracle SolveBatch is differentially tested against.
+func sequentialBatch(ctx context.Context, entries []BatchEntry) []BatchResult {
+	out := make([]BatchResult, len(entries))
+	for i := range entries {
+		solveBatchOne(ctx, &entries[i], &out[i])
+	}
+	return out
+}
+
+// randomBatch assembles a batch mixing same-instance deadline sweeps (the
+// shared-frontier case), standalone tree and DAG entries, and a spread of
+// algorithms — including shape mismatches that must fail per entry.
+func randomBatch(rng *rand.Rand) []BatchEntry {
+	var entries []BatchEntry
+	algos := []Algorithm{AlgoAuto, AlgoTree, AlgoRepeat, AlgoGreedy, AlgoAnytime}
+
+	// A deadline sweep over one shared tree instance: same Graph and Table
+	// pointers, deadlines from infeasibly tight to loose.
+	sweep := randomProblem(rng, 12, true)
+	m := 2 + rng.Intn(5)
+	for j := 0; j < m; j++ {
+		p := sweep
+		p.Deadline = 1 + rng.Intn(2*sweep.Deadline)
+		algo := AlgoAuto
+		if rng.Intn(2) == 0 {
+			algo = []Algorithm{AlgoTree, AlgoAnytime}[rng.Intn(2)]
+		}
+		entries = append(entries, BatchEntry{Problem: p, Algo: algo})
+	}
+
+	// Standalone entries on fresh instances.
+	for j := 0; j < 1+rng.Intn(4); j++ {
+		p := randomProblem(rng, 10, rng.Intn(2) == 0)
+		entries = append(entries, BatchEntry{Problem: p, Algo: algos[rng.Intn(len(algos))]})
+	}
+	rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	return entries
+}
+
+// TestSolveBatchDifferential proves SolveBatch is observably equivalent to
+// solving each entry on its own: same feasibility verdict, same optimal (or
+// heuristic-procedure) cost, same quality class, and every reported solution
+// feasible for its own deadline. Assignments may differ between equal-cost
+// optima, so they are not compared.
+func TestSolveBatchDifferential(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	for trial := 0; trial < 220; trial++ {
+		entries := randomBatch(rng)
+		got := SolveBatch(ctx, entries, BatchOptions{Workers: 1 + rng.Intn(4)})
+		want := sequentialBatch(ctx, entries)
+		if len(got) != len(entries) {
+			t.Fatalf("trial %d: %d results for %d entries", trial, len(got), len(entries))
+		}
+		for i := range entries {
+			g, w := got[i], want[i]
+			if (g.Err == nil) != (w.Err == nil) {
+				t.Fatalf("trial %d entry %d: batch err %v, sequential err %v", trial, i, g.Err, w.Err)
+			}
+			if g.Err != nil {
+				if errors.Is(g.Err, ErrInfeasible) != errors.Is(w.Err, ErrInfeasible) {
+					t.Fatalf("trial %d entry %d: infeasibility verdicts differ: batch %v, sequential %v", trial, i, g.Err, w.Err)
+				}
+				continue
+			}
+			if g.Solution.Cost != w.Solution.Cost {
+				t.Fatalf("trial %d entry %d (algo %v): batch cost %d, sequential cost %d",
+					trial, i, entries[i].Algo, g.Solution.Cost, w.Solution.Cost)
+			}
+			if g.Quality != w.Quality {
+				t.Fatalf("trial %d entry %d (algo %v): batch quality %q, sequential %q",
+					trial, i, entries[i].Algo, g.Quality, w.Quality)
+			}
+			if g.Solution.Length > entries[i].Problem.Deadline {
+				t.Fatalf("trial %d entry %d: batch length %d exceeds deadline %d",
+					trial, i, g.Solution.Length, entries[i].Problem.Deadline)
+			}
+			if sol, err := Evaluate(entries[i].Problem, g.Solution.Assign); err != nil || sol.Cost != g.Solution.Cost {
+				t.Fatalf("trial %d entry %d: reported solution does not evaluate back (err %v)", trial, i, err)
+			}
+		}
+	}
+}
+
+// TestSolveBatchSharesFrontier spot-checks the sharing contract directly: a
+// pure same-instance sweep must report the exact frontier costs a standalone
+// TreeFrontier run predicts.
+func TestSolveBatchSharesFrontier(t *testing.T) {
+	t.Parallel()
+	p := treeProblem()
+	wide := p
+	wide.Deadline = 50
+	front, err := TreeFrontier(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []BatchEntry
+	for L := 1; L <= 50; L++ {
+		q := p
+		q.Deadline = L
+		entries = append(entries, BatchEntry{Problem: q, Algo: AlgoAuto})
+	}
+	res := SolveBatch(context.Background(), entries, BatchOptions{})
+	for i, r := range res {
+		L := i + 1
+		wantFeasible := L >= front[0].Deadline
+		if wantFeasible != (r.Err == nil) {
+			t.Fatalf("deadline %d: feasible=%v, err=%v", L, wantFeasible, r.Err)
+		}
+		if r.Err != nil {
+			continue
+		}
+		wantCost := front[0].Cost
+		for _, bp := range front {
+			if bp.Deadline <= L {
+				wantCost = bp.Cost
+			}
+		}
+		if r.Solution.Cost != wantCost {
+			t.Fatalf("deadline %d: cost %d, frontier says %d", L, r.Solution.Cost, wantCost)
+		}
+	}
+}
+
+// TestSolveBatchCancel cancels a batch mid-flight and requires (a) entries
+// to report either a real result or the context error, and (b) no worker
+// goroutines to outlive the call.
+func TestSolveBatchCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(7))
+	var entries []BatchEntry
+	for i := 0; i < 40; i++ {
+		entries = append(entries, BatchEntry{Problem: randomProblem(rng, 14, i%2 == 0), Algo: AlgoAuto})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch even starts: every entry must fail fast
+	res := SolveBatch(ctx, entries, BatchOptions{Workers: 4})
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("entry %d: no error from a cancelled batch", i)
+		}
+	}
+
+	// And a mid-flight cancellation: results must be a mix of completed
+	// entries and context errors, never corrupt values.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() { time.Sleep(200 * time.Microsecond); cancel2() }()
+	res2 := SolveBatch(ctx2, entries, BatchOptions{Workers: 2})
+	cancel2()
+	for i, r := range res2 {
+		if r.Err != nil {
+			continue
+		}
+		if sol, err := Evaluate(entries[i].Problem, r.Solution.Assign); err != nil || sol.Cost != r.Solution.Cost {
+			t.Fatalf("entry %d: completed entry of a cancelled batch does not evaluate back (err %v)", i, err)
+		}
+	}
+
+	// Worker goroutines are joined before SolveBatch returns; give the
+	// runtime a moment to retire exiting goroutines, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}

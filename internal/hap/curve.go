@@ -1,6 +1,8 @@
 package hap
 
 import (
+	"sync"
+
 	"hetsynth/internal/fu"
 )
 
@@ -63,6 +65,36 @@ type dpScratch struct {
 	sum   []curvePoint // the summed child curve (consumed immediately)
 	pts   []curvePoint // envelope breakpoints before the final exact copy
 	arena []curvePoint // backing store of the retained per-node curves
+}
+
+// scratchPool recycles dpScratch buffers across solves, so a steady stream
+// of tree solves (the serving hot path) reuses the same merge cursors and
+// curve arenas instead of re-growing them per request.
+var scratchPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// getScratch hands out an exclusive scratch with an empty arena. The arena's
+// backing array is reused verbatim, which is only sound because putScratch's
+// contract guarantees no live curve aliases it.
+func getScratch() *dpScratch {
+	sc := scratchPool.Get().(*dpScratch)
+	sc.arena = sc.arena[:0]
+	return sc
+}
+
+// putScratch recycles sc including its curve arena. Callers must guarantee
+// that every curve carved out of the arena is dead — i.e. the owning solver
+// is being discarded and only plain Solution/FrontierPoint values (which
+// copy, never alias) have escaped.
+func putScratch(sc *dpScratch) { scratchPool.Put(sc) }
+
+// putScratchShared recycles sc's transient merge buffers but detaches the
+// arena, because curves retained by a still-live solver alias it (parallel
+// DP workers store their curves into the solver while the solver keeps
+// running). The arena's memory stays with those curves; the next user
+// grows a fresh one.
+func putScratchShared(sc *dpScratch) {
+	sc.arena = nil
+	scratchPool.Put(sc)
 }
 
 // sumCurves adds a set of step functions: out(j) = Σ curves[i](j), infeasible

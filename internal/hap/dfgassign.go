@@ -114,6 +114,7 @@ func AssignRepeatCtx(ctx context.Context, p Problem) (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
+	defer solver.release()
 	tsol, err := solver.solve()
 	if err != nil {
 		return Solution{}, err

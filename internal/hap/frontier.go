@@ -55,6 +55,9 @@ func solveTreeFrontier(p Problem, withSolution bool) (Solution, []FrontierPoint,
 	if err != nil {
 		return Solution{}, nil, err
 	}
+	// The frontier() result copies every point out of the DP curves, so the
+	// solver (and the arena its curves live in) can be recycled on return.
+	defer solver.release()
 	var sol Solution
 	if withSolution {
 		sol, err = solver.solve()

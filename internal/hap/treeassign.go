@@ -54,6 +54,7 @@ func TreeAssign(p Problem) (Solution, error) {
 		if err != nil {
 			return Solution{}, err
 		}
+		defer s.release()
 		return s.solve()
 	default:
 		return Solution{}, fmt.Errorf("%w: Tree_Assign needs an out-forest or in-forest", ErrShape)
@@ -92,5 +93,6 @@ func treeAssignMasked(p Problem, allowed [][]bool) (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
+	defer s.release()
 	return s.solve()
 }

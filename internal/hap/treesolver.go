@@ -31,8 +31,9 @@ type treeSolver struct {
 	curves   []curve
 	dirty    []bool
 	ndirty   int
-	down     []int     // scratch for the longest-path check in solve
-	sc       dpScratch // serial-path scratch, reused across re-solves
+	down     []int      // scratch for the longest-path check in solve
+	tb       []tbFrame  // traceback stack, reused across solveAt calls
+	sc       *dpScratch // serial-path scratch, reused across re-solves; nil after release
 }
 
 // newTreeSolver prepares the solver for an out-forest problem, with the same
@@ -68,6 +69,7 @@ func newTreeSolver(p Problem, allowed [][]bool, reversed bool) (*treeSolver, err
 		curves:   make([]curve, n),
 		dirty:    make([]bool, n),
 		ndirty:   n,
+		sc:       getScratch(),
 	}
 	for v := 0; v < n; v++ {
 		s.parent[v] = -1
@@ -150,6 +152,19 @@ func newTreeSolver(p Problem, allowed [][]bool, reversed bool) (*treeSolver, err
 	return s, nil
 }
 
+// release recycles the solver's scratch buffers — including the curve arena
+// every retained curve aliases — into the package pool. The solver, its
+// curves, and any frontier read off them are invalid afterwards; callers may
+// release only when they are discarding the solver and have copied everything
+// they keep (Solution and FrontierPoint values copy, never alias). Solvers
+// retained for later tracebacks (FrontierSolver) are never released.
+func (s *treeSolver) release() {
+	if s.sc != nil {
+		putScratch(s.sc)
+		s.sc = nil
+	}
+}
+
 // pin restricts every listed node to the single type k and dirties the
 // curves that depend on it: the node itself and its ancestors up to the
 // root. The climb stops at the first already-dirty node, whose own climb
@@ -200,7 +215,7 @@ func (s *treeSolver) recompute() {
 	} else {
 		for _, v := range s.order {
 			if s.dirty[v] {
-				s.curves[v] = s.computeCurve(int(v), &s.sc)
+				s.curves[v] = s.computeCurve(int(v), s.sc)
 				s.dirty[v] = false
 			}
 		}
@@ -243,9 +258,12 @@ func (s *treeSolver) recomputeParallel() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var sc dpScratch
+			// Worker scratches go back via putScratchShared: the curves each
+			// worker computed alias its arena and stay live in s.curves.
+			sc := getScratch()
+			defer putScratchShared(sc)
 			for v := range ready {
-				s.curves[v] = s.computeCurve(int(v), &sc)
+				s.curves[v] = s.computeCurve(int(v), sc)
 				s.dirty[v] = false
 				if p := s.parent[v]; p >= 0 && s.dirty[p] {
 					if atomic.AddInt32(&pending[p], -1) == 0 {
@@ -325,13 +343,9 @@ func (s *treeSolver) traceback(L int) (Assignment, error) {
 	t := s.p.Table
 	n := len(s.curves)
 	assign := make(Assignment, n)
-	type frame struct {
-		v      dfg.NodeID
-		budget int
-	}
-	stack := make([]frame, 0, 64)
+	stack := s.tb[:0]
 	for _, r := range s.roots {
-		stack = append(stack, frame{r, L})
+		stack = append(stack, tbFrame{r, L})
 	}
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
@@ -365,10 +379,17 @@ func (s *treeSolver) traceback(L int) (Assignment, error) {
 		assign[v] = bestK
 		rem := f.budget - t.Time[v][bestK]
 		for _, c := range s.children[v] {
-			stack = append(stack, frame{c, rem})
+			stack = append(stack, tbFrame{c, rem})
 		}
 	}
+	s.tb = stack[:0]
 	return assign, nil
+}
+
+// tbFrame is one pending subtree of the traceback walk.
+type tbFrame struct {
+	v      dfg.NodeID
+	budget int
 }
 
 // frontier sums the root curves into the whole-forest deadline→cost curve:
@@ -383,7 +404,7 @@ func (s *treeSolver) frontier() []FrontierPoint {
 	for i, r := range s.roots {
 		kids[i] = s.curves[r]
 	}
-	sum := sumCurves(kids, s.p.Deadline, &s.sc)
+	sum := sumCurves(kids, s.p.Deadline, s.sc)
 	out := make([]FrontierPoint, len(sum))
 	for i, q := range sum {
 		out[i] = FrontierPoint{Deadline: q.T, Cost: q.C}

@@ -197,3 +197,47 @@ func TestMinRScheduleVsConfigSearch(t *testing.T) {
 		t.Fatalf("Min_R needed more FUs than config search in %d/%d trials", worse, trials)
 	}
 }
+
+// TestListScheduleDifferentialVsScan proves the heap-based ListSchedule is
+// bit-identical to the original per-step scan implementation — same starts,
+// same instance bindings, same length — across random DFGs, assignments and
+// configurations (including scarce ones that force long waits).
+func TestListScheduleDifferentialVsScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(16)
+		var g *dfg.Graph
+		if trial%3 == 0 {
+			g = dfg.RandomTree(rng, n)
+		} else {
+			g = dfg.RandomDAG(rng, n, 0.15+rng.Float64()*0.35)
+		}
+		k := 2 + rng.Intn(2)
+		tab := fu.RandomTable(rng, n, k)
+		a := make(hap.Assignment, n)
+		for v := range a {
+			a[v] = fu.TypeID(rng.Intn(k))
+		}
+		cfg := make(Config, k)
+		for tt := range cfg {
+			cfg[tt] = 1 + rng.Intn(3) // scarce: waits and ties are exercised
+		}
+		got, err := ListSchedule(g, tab, a, cfg)
+		want, errScan := listScheduleScan(g, tab, a, cfg)
+		if (err == nil) != (errScan == nil) {
+			t.Fatalf("trial %d: heap err %v, scan err %v", trial, err, errScan)
+		}
+		if err != nil {
+			continue
+		}
+		if got.Length != want.Length {
+			t.Fatalf("trial %d: heap length %d, scan length %d", trial, got.Length, want.Length)
+		}
+		for v := 0; v < n; v++ {
+			if got.Start[v] != want.Start[v] || got.Instance[v] != want.Instance[v] {
+				t.Fatalf("trial %d node %d: heap (start %d, inst %d), scan (start %d, inst %d)",
+					trial, v, got.Start[v], got.Instance[v], want.Start[v], want.Instance[v])
+			}
+		}
+	}
+}

@@ -27,15 +27,24 @@ func fire(b *testing.B, url string, conc int, body func(i int) string) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			buf := make([]byte, 32<<10)
 			for i := range next {
 				resp, err := client.Post(url, "application/json", strings.NewReader(body(i)))
 				if err == nil {
-					var m map[string]any
-					json.NewDecoder(resp.Body).Decode(&m)
-					resp.Body.Close()
+					// The benchmark measures the server: drain the body into a
+					// reused buffer and only decode it to report a failure.
 					if resp.StatusCode != 200 {
+						var m map[string]any
+						json.NewDecoder(resp.Body).Decode(&m)
 						err = fmt.Errorf("status %d: %v", resp.StatusCode, m)
+					} else {
+						for {
+							if _, rerr := resp.Body.Read(buf); rerr != nil {
+								break
+							}
+						}
 					}
+					resp.Body.Close()
 				}
 				if err != nil {
 					mu.Lock()
@@ -102,6 +111,49 @@ func BenchmarkHTTPSolveFrontier(b *testing.B) {
 			})
 		})
 	}
+}
+
+// batchSweepBody is a 64-entry deadline sweep over one tree instance, the
+// shape POST /v1/solve-batch exists for: one shared frontier DP answers all
+// entries.
+func batchSweepBody(entries int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"entries":[`)
+	for i := 0; i < entries; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"bench":"volterra","seed":1,"slack":%d}`, i)
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+// BenchmarkHTTPSolveBatch measures a 64-entry same-instance deadline sweep
+// submitted as ONE batch request per iteration. Compare per-entry cost with
+// BenchmarkHTTPSolveSweepIndividual (divide ns/op by 64).
+func BenchmarkHTTPSolveBatch(b *testing.B) {
+	ts, stop := newBenchServer()
+	defer stop()
+	body := batchSweepBody(64)
+	fire(b, ts.URL+"/v1/solve-batch", 1, func(int) string { return body })
+}
+
+// BenchmarkHTTPSolveSweepIndividual is the baseline the batch endpoint is
+// judged against: the same 64-deadline sweep issued as 64 separate
+// /v1/solve requests per iteration. The bodies repeat across iterations, so
+// every individual request gets the raw-body fast path — the best the
+// one-request-at-a-time interface can possibly do — and the batch endpoint
+// still has to beat it on round trips alone.
+func BenchmarkHTTPSolveSweepIndividual(b *testing.B) {
+	ts, stop := newBenchServer()
+	defer stop()
+	// One iteration = one full 64-entry sweep, matching a batch iteration.
+	bodies := make([]string, 64)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"bench":"volterra","seed":1,"slack":%d}`, i)
+	}
+	fire(b, ts.URL+"/v1/solve", 1, func(i int) string { return bodies[i%64] })
 }
 
 func newBenchServer() (*httptest.Server, func()) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 )
@@ -59,4 +60,116 @@ func TestLRUConcurrent(t *testing.T) {
 	if c.len() > 64 {
 		t.Fatalf("cache exceeded capacity: %d", c.len())
 	}
+}
+
+// TestShardedCacheDifferential drives the sharded cache and the single-shard
+// oracle with the same randomized operation stream. Because shards partition
+// the keyspace, global LRU order differs — what must agree is the contract:
+// hits return the last value put, pinned entries are never evicted, and
+// total size stays within capacity (plus pinned overflow).
+func TestShardedCacheDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sc := newShardedCache(64, 8)
+	oracle := newLRUCache(1 << 20) // effectively unbounded: remembers every put
+	written := make(map[string]int)
+	for op := 0; op < 20000; op++ {
+		k := fmt.Sprintf("key-%d", rng.Intn(200))
+		switch rng.Intn(3) {
+		case 0:
+			v := op
+			sc.put(k, v)
+			oracle.put(k, v)
+			written[k] = v
+		case 1:
+			if v, ok := sc.get(k); ok {
+				if want, seen := written[k]; !seen || v != want {
+					t.Fatalf("op %d: get(%s) = %v, oracle says %v (seen=%v)", op, k, v, want, seen)
+				}
+			}
+		case 2:
+			if v, ok := sc.getBytes([]byte(k)); ok {
+				if want, seen := written[k]; !seen || v != want {
+					t.Fatalf("op %d: getBytes(%s) = %v, oracle says %v", op, k, v, want)
+				}
+			}
+		}
+	}
+	if sc.len() > 64+8 { // per-shard rounding can add at most one per shard
+		t.Fatalf("sharded cache holds %d entries, capacity 64 over 8 shards", sc.len())
+	}
+}
+
+// TestCachePinning is the eviction-affinity regression test: a pinned entry
+// must survive any insertion burst (the batch endpoint pins its shared
+// FrontierSolver while its own result insertions hammer the cache), and must
+// become evictable again after release.
+func TestCachePinning(t *testing.T) {
+	for name, c := range map[string]interface {
+		acquire(string) (any, bool)
+		putAcquired(string, any)
+		put(string, any)
+		get(string) (any, bool)
+		release(string)
+	}{
+		"single-shard": newLRUCache(4),
+		"sharded":      newShardedCache(4, 4),
+	} {
+		c.putAcquired("solver", "curve")
+		// Flood far past capacity; the pinned entry must survive.
+		for i := 0; i < 100; i++ {
+			c.put(fmt.Sprintf("%s-flood-%d", name, i), i)
+		}
+		if _, ok := c.get("solver"); !ok {
+			t.Fatalf("%s: pinned entry evicted by insertion flood", name)
+		}
+		// A second pin from a concurrent user keeps it alive after one release.
+		if _, ok := c.acquire("solver"); !ok {
+			t.Fatalf("%s: acquire missed a present entry", name)
+		}
+		c.release("solver")
+		for i := 0; i < 100; i++ {
+			c.put(fmt.Sprintf("%s-flood2-%d", name, i), i)
+		}
+		if _, ok := c.get("solver"); !ok {
+			t.Fatalf("%s: entry with one remaining pin was evicted", name)
+		}
+		// Fully released: the next flood may (and in a 1-entry shard, must)
+		// evict it.
+		c.release("solver")
+		for i := 0; i < 100; i++ {
+			c.put(fmt.Sprintf("%s-flood3-%d", name, i), i)
+		}
+		if _, ok := c.get("solver"); ok && name == "single-shard" {
+			// Single shard of capacity 4 flooded with 100 entries: gone.
+			t.Fatalf("%s: released entry survived a full eviction cycle", name)
+		}
+	}
+}
+
+// TestShardedCacheConcurrentPins exercises pin/release races under load; the
+// invariant is no lost entries while pinned and no panics/corruption.
+func TestShardedCacheConcurrentPins(t *testing.T) {
+	c := newShardedCache(8, 4)
+	c.putAcquired("hot", 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if w%2 == 0 {
+					if _, ok := c.acquire("hot"); ok {
+						c.release("hot")
+					}
+				} else {
+					c.put(fmt.Sprintf("junk-%d-%d", w, i), i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, ok := c.get("hot"); !ok {
+		t.Fatal("entry with a standing pin vanished under concurrent churn")
+	}
+	c.release("hot")
 }

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkHTTPFloor is the control for the concurrency-scaling numbers: a
+// handler that does nothing but drain the body into a pooled buffer and
+// write a constant. Whatever conc64/conc1 ratio this shows is the harness
+// and net/http scheduling floor on the measurement host — the server's own
+// contribution to the ratio is the cached benchmark's ratio minus this one.
+// On a single-CPU container the floor alone is ~1.3×, because 128 client
+// and connection goroutines time-share one core; on multicore hosts it
+// drops toward 1.0 and the sharded cache keeps the cached path there.
+func BenchmarkHTTPFloor(b *testing.B) {
+	for _, conc := range benchConcurrencies {
+		b.Run(fmt.Sprintf("conc%d", conc), func(b *testing.B) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				buf := getBuf()
+				defer putBuf(buf)
+				//hetsynth:ignore retval benchmark control handler; a short
+				// read only skews the floor measurement, never correctness.
+				_, _ = buf.ReadFrom(r.Body)
+				//hetsynth:ignore retval same: the client checks the status.
+				_, _ = w.Write([]byte(`{"ok":true}`))
+			}))
+			defer ts.Close()
+			fire(b, ts.URL, conc, func(int) string { return `{}` })
+		})
+	}
+}

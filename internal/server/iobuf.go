@@ -1,0 +1,81 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// maxRawKeyBytes bounds request bodies admitted as raw-cache keys: bodies
+// past this are not hot-path material (they carry large inline graphs or
+// tables) and would bloat the raw cache for no latency win.
+const maxRawKeyBytes = 64 << 10
+
+// rawEntry is a fully encoded answer stored under the verbatim request body:
+// the exact bytes to replay, plus the quality for the response header. batch
+// marks entries stored by /v1/solve-batch — each endpoint treats the other's
+// entries as misses, so a body that happens to be stored by one endpoint can
+// never be replayed with the other's semantics. Entries are immutable after
+// insertion.
+type rawEntry struct {
+	json    []byte
+	quality string
+	batch   bool
+}
+
+// bufPool recycles request-body buffers. Ownership is exclusive: a buffer
+// obtained from getBuf (and every slice into it, such as readBody's result)
+// must not be referenced after putBuf.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) { bufPool.Put(b) }
+
+// encBuf pairs a reusable buffer with a JSON encoder bound to it, so the
+// response path encodes with zero per-request encoder or buffer allocations.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encBufPool = sync.Pool{New: func() any {
+	eb := &encBuf{}
+	eb.enc = json.NewEncoder(&eb.buf)
+	eb.enc.SetEscapeHTML(false)
+	return eb
+}}
+
+func getEncBuf() *encBuf {
+	eb := encBufPool.Get().(*encBuf)
+	eb.buf.Reset()
+	return eb
+}
+
+func putEncBuf(eb *encBuf) { encBufPool.Put(eb) }
+
+// readBody slurps an HTTP request body into buf, enforcing maxBodyBytes. The
+// returned slice aliases buf and dies with it.
+func readBody(buf *bytes.Buffer, r io.Reader) ([]byte, *apiError) {
+	if _, err := buf.ReadFrom(io.LimitReader(r, maxBodyBytes+1)); err != nil {
+		return nil, badRequest("reading request body: %v", err)
+	}
+	if buf.Len() > maxBodyBytes {
+		return nil, badRequest("request body exceeds %d bytes", maxBodyBytes)
+	}
+	return buf.Bytes(), nil
+}
+
+// validDeadlineHeader reports whether an X-Hetsynth-Deadline-Ms value would
+// be accepted by applyComputeDeadline, without building a spec.
+func validDeadlineHeader(h string) bool {
+	ms, err := strconv.Atoi(strings.TrimSpace(h))
+	return err == nil && ms > 0
+}

@@ -25,10 +25,15 @@ type metrics struct {
 	queueRejected atomic.Int64 // submissions bounced off a full queue
 
 	cacheHits    atomic.Int64 // answered from the result cache
+	rawHits      atomic.Int64 // subset of cacheHits served from the raw-body cache
 	frontierHits atomic.Int64 // answered from a cached frontier curve
 	coalesced    atomic.Int64 // shared another request's in-flight solve
 	solves       atomic.Int64 // full solver executions
 	solveErrors  atomic.Int64 // solver executions that returned an error
+
+	batchRequests atomic.Int64 // POST /v1/solve-batch requests decoded OK
+	batchEntries  atomic.Int64 // entries across all batch requests
+	batchDeduped  atomic.Int64 // batch entries answered by an earlier duplicate in the same batch
 
 	shed      atomic.Int64 // requests load-shed with 429 (queue full or predicted overload)
 	abandoned atomic.Int64 // sync waits given up past deadline + grace (504, result discarded)
@@ -87,12 +92,17 @@ type MetricsSnapshot struct {
 	QueueRejected int64 `json:"queue_rejected"`
 
 	CacheHits    int64   `json:"cache_hits"`
+	RawHits      int64   `json:"raw_hits"`
 	FrontierHits int64   `json:"frontier_hits"`
 	Coalesced    int64   `json:"coalesced"`
 	Solves       int64   `json:"solves"`
 	SolveErrors  int64   `json:"solve_errors"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
+
+	BatchRequests int64 `json:"batch_requests"`
+	BatchEntries  int64 `json:"batch_entries"`
+	BatchDeduped  int64 `json:"batch_deduped"`
 
 	Shed      int64 `json:"shed"`
 	Abandoned int64 `json:"abandoned"`
@@ -129,11 +139,15 @@ func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
 		BadRequests:   m.badRequests.Load(),
 		QueueRejected: m.queueRejected.Load(),
 		CacheHits:     m.cacheHits.Load(),
+		RawHits:       m.rawHits.Load(),
 		FrontierHits:  m.frontierHits.Load(),
 		Coalesced:     m.coalesced.Load(),
 		Solves:        m.solves.Load(),
 		SolveErrors:   m.solveErrors.Load(),
 		CacheEntries:  cacheEntries,
+		BatchRequests: m.batchRequests.Load(),
+		BatchEntries:  m.batchEntries.Load(),
+		BatchDeduped:  m.batchDeduped.Load(),
 		Shed:          m.shed.Load(),
 		Abandoned:     m.abandoned.Load(),
 		Degraded:      m.degraded.Load(),

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -161,6 +162,21 @@ type solveSpec struct {
 // malformed inputs uniformly.
 func decodeSolveRequest(r io.Reader) (*solveSpec, error) {
 	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("invalid request JSON: %v", err)
+	}
+	if dec.More() {
+		return nil, badRequest("trailing data after request object")
+	}
+	return resolve(&req)
+}
+
+// decodeSolveRequestBytes is decodeSolveRequest over an in-memory body the
+// caller has already size-checked (readBody enforces maxBodyBytes).
+func decodeSolveRequestBytes(b []byte) (*solveSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
 	dec.DisallowUnknownFields()
 	var req SolveRequest
 	if err := dec.Decode(&req); err != nil {

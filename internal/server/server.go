@@ -19,7 +19,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"io"
 	"log/slog"
@@ -41,6 +40,7 @@ type Config struct {
 	Workers      int // solver pool size; default GOMAXPROCS
 	QueueDepth   int // FIFO admission bound; default 64
 	CacheSize    int // LRU entries (results + frontiers); default 256
+	CacheShards  int // cache shard count, rounded up to a power of two; default 16
 	JobRetention int // finished async jobs kept for polling; default 256
 
 	DefaultTimeout time.Duration // per-solve budget when the request sets none; default 30s
@@ -58,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize < 1 {
 		c.CacheSize = 256
+	}
+	if c.CacheShards < 1 {
+		c.CacheShards = 16
 	}
 	if c.JobRetention < 1 {
 		c.JobRetention = 256
@@ -79,11 +82,18 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	log     *slog.Logger
+	noLog   bool // no Logger configured: skip the request-log wrapper entirely
 	met     *metrics
-	cache   *lruCache
-	flights *flightGroup
-	pool    *pool
-	jobs    *jobStore
+	cache   *shardedCache
+	// rawCache maps verbatim request bodies of POST /v1/solve to their fully
+	// encoded responses (rawEntry), so a repeated identical body is served
+	// without JSON decoding, graph/table resolution or digesting. Its own
+	// eviction domain: raw bodies are bulkier and strictly redundant with the
+	// digest-keyed result cache, so pressure here never evicts a frontier.
+	rawCache *shardedCache
+	flights  *flightGroup
+	pool     *pool
+	jobs     *jobStore
 
 	// baseCtx parents every solver execution, so solves survive client
 	// disconnects (the result still lands in the cache) and are only torn
@@ -101,14 +111,17 @@ type Server struct {
 
 // New builds a Server ready to serve; callers own shutdown via Run or Close.
 func New(cfg Config) *Server {
+	noLog := cfg.Logger == nil
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		met:     newMetrics(),
-		cache:   newLRUCache(cfg.CacheSize),
-		flights: newFlightGroup(),
-		jobs:    newJobStore(cfg.JobRetention),
+		cfg:      cfg,
+		log:      cfg.Logger,
+		noLog:    noLog,
+		met:      newMetrics(),
+		cache:    newShardedCache(cfg.CacheSize, cfg.CacheShards),
+		rawCache: newShardedCache(cfg.CacheSize, cfg.CacheShards),
+		flights:  newFlightGroup(),
+		jobs:     newJobStore(cfg.JobRetention),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.met)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -119,6 +132,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/solve-batch", s.handleSolveBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -352,11 +366,16 @@ func (s *Server) executeSolve(ctx context.Context, spec *solveSpec) (*SolveResul
 // building (or widening) the FrontierSolver as needed. The curve is built
 // out to the instance's maximum makespan — the longest path under the
 // slowest FU choice per node — beyond which every assignment is feasible, so
-// the cached curve is complete and covers every future deadline.
+// the cached curve is complete and covers every future deadline. The
+// solver's cache entry is pinned (eviction-exempt) for the duration of the
+// call, so concurrent insertions cannot drop it between the lookup and the
+// traceback; batch groups additionally hold a pin across all their entries.
 func (s *Server) frontierSolve(spec *solveSpec) (*hap.FrontierSolver, hap.Solution, error) {
 	var fs *hap.FrontierSolver
-	if v, ok := s.cache.get(spec.instKey); ok {
+	pinned := false
+	if v, ok := s.cache.acquire(spec.instKey); ok {
 		fs = v.(*hap.FrontierSolver)
+		pinned = true
 	}
 	if fs == nil || (!fs.Complete() && fs.Horizon() < spec.prob.Deadline) {
 		horizon := spec.prob.Deadline
@@ -371,12 +390,26 @@ func (s *Server) frontierSolve(spec *solveSpec) (*hap.FrontierSolver, hap.Soluti
 		wide.Deadline = horizon
 		built, err := hap.NewFrontierSolver(wide)
 		if err != nil {
+			if pinned {
+				s.cache.release(spec.instKey)
+			}
 			return nil, hap.Solution{}, err
 		}
 		fs = built
-		s.cache.put(spec.instKey, fs)
+		// putAcquired refreshes a pinned entry in place (keeping its pins), so
+		// the balance below — exactly one release per acquire/putAcquired —
+		// holds on both the fresh-build and the widen path.
+		if pinned {
+			s.cache.put(spec.instKey, fs)
+		} else {
+			s.cache.putAcquired(spec.instKey, fs)
+			pinned = true
+		}
 	}
 	sol, err := fs.SolveAt(spec.prob.Deadline)
+	if pinned {
+		s.cache.release(spec.instKey)
+	}
 	return fs, sol, err
 }
 
@@ -500,7 +533,41 @@ func (s *Server) dispatch(spec *solveSpec, ctx context.Context, cancel context.C
 // ---- HTTP handlers ----
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	spec, err := decodeSolveRequest(r.Body)
+	buf := getBuf()
+	defer putBuf(buf)
+	body, aerr := readBody(buf, r.Body)
+	if aerr != nil {
+		s.met.badRequests.Add(1)
+		writeErr(w, aerr)
+		return
+	}
+
+	// Raw fast path: a byte-identical body already answered with settled
+	// quality is served straight from its stored encoding — no JSON decode, no
+	// graph/table resolution, no digest. The probe keys the cache by the raw
+	// bytes (allocation-free) and is skipped when the compute-deadline header
+	// is malformed, so the 400 contract of applyComputeDeadline still holds; a
+	// well-formed header never changes a settled cached answer, so it does not
+	// need to be part of the key.
+	if h := r.Header.Get(DeadlineHeader); h == "" || validDeadlineHeader(h) {
+		if v, ok := s.rawCache.getBytes(body); ok && !v.(*rawEntry).batch {
+			e := v.(*rawEntry)
+			s.met.requests.Add(1)
+			s.met.cacheHits.Add(1)
+			s.met.rawHits.Add(1)
+			if e.quality != "" {
+				w.Header().Set(QualityHeader, e.quality)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			//hetsynth:ignore retval a failed write means the client is gone;
+			// the response status is already committed.
+			_, _ = w.Write(e.json)
+			return
+		}
+	}
+
+	spec, err := decodeSolveRequestBytes(body)
 	if err != nil {
 		s.met.badRequests.Add(1)
 		writeErr(w, err.(*apiError))
@@ -517,7 +584,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, apiErr)
 		return
 	} else if res != nil {
-		writeResult(w, res, source)
+		s.writeResult(w, res, source, body)
 		return
 	}
 
@@ -534,7 +601,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.met.coalesced.Add(1)
-		writeResult(w, res, "coalesced")
+		s.writeResult(w, res, "coalesced", nil)
 		return
 	}
 
@@ -578,7 +645,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, classifySolveErr(out.err))
 		return
 	}
-	writeResult(w, out.res, out.source)
+	s.writeResult(w, out.res, out.source, nil)
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -719,11 +786,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // ---- response plumbing ----
 
-func writeResult(w http.ResponseWriter, res *SolveResult, source string) {
+// writeResult encodes a solve response through a pooled buffer and writes it
+// in one shot. When rawKey is the verbatim request body and the answer came
+// settled from the result cache, the encoded bytes are additionally stored in
+// the raw-body cache so the next byte-identical request skips decoding and
+// digesting entirely ("cache" is the only source stored: it is the steady
+// state, its quality is settled by construction, and storing it verbatim
+// keeps the source field of raw replays truthful).
+func (s *Server) writeResult(w http.ResponseWriter, res *SolveResult, source string, rawKey []byte) {
+	eb := getEncBuf()
+	defer putEncBuf(eb)
+	if err := eb.enc.Encode(SolveResponse{Source: source, SolveResult: *res}); err != nil {
+		writeErr(w, &apiError{Status: 500, Msg: "encoding response: " + err.Error()})
+		return
+	}
 	if res.Quality != "" {
 		w.Header().Set(QualityHeader, res.Quality)
 	}
-	writeJSON(w, http.StatusOK, SolveResponse{Source: source, SolveResult: *res})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	//hetsynth:ignore retval a failed write means the client is gone; the
+	// response status is already committed and there is no recovery path.
+	_, _ = w.Write(eb.buf.Bytes())
+	if source == "cache" && len(rawKey) > 0 && len(rawKey) <= maxRawKeyBytes {
+		s.rawCache.put(string(rawKey), &rawEntry{
+			json:    append([]byte(nil), eb.buf.Bytes()...),
+			quality: res.Quality,
+		})
+	}
 }
 
 func writeErr(w http.ResponseWriter, e *apiError) {
@@ -734,13 +824,17 @@ func writeErr(w http.ResponseWriter, e *apiError) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	eb := getEncBuf()
+	defer putEncBuf(eb)
+	if err := eb.enc.Encode(v); err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
 	//hetsynth:ignore retval a failed write means the client is gone; the
 	// response status is already committed and there is no recovery path.
-	_ = enc.Encode(v)
+	_, _ = w.Write(eb.buf.Bytes())
 }
 
 // statusWriter captures the response code for the request log.
@@ -764,8 +858,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// logged wraps a handler with structured request logging.
+// logged wraps a handler with structured request logging. Servers built
+// without a Logger skip the wrapper entirely: the hot path then writes
+// straight to the ResponseWriter with no per-request wrapper allocation or
+// discarded log records.
 func (s *Server) logged(next http.Handler) http.Handler {
+	if s.noLog {
+		return next
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
