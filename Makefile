@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet lint vuln bench bench2 bench3 bench-compare serve-smoke serve-overload fuzz cover-gate
+.PHONY: build test check race vet lint vuln bench bench2 bench3 bench4 bench-compare serve-smoke serve-overload fuzz cover-gate
 
 build:
 	$(GO) build ./...
@@ -69,23 +69,33 @@ bench2:
 bench3:
 	$(GO) run ./cmd/benchjson -suite server -out BENCH_3.json -compare BENCH_2.json
 
+# bench4 re-runs the server suite — now including the binary-codec HTTP
+# benchmarks and the direct-dispatch (no net/http floor) cached/uncached
+# benchmarks — and records BENCH_4.json with a delta table against the
+# pre-binary-protocol BENCH_3.json baseline.
+bench4:
+	$(GO) run ./cmd/benchjson -suite server -out BENCH_4.json -compare BENCH_3.json
+
 # bench-compare is the regression gate CI runs as a smoke: a short-benchtime
-# server-suite run diffed against the committed BENCH_3.json, failing when
-# the cached-hit benchmark regresses by more than 25% ns/op or 10% allocs/op.
-# BENCHTIME is overridable; the default keeps the smoke under a minute.
+# server-suite run diffed against the committed BENCH_4.json, failing when a
+# gated benchmark — the cached hit path (both codecs), the uncached solve
+# path (both codecs), or the direct-dispatch benchmarks — regresses by more
+# than 25% ns/op or 10% allocs/op. BENCHTIME is overridable; the default
+# keeps the smoke under a couple of minutes.
 BENCHTIME ?= 200ms
 bench-compare:
 	$(GO) run ./cmd/benchjson -suite server -out bin/bench-compare.json \
-		-benchtime $(BENCHTIME) -compare BENCH_3.json \
-		-gate 'BenchmarkHTTPSolveCached'
+		-benchtime $(BENCHTIME) -compare BENCH_4.json \
+		-gate 'BenchmarkHTTPSolveCached|BenchmarkHTTPSolveUncached|BenchmarkDirectSolve'
 
 # serve-smoke boots a real hetsynthd on a random port, solves bundled
 # benchmarks over HTTP (asserting the second identical request is a cache
 # hit and a deadline-only change is served from the frontier), then SIGTERMs
-# the daemon and checks it drains cleanly.
+# the daemon and checks it drains cleanly. -wire mixed carries every solve
+# over BOTH wire codecs and cross-checks the decoded answers.
 serve-smoke:
 	$(GO) build -o bin/hetsynthd ./cmd/hetsynthd
-	$(GO) run ./cmd/servesmoke -bin bin/hetsynthd
+	$(GO) run ./cmd/servesmoke -bin bin/hetsynthd -wire mixed
 
 # serve-overload floods a deliberately tiny hetsynthd (1 worker, 4 queue
 # slots) with concurrent anytime solves under a 150ms compute deadline and
@@ -96,9 +106,13 @@ serve-overload:
 	$(GO) run ./cmd/servesmoke -bin bin/hetsynthd -overload
 
 # fuzz runs each native fuzzer for a short budget: the sparse-curve merge
-# algebra, the anytime ladder under randomized deadlines, and the server's
-# request decoder. CI runs the same targets at 10s each.
+# algebra, the anytime ladder under randomized deadlines, the server's JSON
+# request decoder, the binary frame decoder (arbitrary bytes must yield 400s,
+# never panics), and the JSON/binary differential (both codecs must resolve a
+# request to the same canonical digest). CI runs the same targets at 10s each.
 fuzz:
 	$(GO) test ./internal/hap/ -run '^$$' -fuzz FuzzCurveMerge -fuzztime 30s
 	$(GO) test ./internal/hap/ -run '^$$' -fuzz FuzzSolveAnytime -fuzztime 30s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzDecodeRequest -fuzztime 30s
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzBinFrame -fuzztime 30s
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzBinSolveDifferential -fuzztime 30s

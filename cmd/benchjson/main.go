@@ -58,10 +58,13 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
-// suites maps a suite name to its (pkg, bench regexp, default output).
+// suites maps a suite name to its (pkg, bench regexp, default output). The
+// server suite covers both wire codecs (BenchmarkHTTP*Bin are the binary
+// twins) plus the BenchmarkDirect in-process dispatch benchmarks, which
+// measure the handler without the ~20µs net/http loopback floor.
 var suites = map[string][3]string{
 	"core":   {".", ".", "BENCH_1.json"},
-	"server": {"./internal/server/", "BenchmarkHTTP", "BENCH_2.json"},
+	"server": {"./internal/server/", "BenchmarkHTTP|BenchmarkDirect", "BENCH_2.json"},
 }
 
 func main() {

@@ -1,7 +1,14 @@
-// Command hetsynthd is the synthesis daemon: an HTTP/JSON service exposing
-// the repository's assignment and scheduling solvers behind a bounded worker
+// Command hetsynthd is the synthesis daemon: an HTTP service exposing the
+// repository's assignment and scheduling solvers behind a bounded worker
 // pool, a canonical-hash result cache, and single-flight deduplication (see
 // internal/server).
+//
+// The solve endpoints speak JSON by default and a length-prefixed binary
+// wire format negotiated by content type: a request with Content-Type
+// application/x-hetsynth-bin is decoded as a binary frame, and that content
+// type in either Content-Type or Accept selects a binary response. Both
+// codecs resolve to the same canonical digests and share all caches; error
+// responses are always JSON. See DESIGN.md §11 for the frame layout.
 //
 // Endpoints:
 //

@@ -4,6 +4,13 @@
 // cache), sweeps a second deadline off the frontier fast path, then sends
 // SIGTERM and verifies the daemon drains and exits cleanly.
 //
+// With -wire the solve traffic is carried over a chosen wire codec: "json"
+// (default), "bin" (the length-prefixed binary protocol, Content-Type
+// application/x-hetsynth-bin), or "mixed", which sends every request over
+// both codecs against the one daemon and asserts the decoded answers agree —
+// ending with a strict check that a settled cached answer decodes
+// field-for-field identically from both encodings.
+//
 // With -overload it instead runs the overload scenario (`make serve-overload`):
 // a 1-worker daemon with a short queue receives a burst of anytime solves
 // under a tight per-request compute deadline, and must shed with 429 +
@@ -12,37 +19,47 @@
 //
 // Usage:
 //
-//	servesmoke -bin ./bin/hetsynthd [-overload]
+//	servesmoke -bin ./bin/hetsynthd [-wire json|bin|mixed] [-overload]
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
 	"os/exec"
+	"reflect"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
+
+	"hetsynth/internal/server"
 )
 
 func main() {
 	bin := flag.String("bin", "", "path to the hetsynthd binary")
+	wire := flag.String("wire", "json", `wire codec for solve traffic: "json", "bin", or "mixed" (both, cross-checked)`)
 	overload := flag.Bool("overload", false, "run the overload scenario instead of the cache/drain smoke")
 	flag.Parse()
 	if *bin == "" {
 		fmt.Fprintln(os.Stderr, "servesmoke: -bin is required")
 		os.Exit(2)
 	}
-	run, name := smoke, "PASS"
-	if *overload {
-		run, name = overloadSmoke, "PASS (overload)"
+	if *wire != "json" && *wire != "bin" && *wire != "mixed" {
+		fmt.Fprintf(os.Stderr, "servesmoke: -wire %q: want json, bin, or mixed\n", *wire)
+		os.Exit(2)
 	}
-	if err := run(*bin); err != nil {
+	run, name := func() error { return smoke(*bin, *wire) }, "PASS (wire="+*wire+")"
+	if *overload {
+		run, name = func() error { return overloadSmoke(*bin) }, "PASS (overload)"
+	}
+	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
 		os.Exit(1)
 	}
@@ -108,25 +125,123 @@ func terminate(cmd *exec.Cmd) error {
 	return nil
 }
 
-func smoke(bin string) error {
+// postOver sends one solve request over the given codec and returns the
+// decoded response as the generic map shape the smoke asserts against. The
+// body is always authored as JSON; for the binary codec it is re-encoded
+// into a frame client-side, and the binary response frame is decoded and
+// normalized through encoding/json so both codecs yield comparable maps.
+func postOver(base, codec, path, body string) (map[string]any, error) {
+	var (
+		resp *http.Response
+		err  error
+	)
+	if codec == "bin" {
+		var enc []byte
+		if path == "/v1/solve-batch" {
+			var breq server.BatchRequest
+			if err := json.Unmarshal([]byte(body), &breq); err != nil {
+				return nil, err
+			}
+			if enc, err = server.EncodeBinBatchRequest(&breq); err != nil {
+				return nil, err
+			}
+		} else {
+			var sreq server.SolveRequest
+			if err := json.Unmarshal([]byte(body), &sreq); err != nil {
+				return nil, err
+			}
+			if enc, err = server.EncodeBinSolveRequest(&sreq); err != nil {
+				return nil, err
+			}
+		}
+		resp, err = http.Post(base+path, server.BinContentType, bytes.NewReader(enc))
+	} else {
+		resp, err = http.Post(base+path, "application/json", strings.NewReader(body))
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if resp.StatusCode != 200 {
+		// Errors are JSON on every codec.
+		json.Unmarshal(raw, &m)
+		return nil, fmt.Errorf("status %d: %v", resp.StatusCode, m)
+	}
+	if codec == "bin" {
+		var v any
+		if path == "/v1/solve-batch" {
+			v, err = server.DecodeBinBatchResponse(raw)
+		} else {
+			v, err = server.DecodeBinSolveResponse(raw)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("decoding binary response: %w", err)
+		}
+		if raw, err = json.Marshal(v); err != nil {
+			return nil, err
+		}
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// stripVolatile removes the fields that legitimately differ between two
+// requests for the same answer — the cache tier it came from and wall-clock
+// timings — recursively, so solve and batch responses both compare clean.
+func stripVolatile(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		c := make(map[string]any, len(x))
+		for k, val := range x {
+			if k == "source" || k == "elapsed_ms" {
+				continue
+			}
+			c[k] = stripVolatile(val)
+		}
+		return c
+	case []any:
+		c := make([]any, len(x))
+		for i := range x {
+			c[i] = stripVolatile(x[i])
+		}
+		return c
+	default:
+		return v
+	}
+}
+
+func smoke(bin, wire string) error {
 	cmd, base, err := boot(bin)
 	if err != nil {
 		return err
 	}
 	defer cmd.Process.Kill()
 
+	primary := wire
+	if wire == "mixed" {
+		primary = "json"
+	}
+	// post drives the smoke over the primary codec; in mixed mode every
+	// request is replayed over the binary codec too and the decoded answers
+	// must agree once cache-tier and timing fields are set aside.
 	post := func(body string) (map[string]any, error) {
-		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+		m, err := postOver(base, primary, "/v1/solve", body)
+		if err != nil || wire != "mixed" {
+			return m, err
+		}
+		bm, err := postOver(base, "bin", "/v1/solve", body)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("binary twin: %w", err)
 		}
-		defer resp.Body.Close()
-		var m map[string]any
-		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != 200 {
-			return nil, fmt.Errorf("status %d: %v", resp.StatusCode, m)
+		if !reflect.DeepEqual(stripVolatile(m), stripVolatile(bm)) {
+			return nil, fmt.Errorf("codecs disagree for %s:\n json %v\n bin  %v", body, m, bm)
 		}
 		return m, nil
 	}
@@ -182,17 +297,18 @@ func smoke(bin string) error {
 		{"bench":"volterra","seed":1,"slack":2},
 		{"bench":"volterra","seed":1,"slack":2},
 		{"bench":"elliptic","seed":2,"slack":4}]}`
-	bresp, err := http.Post(base+"/v1/solve-batch", "application/json", strings.NewReader(batch))
+	bm, err := postOver(base, primary, "/v1/solve-batch", batch)
 	if err != nil {
 		return fmt.Errorf("batch solve: %w", err)
 	}
-	var bm map[string]any
-	if err := json.NewDecoder(bresp.Body).Decode(&bm); err != nil {
-		return fmt.Errorf("batch decode: %w", err)
-	}
-	bresp.Body.Close()
-	if bresp.StatusCode != 200 {
-		return fmt.Errorf("batch status %d: %v", bresp.StatusCode, bm)
+	if wire == "mixed" {
+		bbin, err := postOver(base, "bin", "/v1/solve-batch", batch)
+		if err != nil {
+			return fmt.Errorf("binary batch twin: %w", err)
+		}
+		if !reflect.DeepEqual(stripVolatile(bm), stripVolatile(bbin)) {
+			return fmt.Errorf("batch codecs disagree:\n json %v\n bin  %v", bm, bbin)
+		}
 	}
 	results, _ := bm["results"].([]any)
 	if len(results) != 4 {
@@ -206,6 +322,24 @@ func smoke(bin string) error {
 	}
 	if bm["deduped"].(float64) != 1 {
 		return fmt.Errorf("batch deduped = %v, want 1", bm["deduped"])
+	}
+
+	// Strict cross-codec check: the elliptic answer is settled in the result
+	// cache by now, so both codecs replay the very same stored response and
+	// the decoded maps must be identical in EVERY field — source, timings,
+	// everything. A mismatch here means the codecs split the cache.
+	if wire == "mixed" || wire == "bin" {
+		jm, err := postOver(base, "json", "/v1/solve", req)
+		if err != nil {
+			return fmt.Errorf("strict check, json: %w", err)
+		}
+		bm, err := postOver(base, "bin", "/v1/solve", req)
+		if err != nil {
+			return fmt.Errorf("strict check, bin: %w", err)
+		}
+		if !reflect.DeepEqual(jm, bm) {
+			return fmt.Errorf("settled answer decodes differently per codec:\n json %v\n bin  %v", jm, bm)
+		}
 	}
 
 	return terminate(cmd)

@@ -1,0 +1,99 @@
+package canon
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// TestDecodeInstanceRoundTrip pins the property the binary protocol leans on:
+// strict decoding means every accepted byte stream re-encodes to itself, so
+// digests over wire bytes equal digests over the decoded problem.
+func TestDecodeInstanceRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		var g *dfg.Graph
+		if seed%2 == 0 {
+			g = dfg.RandomTree(rng, n)
+		} else {
+			g = dfg.RandomDAG(rng, n, 0.3)
+		}
+		tab := fu.RandomTable(rng, n, 1+rng.Intn(4))
+		enc := AppendInstance(nil, g, tab)
+		tail := []byte{'R', 0xaa}
+		g2, t2, inst, rest, err := DecodeInstance(append(append([]byte(nil), enc...), tail...))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !bytes.Equal(inst, enc) {
+			t.Fatalf("seed %d: consumed bytes differ from encoding", seed)
+		}
+		if !bytes.Equal(rest, tail) {
+			t.Fatalf("seed %d: rest = %x, want %x", seed, rest, tail)
+		}
+		re := AppendInstance(nil, g2, t2)
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("seed %d: re-encoding differs from original", seed)
+		}
+		wantReq, wantInst := Keys(g, tab, 17, "auto")
+		gotReq, gotInst := KeysEncoded(inst, 17, "auto")
+		if gotReq != wantReq || gotInst != wantInst {
+			t.Fatalf("seed %d: KeysEncoded (%s, %s) != Keys (%s, %s)", seed, gotReq, gotInst, wantReq, wantInst)
+		}
+	}
+}
+
+func TestDecodeInstanceRejectsMalformed(t *testing.T) {
+	g := dfg.New()
+	a := g.MustAddNode("a", "add")
+	b := g.MustAddNode("b", "mul")
+	g.MustAddEdge(a, b, 0)
+	tab := fu.NewTable(2, 2)
+	tab.MustSet(0, []int{1, 2}, []int64{5, 3})
+	tab.MustSet(1, []int{2, 1}, []int64{4, 6})
+	good := AppendInstance(nil, g, tab)
+
+	check := func(name string, buf []byte) {
+		t.Helper()
+		if _, _, _, _, err := DecodeInstance(buf); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+	check("empty", nil)
+	check("bad tag", []byte{'X'})
+	for i := 1; i < len(good); i++ {
+		check("truncated", good[:i])
+	}
+	// A padded (non-minimal) varint decodes to the same value but different
+	// bytes — exactly the ambiguity strictness exists to kill.
+	padded := append([]byte{'G', 0x82, 0x00}, good[2:]...)
+	check("non-minimal varint", padded)
+	// Flip the edge target out of range.
+	bad := append([]byte(nil), good...)
+	off := bytes.IndexByte(good, 'T') // edge ints precede the table section
+	copy(bad[off-24:off-16], []byte{9, 0, 0, 0, 0, 0, 0, 0})
+	check("edge out of range", bad)
+	// Zero execution time violates table validation.
+	bad = append([]byte(nil), good...)
+	copy(bad[off+3:off+11], make([]byte, 8))
+	check("zero time", bad)
+	// Duplicate node name: hand-build 'G', n=2, the same (name, op) twice.
+	hb := []byte{'G', 2}
+	hb = appendString(hb, "a")
+	hb = appendString(hb, "")
+	hb = appendString(hb, "a")
+	hb = appendString(hb, "")
+	hb = append(hb, 0) // m = 0
+	hb = append(hb, 'T', 2, 1)
+	for i := 0; i < 2; i++ {
+		hb = appendInt(hb, 1)
+	}
+	for i := 0; i < 2; i++ {
+		hb = appendInt(hb, 0)
+	}
+	check("duplicate node name", hb)
+}

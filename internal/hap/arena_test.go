@@ -1,0 +1,177 @@
+package hap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+)
+
+// These tests pin the flat-arena curve storage (arena.go) to the retained
+// per-node slice representation it replaced: the storage layout must be
+// invisible. Solutions, frontiers, and the retained curves themselves must be
+// bit-identical between the two modes, including across incremental re-solves
+// that abandon arena ranges and across forced compaction.
+
+// sameCurves compares every retained per-node curve of two solvers point by
+// point.
+func sameCurves(t *testing.T, seed int64, a, b *treeSolver) {
+	t.Helper()
+	for v := range a.order {
+		ca, cb := a.curveOf(dfg.NodeID(v)), b.curveOf(dfg.NodeID(v))
+		if len(ca) != len(cb) {
+			t.Fatalf("seed %d: node %d: arena curve has %d points, slice curve %d", seed, v, len(ca), len(cb))
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("seed %d: node %d point %d: arena %+v != slice %+v", seed, v, i, ca[i], cb[i])
+			}
+		}
+	}
+}
+
+// runArenaVsSlice drives an arena-mode and a slice-mode solver through the
+// same solve-pin-resolve trajectory and fails on any divergence.
+func runArenaVsSlice(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	p := randomProblem(rng, 14, true)
+	arena, err := newTreeSolverMode(p, nil, false, false)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	defer arena.release()
+	slice, err := newTreeSolverMode(p, nil, false, true)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	defer slice.release()
+	step := func(stage string) bool {
+		sa, errA := arena.solve()
+		ss, errS := slice.solve()
+		if errors.Is(errA, ErrInfeasible) != errors.Is(errS, ErrInfeasible) {
+			t.Fatalf("seed %d %s: feasibility differs: arena %v, slice %v", seed, stage, errA, errS)
+		}
+		sameCurves(t, seed, arena, slice)
+		if errA != nil {
+			return false
+		}
+		if !sameSolution(sa, ss) {
+			t.Fatalf("seed %d %s: arena %+v != slice %+v", seed, stage, sa, ss)
+		}
+		fa, fs := arena.frontier(), slice.frontier()
+		if len(fa) != len(fs) {
+			t.Fatalf("seed %d %s: frontier sizes %d != %d", seed, stage, len(fa), len(fs))
+		}
+		for i := range fa {
+			if fa[i] != fs[i] {
+				t.Fatalf("seed %d %s: frontier[%d] arena %+v != slice %+v", seed, stage, i, fa[i], fs[i])
+			}
+		}
+		return true
+	}
+	if !step("initial") {
+		return
+	}
+	// Incremental pins abandon the pinned nodes' old arena ranges; the fresh
+	// ranges must still read back identically to the slice path.
+	for pinStep := 0; pinStep < 4; pinStep++ {
+		v := dfg.NodeID(rng.Intn(p.Graph.N()))
+		k := fu.TypeID(rng.Intn(p.K()))
+		arena.pin([]dfg.NodeID{v}, k)
+		slice.pin([]dfg.NodeID{v}, k)
+		if !step("pin") {
+			return
+		}
+	}
+}
+
+func TestArenaMatchesSliceMode(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		runArenaVsSlice(t, seed)
+	}
+}
+
+func TestArenaCompactionMatchesSliceMode(t *testing.T) {
+	// Shrinking the arena bound forces storeCurve through compactArena (and,
+	// when a compacted arena still cannot take the curve, through the
+	// open-a-fresh-arena fallback) on ordinary small instances. The serial
+	// incremental trajectory is the one that accumulates abandoned ranges.
+	old := maxArenaPoints
+	maxArenaPoints = 12
+	defer func() { maxArenaPoints = old }()
+	for seed := int64(0); seed < 120; seed++ {
+		runArenaVsSlice(t, 5000+seed)
+	}
+}
+
+func TestArenaParallelMatchesSliceMode(t *testing.T) {
+	// Above parallelMinDirty the first solve takes the worker-pool path with
+	// one private arena per worker; under -race this doubles as the probe for
+	// the arena handoff (ptmp) being properly ordered.
+	for seed := int64(0); seed < 2; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := parallelMinDirty + 100 + rng.Intn(200)
+		g := dfg.RandomTree(rng, n)
+		tab := fu.RandomTable(rng, n, 3)
+		min, err := MinMakespan(g, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Problem{Graph: g, Table: tab, Deadline: min + 1 + rng.Intn(min+2)}
+		arena, err := newTreeSolverMode(p, nil, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer arena.release()
+		slice, err := newTreeSolverMode(p, nil, false, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer slice.release()
+		sa, errA := arena.solve()
+		ss, errS := slice.solve()
+		if errA != nil || errS != nil {
+			t.Fatalf("seed %d: arena %v slice %v", seed, errA, errS)
+		}
+		if !sameSolution(sa, ss) {
+			t.Fatalf("seed %d: arena %+v != slice %+v", seed, sa, ss)
+		}
+		sameCurves(t, seed, arena, slice)
+	}
+}
+
+func TestTreeSolveArenaAllocs(t *testing.T) {
+	// With pooled arenas and scratch, a full build-solve-release cycle costs
+	// only the solver's own structural allocations — far below the one curve
+	// allocation per node the slice layout paid. The bound is deliberately
+	// much smaller than n so a regression to per-node allocation fails loudly.
+	if raceEnabled {
+		t.Skip("allocation counts include race instrumentation")
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := 300
+	g := dfg.RandomTree(rng, n)
+	tab := fu.RandomTable(rng, n, 3)
+	min, err := MinMakespan(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Graph: g, Table: tab, Deadline: min + min/2 + 1}
+	solveOnce := func() {
+		s, err := newTreeSolver(p, nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.solve(); err != nil {
+			t.Fatal(err)
+		}
+		s.release()
+	}
+	solveOnce() // warm the arena and scratch pools
+	allocs := testing.AllocsPerRun(50, solveOnce)
+	if allocs > 40 {
+		t.Fatalf("tree solve allocated %.1f times per run, want <= 40 (n = %d)", allocs, n)
+	}
+}

@@ -56,46 +56,29 @@ func (c curve) eval(j int) int64 {
 	return c[i].C
 }
 
-// dpScratch holds the reusable buffers of the per-node curve construction.
-// Each solver (and each parallel DP worker) owns one, so a solve allocates
-// little beyond the curves it keeps.
+// dpScratch holds the reusable transient buffers of the per-node curve
+// construction. Each solver (and each parallel DP worker) owns one; retained
+// curves live in the solver's curveArena (see arena.go), so every scratch
+// buffer is dead the moment its current call returns and the scratch can
+// always go back to the pool whole.
 type dpScratch struct {
-	kids  []curve      // the child curves being summed
-	idx   []int        // per-run cursors of the k-way merges
-	sum   []curvePoint // the summed child curve (consumed immediately)
-	pts   []curvePoint // envelope breakpoints before the final exact copy
-	arena []curvePoint // backing store of the retained per-node curves
+	kids []curve      // the child curves being summed
+	idx  []int        // per-run cursors of the k-way merges
+	sum  []curvePoint // the summed child curve (consumed immediately)
+	pts  []curvePoint // envelope breakpoints before the arena copy
 }
 
 // scratchPool recycles dpScratch buffers across solves, so a steady stream
-// of tree solves (the serving hot path) reuses the same merge cursors and
-// curve arenas instead of re-growing them per request.
+// of tree solves (the serving hot path) reuses the same merge cursors
+// instead of re-growing them per request.
 var scratchPool = sync.Pool{New: func() any { return new(dpScratch) }}
 
-// getScratch hands out an exclusive scratch with an empty arena. The arena's
-// backing array is reused verbatim, which is only sound because putScratch's
-// contract guarantees no live curve aliases it.
-func getScratch() *dpScratch {
-	sc := scratchPool.Get().(*dpScratch)
-	sc.arena = sc.arena[:0]
-	return sc
-}
+// getScratch hands out an exclusive scratch.
+func getScratch() *dpScratch { return scratchPool.Get().(*dpScratch) }
 
-// putScratch recycles sc including its curve arena. Callers must guarantee
-// that every curve carved out of the arena is dead — i.e. the owning solver
-// is being discarded and only plain Solution/FrontierPoint values (which
-// copy, never alias) have escaped.
+// putScratch recycles sc. Safe whenever the owner is done with its current
+// merge: nothing retained aliases a scratch buffer.
 func putScratch(sc *dpScratch) { scratchPool.Put(sc) }
-
-// putScratchShared recycles sc's transient merge buffers but detaches the
-// arena, because curves retained by a still-live solver alias it (parallel
-// DP workers store their curves into the solver while the solver keeps
-// running). The arena's memory stays with those curves; the next user
-// grows a fresh one.
-func putScratchShared(sc *dpScratch) {
-	sc.arena = nil
-	scratchPool.Put(sc)
-}
 
 // sumCurves adds a set of step functions: out(j) = Σ curves[i](j), infeasible
 // wherever any addend is. Breakpoints beyond limit are discarded (the DP never
@@ -171,8 +154,9 @@ func sumCurves(curves []curve, limit int, sc *dpScratch) curve {
 // breakpoints with time ≤ j: a running minimum over the breakpoints in time
 // order. Each candidate's shifted breakpoints are already time-sorted, so a
 // K-way merge over the candidate heads visits them in order without a
-// comparison sort. The returned curve is retained per node; it lives in the
-// scratch arena and stays valid for the scratch's lifetime.
+// comparison sort. The result aliases sc.pts and is only valid until the
+// next call with the same scratch; callers copy what they retain (the tree
+// solver copies it into its curve arena).
 func envelope(sum curve, cand []fu.TypeID, timeRow []int, costRow []int64, limit int, sc *dpScratch) curve {
 	if cap(sc.idx) < len(cand) {
 		sc.idx = make([]int, len(cand))
@@ -214,10 +198,5 @@ func envelope(sum curve, cand []fu.TypeID, timeRow []int, costRow []int64, limit
 	if len(pts) == 0 {
 		return nil
 	}
-	// Retained curves are carved out of the scratch arena: one geometric
-	// growth series per solve instead of one allocation per node. The full
-	// slice expression pins the capacity so later appends cannot clobber it.
-	at := len(sc.arena)
-	sc.arena = append(sc.arena, pts...)
-	return curve(sc.arena[at:len(sc.arena):len(sc.arena)])
+	return curve(pts)
 }

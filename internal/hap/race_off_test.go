@@ -1,0 +1,7 @@
+//go:build !race
+
+package hap
+
+// raceEnabled reports whether the race detector is active; the allocation
+// assertions only hold without its instrumentation overhead.
+const raceEnabled = false

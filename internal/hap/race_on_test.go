@@ -1,0 +1,5 @@
+//go:build race
+
+package hap
+
+const raceEnabled = true

@@ -28,12 +28,33 @@ type treeSolver struct {
 	roots    []dfg.NodeID
 	order    []dfg.NodeID // children before parents
 	cand     [][]fu.TypeID
-	curves   []curve
-	dirty    []bool
-	ndirty   int
-	down     []int      // scratch for the longest-path check in solve
-	tb       []tbFrame  // traceback stack, reused across solveAt calls
-	sc       *dpScratch // serial-path scratch, reused across re-solves; nil after release
+
+	// Retained per-node curves. The default representation is a curveRef per
+	// node into the solver-owned flat arenas (arena.go): contiguous storage,
+	// 12-byte handles, pooled backing stores. sliceMode switches to one
+	// []curvePoint allocation per node — the representation the arenas
+	// replaced — which is retained as the storage-layout oracle for the
+	// arena differential tests.
+	refs        []curveRef
+	arenas      []*curveArena
+	sliceCurves []curve
+	sliceMode   bool
+
+	// arenaMu guards growth of the arenas slice on the (unreachable in
+	// practice) overflow path of a parallel solve; see recomputeParallel.
+	arenaMu sync.Mutex
+	// ptmp carries curve slice headers from the worker that computed a node
+	// to the worker that reads it during a parallel solve. Workers must not
+	// read an arena's mutable pts header while its owner appends, so each
+	// store captures the (immutable once written) points as a slice and the
+	// parent reads that instead of resolving its curveRef.
+	ptmp []curve
+
+	dirty  []bool
+	ndirty int
+	down   []int      // scratch for the longest-path check in solve
+	tb     []tbFrame  // traceback stack, reused across solveAt calls
+	sc     *dpScratch // serial-path scratch, reused across re-solves; nil after release
 }
 
 // newTreeSolver prepares the solver for an out-forest problem, with the same
@@ -48,6 +69,14 @@ type treeSolver struct {
 // optimum (cost, length, assignment) carries over to the original unchanged —
 // this is how in-forests are solved without copying the graph each call.
 func newTreeSolver(p Problem, allowed [][]bool, reversed bool) (*treeSolver, error) {
+	return newTreeSolverMode(p, allowed, reversed, false)
+}
+
+// newTreeSolverMode is newTreeSolver with an explicit curve-storage mode:
+// sliceMode retains one []curvePoint per node instead of arena refs. Only
+// the arena differential tests ask for slice mode; every production caller
+// goes through newTreeSolver.
+func newTreeSolverMode(p Problem, allowed [][]bool, reversed, sliceMode bool) (*treeSolver, error) {
 	g, t := p.Graph, p.Table
 	n, K := g.N(), t.K()
 	var order []dfg.NodeID
@@ -61,15 +90,21 @@ func newTreeSolver(p Problem, allowed [][]bool, reversed bool) (*treeSolver, err
 		return nil, err
 	}
 	s := &treeSolver{
-		p:        p,
-		children: make([][]dfg.NodeID, n),
-		parent:   make([]int32, n),
-		order:    order,
-		cand:     make([][]fu.TypeID, n),
-		curves:   make([]curve, n),
-		dirty:    make([]bool, n),
-		ndirty:   n,
-		sc:       getScratch(),
+		p:         p,
+		children:  make([][]dfg.NodeID, n),
+		parent:    make([]int32, n),
+		order:     order,
+		cand:      make([][]fu.TypeID, n),
+		sliceMode: sliceMode,
+		dirty:     make([]bool, n),
+		ndirty:    n,
+		sc:        getScratch(),
+	}
+	if sliceMode {
+		s.sliceCurves = make([]curve, n)
+	} else {
+		s.refs = make([]curveRef, n)
+		s.arenas = append(s.arenas, getArena())
 	}
 	for v := 0; v < n; v++ {
 		s.parent[v] = -1
@@ -152,17 +187,92 @@ func newTreeSolver(p Problem, allowed [][]bool, reversed bool) (*treeSolver, err
 	return s, nil
 }
 
-// release recycles the solver's scratch buffers — including the curve arena
-// every retained curve aliases — into the package pool. The solver, its
-// curves, and any frontier read off them are invalid afterwards; callers may
-// release only when they are discarding the solver and have copied everything
-// they keep (Solution and FrontierPoint values copy, never alias). Solvers
-// retained for later tracebacks (FrontierSolver) are never released.
+// release recycles the solver's scratch buffers and curve arenas — the
+// backing stores every retained curve lives in — into the package pools. The
+// solver, its curves, and any frontier read off them are invalid afterwards;
+// callers may release only when they are discarding the solver and have
+// copied everything they keep (Solution and FrontierPoint values copy, never
+// alias). Solvers retained for later tracebacks (FrontierSolver) are never
+// released.
 func (s *treeSolver) release() {
 	if s.sc != nil {
 		putScratch(s.sc)
 		s.sc = nil
 	}
+	for _, a := range s.arenas {
+		putArena(a)
+	}
+	s.arenas = nil
+	s.refs = nil
+}
+
+// curveOf returns node v's retained curve: a view into the owning arena (or
+// the node's own slice in slice mode). Callers must not append to it; the
+// arena view's capacity is pinned, so a stray append cannot corrupt a
+// neighbor, but the result must be treated as read-only either way.
+func (s *treeSolver) curveOf(v dfg.NodeID) curve {
+	if s.sliceMode {
+		return s.sliceCurves[v]
+	}
+	r := s.refs[v]
+	if r.n == 0 {
+		return nil
+	}
+	pts := s.arenas[r.ar].pts
+	return curve(pts[r.off : r.off+r.n : r.off+r.n])
+}
+
+// storeCurve retains pts (a transient envelope result) as node v's curve by
+// copying it into arena ar. In slice mode the copy is a fresh per-node
+// allocation instead. A nil/empty pts records the infeasible curve.
+func (s *treeSolver) storeCurve(v dfg.NodeID, pts curve, ar int32) {
+	if s.sliceMode {
+		if len(pts) == 0 {
+			s.sliceCurves[v] = nil
+			return
+		}
+		s.sliceCurves[v] = append(curve(nil), pts...)
+		return
+	}
+	if len(pts) == 0 {
+		s.refs[v] = curveRef{}
+		return
+	}
+	a := s.arenas[ar]
+	if len(a.pts)+len(pts) > maxArenaPoints {
+		s.compactArena(ar)
+		a = s.arenas[ar]
+		if len(a.pts)+len(pts) > maxArenaPoints {
+			// Even fully compacted the live curves don't fit one arena's
+			// offset space; open a fresh arena and store there. Unreachable
+			// for real instances (2^31 points is 32 GiB of curve), but the
+			// DP must stay correct if it ever happens.
+			ar = int32(len(s.arenas))
+			s.arenas = append(s.arenas, getArena())
+			a = s.arenas[ar]
+		}
+	}
+	at := len(a.pts)
+	a.pts = append(a.pts, pts...)
+	s.refs[v] = curveRef{off: int32(at), n: int32(len(pts)), ar: ar}
+}
+
+// compactArena rewrites arena ar to contain only the curves still referenced
+// by a node, reclaiming the ranges abandoned by incremental re-solves. It
+// runs only when an arena would outgrow its int32 offset space.
+func (s *treeSolver) compactArena(ar int32) {
+	old := s.arenas[ar].pts
+	fresh := make([]curvePoint, 0, len(old))
+	for v := range s.refs {
+		r := s.refs[v]
+		if r.ar != ar || r.n == 0 {
+			continue
+		}
+		at := len(fresh)
+		fresh = append(fresh, old[r.off:r.off+r.n]...)
+		s.refs[v] = curveRef{off: int32(at), n: r.n, ar: ar}
+	}
+	s.arenas[ar].pts = fresh
 }
 
 // pin restricts every listed node to the single type k and dirties the
@@ -182,16 +292,25 @@ func (s *treeSolver) pin(nodes []dfg.NodeID, k fu.TypeID) {
 	}
 }
 
-// computeCurve builds node v's Pareto curve from its children's curves.
-func (s *treeSolver) computeCurve(v int, sc *dpScratch) curve {
+// computeCurve builds node v's Pareto curve from its children's curves. The
+// result is transient (it aliases sc.pts); the caller copies it into retained
+// storage via storeCurve. tmp, when non-nil, overrides the child lookup with
+// captured slice headers — the parallel path's race-free handoff (see ptmp).
+func (s *treeSolver) computeCurve(v int, sc *dpScratch, tmp []curve) curve {
 	var kids []curve
 	if n := len(s.children[v]); n > 0 {
 		if cap(sc.kids) < n {
 			sc.kids = make([]curve, n)
 		}
 		kids = sc.kids[:n]
-		for i, c := range s.children[v] {
-			kids[i] = s.curves[c]
+		if tmp != nil {
+			for i, c := range s.children[v] {
+				kids[i] = tmp[c]
+			}
+		} else {
+			for i, c := range s.children[v] {
+				kids[i] = s.curveOf(c)
+			}
 		}
 	}
 	sum := sumCurves(kids, s.p.Deadline, sc)
@@ -215,7 +334,7 @@ func (s *treeSolver) recompute() {
 	} else {
 		for _, v := range s.order {
 			if s.dirty[v] {
-				s.curves[v] = s.computeCurve(int(v), s.sc)
+				s.storeCurve(v, s.computeCurve(int(v), s.sc, nil), 0)
 				s.dirty[v] = false
 			}
 		}
@@ -253,17 +372,72 @@ func (s *treeSolver) recomputeParallel() {
 	if workers > s.ndirty {
 		workers = s.ndirty
 	}
+	// ptmp hands each computed curve to the parent's worker as a captured
+	// slice header: resolving a curveRef reads the owning arena's mutable pts
+	// header, which would race with the owner's appends even though the
+	// points themselves are immutable once written. Clean nodes contribute
+	// their retained curves up front, before any worker starts.
+	if cap(s.ptmp) < len(s.order) {
+		s.ptmp = make([]curve, len(s.order))
+	}
+	tmp := s.ptmp[:len(s.order)]
+	for _, v := range s.order {
+		if s.dirty[v] {
+			tmp[v] = nil
+		} else {
+			tmp[v] = s.curveOf(v)
+		}
+	}
+	// One private arena per worker, registered before the workers spawn so
+	// the arenas slice itself stays immutable during the run (the overflow
+	// path below is the sole, mutex-guarded exception).
+	base := len(s.arenas)
+	if !s.sliceMode {
+		for w := 0; w < workers; w++ {
+			s.arenas = append(s.arenas, getArena())
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		ar := int32(0)
+		var a *curveArena
+		if !s.sliceMode {
+			ar = int32(base + w)
+			a = s.arenas[ar]
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Worker scratches go back via putScratchShared: the curves each
-			// worker computed alias its arena and stay live in s.curves.
 			sc := getScratch()
-			defer putScratchShared(sc)
+			defer putScratch(sc)
 			for v := range ready {
-				s.curves[v] = s.computeCurve(int(v), sc)
+				pts := s.computeCurve(int(v), sc, tmp)
+				if s.sliceMode {
+					s.storeCurve(v, pts, 0)
+					tmp[v] = s.sliceCurves[v]
+				} else if len(pts) == 0 {
+					s.refs[v] = curveRef{}
+					tmp[v] = nil
+				} else {
+					if len(a.pts)+len(pts) > maxArenaPoints {
+						// Worker arenas never compact mid-run — other
+						// workers' refs are in flight — so overflow opens a
+						// fresh arena instead. Appends that relocate a.pts
+						// don't invalidate earlier refs or tmp entries:
+						// append copies the prefix, so recorded offsets hold
+						// against the final backing and old headers keep
+						// aliasing the (immutable) prior one.
+						s.arenaMu.Lock()
+						ar = int32(len(s.arenas))
+						s.arenas = append(s.arenas, getArena())
+						a = s.arenas[ar]
+						s.arenaMu.Unlock()
+					}
+					at := len(a.pts)
+					a.pts = append(a.pts, pts...)
+					s.refs[v] = curveRef{off: int32(at), n: int32(len(pts)), ar: ar}
+					tmp[v] = curve(a.pts[at : at+len(pts) : at+len(pts)])
+				}
 				s.dirty[v] = false
 				if p := s.parent[v]; p >= 0 && s.dirty[p] {
 					if atomic.AddInt32(&pending[p], -1) == 0 {
@@ -290,7 +464,7 @@ func (s *treeSolver) solveAt(budget int) (Solution, error) {
 	L := budget
 	var total int64
 	for _, r := range s.roots {
-		x := s.curves[r].eval(L)
+		x := s.curveOf(r).eval(L)
 		if x == inf {
 			return Solution{}, ErrInfeasible
 		}
@@ -341,7 +515,7 @@ func (s *treeSolver) solveAt(budget int) (Solution, error) {
 // goroutine stack.
 func (s *treeSolver) traceback(L int) (Assignment, error) {
 	t := s.p.Table
-	n := len(s.curves)
+	n := len(s.order)
 	assign := make(Assignment, n)
 	stack := s.tb[:0]
 	for _, r := range s.roots {
@@ -361,7 +535,7 @@ func (s *treeSolver) traceback(L int) (Assignment, error) {
 			sum := t.Cost[v][k]
 			ok := true
 			for _, c := range s.children[v] {
-				xc := s.curves[c].eval(rem)
+				xc := s.curveOf(c).eval(rem)
 				if xc == inf {
 					ok = false
 					break
@@ -402,7 +576,7 @@ func (s *treeSolver) frontier() []FrontierPoint {
 	}
 	kids := s.sc.kids[:len(s.roots)]
 	for i, r := range s.roots {
-		kids[i] = s.curves[r]
+		kids[i] = s.curveOf(r)
 	}
 	sum := sumCurves(kids, s.p.Deadline, s.sc)
 	out := make([]FrontierPoint, len(sum))

@@ -63,43 +63,73 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	binReq := isBinContentType(r.Header.Get("Content-Type"))
+	codec := respCodecFor(binReq, r.Header.Get("Accept"))
+
 	// Raw replay: a byte-identical batch whose every entry settled is served
-	// from its stored encoding — same contract as the /v1/solve fast path.
+	// from its stored encoding — same contract as the /v1/solve fast path. An
+	// entry missing the negotiated response codec falls through to a normal
+	// run, which merges the fresh encoding in.
 	hdrOK := true
 	if h := r.Header.Get(DeadlineHeader); h != "" && !validDeadlineHeader(h) {
 		hdrOK = false
 	}
 	if hdrOK {
 		if v, ok := s.rawCache.getBytes(body); ok && v.(*rawEntry).batch {
-			s.met.batchRequests.Add(1)
-			s.met.cacheHits.Add(1)
-			s.met.rawHits.Add(1)
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusOK)
-			//hetsynth:ignore retval a failed write means the client is gone;
-			// the response status is already committed.
-			_, _ = w.Write(v.(*rawEntry).json)
-			return
+			if e := v.(*rawEntry); e.body[codec] != nil {
+				s.met.batchRequests.Add(1)
+				s.met.cacheHits.Add(1)
+				s.met.rawHits.Add(1)
+				w.Header().Set("Content-Type", codec.contentType())
+				w.WriteHeader(http.StatusOK)
+				//hetsynth:ignore retval a failed write means the client is gone;
+				// the response status is already committed.
+				_, _ = w.Write(e.body[codec])
+				return
+			}
 		}
 	}
 
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	var breq BatchRequest
-	if err := dec.Decode(&breq); err != nil {
-		s.met.badRequests.Add(1)
-		writeErr(w, badRequest("invalid batch JSON: %v", err))
-		return
-	}
-	if len(breq.Entries) == 0 {
-		s.met.badRequests.Add(1)
-		writeErr(w, badRequest("batch has no entries"))
-		return
-	}
-	if len(breq.Entries) > maxBatchEntries {
-		s.met.badRequests.Add(1)
-		writeErr(w, badRequest("batch has %d entries, maximum is %d", len(breq.Entries), maxBatchEntries))
-		return
+	// Decode per the request codec into one resolved entry list. Semantic
+	// failures (unknown bench, bad deadline) are isolated per entry so one
+	// malformed sweep point never voids the rest of the batch; an unparseable
+	// encoding rejects the whole body.
+	var entries []binBatchEntry
+	if binReq {
+		var aerr *apiError
+		if entries, aerr = decodeBatchRequestBin(body); aerr != nil {
+			s.met.badRequests.Add(1)
+			writeErr(w, aerr)
+			return
+		}
+	} else {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		var breq BatchRequest
+		if err := dec.Decode(&breq); err != nil {
+			s.met.badRequests.Add(1)
+			writeErr(w, badRequest("invalid batch JSON: %v", err))
+			return
+		}
+		if len(breq.Entries) == 0 {
+			s.met.badRequests.Add(1)
+			writeErr(w, badRequest("batch has no entries"))
+			return
+		}
+		if len(breq.Entries) > maxBatchEntries {
+			s.met.badRequests.Add(1)
+			writeErr(w, badRequest("batch has %d entries, maximum is %d", len(breq.Entries), maxBatchEntries))
+			return
+		}
+		entries = make([]binBatchEntry, len(breq.Entries))
+		for i := range breq.Entries {
+			spec, err := resolve(&breq.Entries[i])
+			if err != nil {
+				entries[i].aerr = err.(*apiError)
+				continue
+			}
+			entries[i].spec = spec
+		}
 	}
 	// A malformed compute-deadline header rejects the whole batch, matching
 	// the /v1/solve contract (silently ignoring it would fake compliance).
@@ -110,24 +140,21 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.batchRequests.Add(1)
-	s.met.batchEntries.Add(int64(len(breq.Entries)))
+	s.met.batchEntries.Add(int64(len(entries)))
 
-	out := make([]BatchEntryResult, len(breq.Entries))
-	specs := make([]*solveSpec, len(breq.Entries))
+	out := make([]BatchEntryResult, len(entries))
+	specs := make([]*solveSpec, len(entries))
 
-	// Resolve every entry up front; failures are isolated per entry so one
-	// malformed sweep point never voids the rest of the batch.
-	firstIdx := make(map[string]int, len(breq.Entries)) // request digest -> leader entry
-	leader := make([]int, len(breq.Entries))            // -1: distinct; else: index answered for us
+	firstIdx := make(map[string]int, len(entries)) // request digest -> leader entry
+	leader := make([]int, len(entries))            // -1: distinct; else: index answered for us
 	deduped := 0
-	for i := range breq.Entries {
+	for i := range entries {
 		leader[i] = -1
-		spec, err := resolve(&breq.Entries[i])
-		if err != nil {
-			ae := err.(*apiError)
+		if ae := entries[i].aerr; ae != nil {
 			out[i] = BatchEntryResult{Error: ae.Msg, Status: ae.Status}
 			continue
 		}
+		spec := entries[i].spec
 		if aerr := applyComputeDeadline(spec, r); aerr != nil {
 			out[i] = BatchEntryResult{Error: aerr.Msg, Status: aerr.Status}
 			continue
@@ -245,30 +272,36 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{
 		Results:   out,
-		Entries:   len(breq.Entries),
+		Entries:   len(entries),
 		Deduped:   deduped,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 	}
-	eb := getEncBuf()
-	defer putEncBuf(eb)
-	if err := eb.enc.Encode(resp); err != nil {
-		writeErr(w, &apiError{Status: 500, Msg: "encoding response: " + err.Error()})
-		return
+	var enc []byte
+	if codec == codecBin {
+		bb := getBinBuf()
+		defer putBinBuf(bb)
+		bb.b = appendBatchRespFrame(bb.b, &resp)
+		enc = bb.b
+	} else {
+		eb := getEncBuf()
+		defer putEncBuf(eb)
+		if err := eb.enc.Encode(resp); err != nil {
+			writeErr(w, &apiError{Status: 500, Msg: "encoding response: " + err.Error()})
+			return
+		}
+		enc = eb.buf.Bytes()
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", codec.contentType())
 	w.WriteHeader(http.StatusOK)
 	//hetsynth:ignore retval a failed write means the client is gone; the
 	// response status is already committed and there is no recovery path.
-	_, _ = w.Write(eb.buf.Bytes())
+	_, _ = w.Write(enc)
 
 	// Store the encoding for raw replay only when every entry settled with a
 	// real result (transient errors — timeouts, load shed, draining — and
 	// timeout-quality incumbents are run-dependent and must re-run).
 	if len(body) <= maxRawKeyBytes && batchSettled(out) {
-		s.rawCache.put(string(body), &rawEntry{
-			json:  append([]byte(nil), eb.buf.Bytes()...),
-			batch: true,
-		})
+		s.storeRaw(body, codec, enc, "", true)
 	}
 }
 

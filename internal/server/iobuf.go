@@ -15,13 +15,19 @@ import (
 const maxRawKeyBytes = 64 << 10
 
 // rawEntry is a fully encoded answer stored under the verbatim request body:
-// the exact bytes to replay, plus the quality for the response header. batch
-// marks entries stored by /v1/solve-batch — each endpoint treats the other's
-// entries as misses, so a body that happens to be stored by one endpoint can
-// never be replayed with the other's semantics. Entries are immutable after
-// insertion.
+// the exact bytes to replay, plus the quality for the response header. body
+// holds one pre-encoded response per wire codec (indexed by codecID); a nil
+// slot means that codec's encoding has not been produced yet and the replay
+// path falls through to a normal solve, which merges the fresh encoding into
+// a replacement entry. Keeping both codecs in ONE entry under ONE key makes
+// their cache lifetime atomic: pin, refresh, and eviction always cover the
+// JSON and binary variants together, so neither can leak after the other is
+// gone. batch marks entries stored by /v1/solve-batch — each endpoint treats
+// the other's entries as misses, so a body that happens to be stored by one
+// endpoint can never be replayed with the other's semantics. Entries are
+// immutable after insertion (merges build a new entry).
 type rawEntry struct {
-	json    []byte
+	body    [numCodecs][]byte
 	quality string
 	batch   bool
 }

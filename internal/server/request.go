@@ -198,7 +198,16 @@ func resolve(req *SolveRequest) (*solveSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	return resolveWith(g, tab, req, nil)
+}
 
+// resolveWith finishes resolution for an already-materialized graph and
+// table: deadline/slack arithmetic, validation, canonical keys, fast-path
+// flags. instEnc, when non-nil, must be the canonical instance encoding of
+// (g, tab); the keys are then digested straight from those bytes
+// (canon.KeysEncoded) instead of re-encoding the problem — this is how the
+// binary wire path skips the canonicalize re-marshal.
+func resolveWith(g *dfg.Graph, tab *fu.Table, req *SolveRequest, instEnc []byte) (*solveSpec, error) {
 	algoName := req.Algorithm
 	if algoName == "" {
 		algoName = "auto"
@@ -249,9 +258,13 @@ func resolve(req *SolveRequest) (*solveSpec, error) {
 		algoName: algoName,
 		schedule: req.Schedule,
 		timeout:  req.TimeoutMS,
-		key:      canon.Request(g, tab, deadline, algoName),
-		instKey:  "inst/" + canon.Instance(g, tab),
 	}
+	if instEnc != nil {
+		spec.key, spec.instKey = canon.KeysEncoded(instEnc, deadline, algoName)
+	} else {
+		spec.key, spec.instKey = canon.Keys(g, tab, deadline, algoName)
+	}
+	spec.instKey = "inst/" + spec.instKey
 	// The frontier fast path serves only the algorithms for which the tree
 	// DP *is* the answer: auto (which dispatches trees to Tree_Assign),
 	// tree, and anytime (whose ladder short-circuits forests to the same

@@ -86,8 +86,8 @@ type Server struct {
 	met     *metrics
 	cache   *shardedCache
 	// rawCache maps verbatim request bodies of POST /v1/solve to their fully
-	// encoded responses (rawEntry), so a repeated identical body is served
-	// without JSON decoding, graph/table resolution or digesting. Its own
+	// encoded responses (rawEntry, one body per wire codec), so a repeated
+	// identical body is served without decoding, resolution or digesting. Its own
 	// eviction domain: raw bodies are bulkier and strictly redundant with the
 	// digest-keyed result cache, so pressure here never evicts a frontier.
 	rawCache *shardedCache
@@ -542,36 +542,50 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	binReq := isBinContentType(r.Header.Get("Content-Type"))
+	codec := respCodecFor(binReq, r.Header.Get("Accept"))
+
 	// Raw fast path: a byte-identical body already answered with settled
-	// quality is served straight from its stored encoding — no JSON decode, no
+	// quality is served straight from its stored encoding — no decode, no
 	// graph/table resolution, no digest. The probe keys the cache by the raw
 	// bytes (allocation-free) and is skipped when the compute-deadline header
 	// is malformed, so the 400 contract of applyComputeDeadline still holds; a
 	// well-formed header never changes a settled cached answer, so it does not
-	// need to be part of the key.
+	// need to be part of the key. A stored entry missing the negotiated
+	// response codec falls through; the solve path merges that encoding in.
 	if h := r.Header.Get(DeadlineHeader); h == "" || validDeadlineHeader(h) {
 		if v, ok := s.rawCache.getBytes(body); ok && !v.(*rawEntry).batch {
-			e := v.(*rawEntry)
-			s.met.requests.Add(1)
-			s.met.cacheHits.Add(1)
-			s.met.rawHits.Add(1)
-			if e.quality != "" {
-				w.Header().Set(QualityHeader, e.quality)
+			if e := v.(*rawEntry); e.body[codec] != nil {
+				s.met.requests.Add(1)
+				s.met.cacheHits.Add(1)
+				s.met.rawHits.Add(1)
+				if e.quality != "" {
+					w.Header().Set(QualityHeader, e.quality)
+				}
+				w.Header().Set("Content-Type", codec.contentType())
+				w.WriteHeader(http.StatusOK)
+				//hetsynth:ignore retval a failed write means the client is gone;
+				// the response status is already committed.
+				_, _ = w.Write(e.body[codec])
+				return
 			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusOK)
-			//hetsynth:ignore retval a failed write means the client is gone;
-			// the response status is already committed.
-			_, _ = w.Write(e.json)
-			return
 		}
 	}
 
-	spec, err := decodeSolveRequestBytes(body)
-	if err != nil {
+	var spec *solveSpec
+	if binReq {
+		var aerr *apiError
+		if spec, aerr = decodeSolveRequestBin(body); aerr != nil {
+			s.met.badRequests.Add(1)
+			writeErr(w, aerr)
+			return
+		}
+	} else if spec2, err := decodeSolveRequestBytes(body); err != nil {
 		s.met.badRequests.Add(1)
 		writeErr(w, err.(*apiError))
 		return
+	} else {
+		spec = spec2
 	}
 	if aerr := applyComputeDeadline(spec, r); aerr != nil {
 		s.met.badRequests.Add(1)
@@ -584,7 +598,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, apiErr)
 		return
 	} else if res != nil {
-		s.writeResult(w, res, source, body)
+		s.writeResult(w, res, source, body, codec)
 		return
 	}
 
@@ -601,7 +615,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.met.coalesced.Add(1)
-		s.writeResult(w, res, "coalesced", nil)
+		s.writeResult(w, res, "coalesced", nil, codec)
 		return
 	}
 
@@ -645,7 +659,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, classifySolveErr(out.err))
 		return
 	}
-	s.writeResult(w, out.res, out.source, nil)
+	s.writeResult(w, out.res, out.source, nil, codec)
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -786,34 +800,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // ---- response plumbing ----
 
-// writeResult encodes a solve response through a pooled buffer and writes it
-// in one shot. When rawKey is the verbatim request body and the answer came
-// settled from the result cache, the encoded bytes are additionally stored in
-// the raw-body cache so the next byte-identical request skips decoding and
-// digesting entirely ("cache" is the only source stored: it is the steady
-// state, its quality is settled by construction, and storing it verbatim
-// keeps the source field of raw replays truthful).
-func (s *Server) writeResult(w http.ResponseWriter, res *SolveResult, source string, rawKey []byte) {
-	eb := getEncBuf()
-	defer putEncBuf(eb)
-	if err := eb.enc.Encode(SolveResponse{Source: source, SolveResult: *res}); err != nil {
-		writeErr(w, &apiError{Status: 500, Msg: "encoding response: " + err.Error()})
-		return
+// writeResult encodes a solve response through a pooled buffer — JSON or the
+// binary frame, per the negotiated codec — and writes it in one shot. When
+// rawKey is the verbatim request body and the answer came settled from the
+// result cache, the encoded bytes are additionally stored in the raw-body
+// cache so the next byte-identical request skips decoding and digesting
+// entirely ("cache" is the only source stored: it is the steady state, its
+// quality is settled by construction, and storing it verbatim keeps the
+// source field of raw replays truthful).
+func (s *Server) writeResult(w http.ResponseWriter, res *SolveResult, source string, rawKey []byte, codec codecID) {
+	var out []byte
+	if codec == codecBin {
+		bb := getBinBuf()
+		defer putBinBuf(bb)
+		bb.b = appendSolveRespFrame(bb.b, &SolveResponse{Source: source, SolveResult: *res})
+		out = bb.b
+	} else {
+		eb := getEncBuf()
+		defer putEncBuf(eb)
+		if err := eb.enc.Encode(SolveResponse{Source: source, SolveResult: *res}); err != nil {
+			writeErr(w, &apiError{Status: 500, Msg: "encoding response: " + err.Error()})
+			return
+		}
+		out = eb.buf.Bytes()
 	}
 	if res.Quality != "" {
 		w.Header().Set(QualityHeader, res.Quality)
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", codec.contentType())
 	w.WriteHeader(http.StatusOK)
 	//hetsynth:ignore retval a failed write means the client is gone; the
 	// response status is already committed and there is no recovery path.
-	_, _ = w.Write(eb.buf.Bytes())
+	_, _ = w.Write(out)
 	if source == "cache" && len(rawKey) > 0 && len(rawKey) <= maxRawKeyBytes {
-		s.rawCache.put(string(rawKey), &rawEntry{
-			json:    append([]byte(nil), eb.buf.Bytes()...),
-			quality: res.Quality,
-		})
+		s.storeRaw(rawKey, codec, out, res.Quality, false)
 	}
+}
+
+// storeRaw (re)stores the raw-replay entry for key: the fresh encoding fills
+// its codec's slot, and any encoding the previous entry already held for the
+// other codec is carried over, so one entry always owns every produced
+// encoding of the answer. Entries stay immutable — a merge builds a new one —
+// and both codecs live under the one key, which is what makes their pin and
+// eviction lifetime atomic.
+func (s *Server) storeRaw(key []byte, codec codecID, enc []byte, quality string, batch bool) {
+	e := &rawEntry{quality: quality, batch: batch}
+	e.body[codec] = append([]byte(nil), enc...)
+	if v, ok := s.rawCache.getBytes(key); ok {
+		if old := v.(*rawEntry); old.batch == batch {
+			for c := range old.body {
+				if e.body[c] == nil {
+					e.body[c] = old.body[c]
+				}
+			}
+		}
+	}
+	s.rawCache.put(string(key), e)
 }
 
 func writeErr(w http.ResponseWriter, e *apiError) {

@@ -1,0 +1,610 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// ---- codec unit tests ----
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	gap, lb := 0.25, int64(41)
+	full := &SolveResponse{
+		Source: "solve",
+		SolveResult: SolveResult{
+			Algorithm:  "anytime",
+			Deadline:   17,
+			Cost:       123456789,
+			Length:     16,
+			Assignment: []int{0, 2, 1, 1},
+			Quality:    "exact",
+			Gap:        &gap,
+			LowerBound: &lb,
+			Stage:      "tree",
+			Frontier:   []FrontierPointPayload{{Deadline: 9, Cost: 50}, {Deadline: 12, Cost: 41}},
+			Schedule: &SchedulePayload{
+				Start:    []int{1, 2, 3, 4},
+				Instance: []int{0, 0, 1, 0},
+				Length:   16,
+				Config:   []int{2, 1},
+			},
+			ElapsedMS: 1.25,
+		},
+	}
+	minimal := &SolveResponse{
+		Source: "cache",
+		SolveResult: SolveResult{
+			Algorithm:  "auto",
+			Deadline:   3,
+			Assignment: []int{0},
+			ElapsedMS:  0,
+		},
+	}
+	for _, want := range []*SolveResponse{full, minimal} {
+		frame := appendSolveRespFrame(nil, want)
+		got, err := DecodeBinSolveResponse(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+
+	batch := &BatchResponse{
+		Results: []BatchEntryResult{
+			{Source: "cache", Result: &full.SolveResult},
+			{Error: "infeasible: no assignment meets the timing constraint", Status: 422},
+		},
+		Entries:   3,
+		Deduped:   1,
+		ElapsedMS: 2.5,
+	}
+	frame := appendBatchRespFrame(nil, batch)
+	got, err := DecodeBinBatchResponse(frame)
+	if err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("batch round trip mismatch:\n got %+v\nwant %+v", got, batch)
+	}
+}
+
+// binReqFromJSON builds the binary twin of a JSON solve body, skipping (with
+// ok=false) request shapes the binary codec intentionally does not carry.
+func binReqFromJSON(t *testing.T, body string) ([]byte, bool) {
+	t.Helper()
+	var req SolveRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatalf("seed body does not parse: %v", err)
+	}
+	enc, err := EncodeBinSolveRequest(&req)
+	if err != nil {
+		return nil, false
+	}
+	return enc, true
+}
+
+// TestBinaryRequestDecodesToSameSpec is the decode-level differential: a JSON
+// body and its binary twin must resolve to identical canonical keys and spec
+// flags — in particular, inline instances digested straight off the wire
+// bytes (KeysEncoded) must match the JSON path's re-encoded digests.
+func TestBinaryRequestDecodesToSameSpec(t *testing.T) {
+	bodies := []string{
+		`{"bench":"elliptic","seed":1,"slack":4}`,
+		`{"bench":"volterra","seed":9,"slack":2,"algorithm":"anytime","timeout_ms":50}`,
+		`{"graph":{"nodes":[{"name":"a","op":"add"}],"edges":[]},"table":{"time":[[1]],"cost":[[2]]},"deadline":3}`,
+		`{"graph":{"nodes":[{"name":"a","op":"add"},{"name":"b","op":"mul"}],"edges":[{"from":"a","to":"b","delays":0}]},"table":{"time":[[1,2],[2,1]],"cost":[[5,3],[4,6]]},"deadline":9,"schedule":true}`,
+		`{"bench":"diffeq","catalog":"generic3","deadline":40,"schedule":true}`,
+		`{"bench":"fir16","seed":3,"slack":0,"algorithm":"tree"}`,
+	}
+	for _, body := range bodies {
+		jsonSpec, err := decodeSolveRequestBytes([]byte(body))
+		if err != nil {
+			t.Fatalf("%s: JSON decode: %v", body, err)
+		}
+		bin, ok := binReqFromJSON(t, body)
+		if !ok {
+			t.Fatalf("%s: no binary twin", body)
+		}
+		binSpec, aerr := decodeSolveRequestBin(bin)
+		if aerr != nil {
+			t.Fatalf("%s: binary decode: %v", body, aerr)
+		}
+		if binSpec.key != jsonSpec.key || binSpec.instKey != jsonSpec.instKey {
+			t.Fatalf("%s: keys differ: bin (%s, %s) vs json (%s, %s)",
+				body, binSpec.key, binSpec.instKey, jsonSpec.key, jsonSpec.instKey)
+		}
+		if binSpec.algoName != jsonSpec.algoName || binSpec.schedule != jsonSpec.schedule ||
+			binSpec.timeout != jsonSpec.timeout || binSpec.tree != jsonSpec.tree ||
+			binSpec.anytime != jsonSpec.anytime || binSpec.prob.Deadline != jsonSpec.prob.Deadline {
+			t.Fatalf("%s: spec fields differ: bin %+v vs json %+v", body, binSpec, jsonSpec)
+		}
+	}
+}
+
+// ---- HTTP-level differential ----
+
+func doRaw(t *testing.T, ts *httptest.Server, path, contentType, accept string, body []byte) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), raw
+}
+
+func TestBinarySolveMatchesJSONOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, body := range []string{
+		volterraReq,
+		`{"graph":{"nodes":[{"name":"a","op":"add"},{"name":"b","op":"mul"}],"edges":[{"from":"a","to":"b","delays":0}]},"table":{"time":[[1,2],[2,1]],"cost":[[5,3],[4,6]]},"deadline":9}`,
+		// Anytime on a tiny inline instance: small enough to settle exact
+		// (and thus be cacheable) even under -race, while still driving the
+		// gap/lower-bound/stage fields through both codecs.
+		`{"graph":{"nodes":[{"name":"a","op":"add"},{"name":"b","op":"mul"},{"name":"c","op":"add"}],"edges":[{"from":"a","to":"b","delays":0},{"from":"b","to":"c","delays":0}]},"table":{"time":[[1,2],[2,1],[1,1]],"cost":[[5,3],[4,6],[2,2]]},"deadline":6,"algorithm":"anytime"}`,
+	} {
+		// Warm the result cache so both codecs replay the same settled answer.
+		code, _, _ := doRaw(t, ts, "/v1/solve", "", "", []byte(body))
+		if code != 200 {
+			t.Fatalf("warm solve: status %d", code)
+		}
+		code, ct, jsonRaw := doRaw(t, ts, "/v1/solve", "", "", []byte(body))
+		if code != 200 || ct != "application/json" {
+			t.Fatalf("JSON replay: status %d content type %s", code, ct)
+		}
+		var want SolveResponse
+		if err := json.Unmarshal(jsonRaw, &want); err != nil {
+			t.Fatal(err)
+		}
+		bin, ok := binReqFromJSON(t, body)
+		if !ok {
+			t.Fatalf("%s: no binary twin", body)
+		}
+		code, ct, binRaw := doRaw(t, ts, "/v1/solve", BinContentType, "", bin)
+		if code != 200 {
+			t.Fatalf("binary solve: status %d: %s", code, binRaw)
+		}
+		if ct != BinContentType {
+			t.Fatalf("binary solve content type %s, want %s", ct, BinContentType)
+		}
+		got, err := DecodeBinSolveResponse(binRaw)
+		if err != nil {
+			t.Fatalf("decode binary response: %v", err)
+		}
+		if !reflect.DeepEqual(got, &want) {
+			t.Fatalf("binary response differs from JSON:\n bin %+v\njson %+v", got, &want)
+		}
+
+		// A JSON request may negotiate a binary response via Accept.
+		code, ct, accRaw := doRaw(t, ts, "/v1/solve", "", BinContentType, []byte(body))
+		if code != 200 || ct != BinContentType {
+			t.Fatalf("Accept-negotiated response: status %d content type %s", code, ct)
+		}
+		if accGot, err := DecodeBinSolveResponse(accRaw); err != nil {
+			t.Fatalf("decode Accept-negotiated response: %v", err)
+		} else if !reflect.DeepEqual(accGot, &want) {
+			t.Fatalf("Accept-negotiated response differs from JSON")
+		}
+
+		// Replay the binary body: the raw cache must now answer it verbatim.
+		code, _, again := doRaw(t, ts, "/v1/solve", BinContentType, "", bin)
+		if code != 200 || !bytes.Equal(again, binRaw) {
+			t.Fatalf("binary raw replay differs (status %d)", code)
+		}
+	}
+}
+
+func TestBinaryBatchMatchesJSONOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	batchBody := `{"entries":[
+		{"bench":"volterra","seed":1,"slack":3},
+		{"bench":"volterra","seed":1,"slack":3},
+		{"bench":"elliptic","seed":4,"slack":2},
+		{"bench":"nosuch","seed":1,"slack":1}
+	]}`
+	// Warm: the first run solves, the second replays from settled caches.
+	// (The unknown bench keeps one entry erroring, which exercises the error
+	// arm of the binary batch codec too — but note an errored entry also
+	// keeps the batch from entering the raw-replay cache.)
+	code, _, _ := doRaw(t, ts, "/v1/solve-batch", "", "", []byte(batchBody))
+	if code != 200 {
+		t.Fatalf("warm batch: status %d", code)
+	}
+	code, _, jsonRaw := doRaw(t, ts, "/v1/solve-batch", "", "", []byte(batchBody))
+	if code != 200 {
+		t.Fatalf("JSON batch: status %d", code)
+	}
+	var want BatchResponse
+	if err := json.Unmarshal(jsonRaw, &want); err != nil {
+		t.Fatal(err)
+	}
+	var breq BatchRequest
+	if err := json.Unmarshal([]byte(batchBody), &breq); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := EncodeBinBatchRequest(&breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, ct, binRaw := doRaw(t, ts, "/v1/solve-batch", BinContentType, "", bin)
+	if code != 200 || ct != BinContentType {
+		t.Fatalf("binary batch: status %d content type %s: %s", code, ct, binRaw)
+	}
+	got, err := DecodeBinBatchResponse(binRaw)
+	if err != nil {
+		t.Fatalf("decode binary batch response: %v", err)
+	}
+	// Elapsed time is per-request wall clock; everything else must agree.
+	got.ElapsedMS, want.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(got, &want) {
+		t.Fatalf("binary batch differs from JSON:\n bin %+v\njson %+v", got, &want)
+	}
+}
+
+// ---- fuzz ----
+
+// FuzzBinSolveDifferential cross-checks the two request codecs: whenever a
+// JSON body and its binary twin both decode, they must agree on the canonical
+// digests (the binary path digests raw wire bytes — a single divergence would
+// split the cache) and on every spec field.
+func FuzzBinSolveDifferential(f *testing.F) {
+	f.Add(`{"bench":"elliptic","seed":1,"slack":4}`)
+	f.Add(`{"bench":"volterra","seed":9,"slack":2,"algorithm":"anytime","timeout_ms":50}`)
+	f.Add(`{"graph":{"nodes":[{"name":"a","op":"add"}],"edges":[]},"table":{"time":[[1]],"cost":[[2]]},"deadline":3}`)
+	f.Add(`{"graph":{"nodes":[{"name":"a","op":"add"},{"name":"b","op":"mul"}],"edges":[{"from":"a","to":"b","delays":1}]},"table":{"time":[[1,2],[2,1]],"cost":[[5,3],[4,6]]},"deadline":9,"schedule":true}`)
+	f.Add(`{"bench":"diffeq","catalog":"generic3","deadline":40}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		jsonSpec, err := decodeSolveRequestBytes([]byte(body))
+		if err != nil {
+			return // not a valid request at all; FuzzDecodeRequest owns this space
+		}
+		var req SolveRequest
+		if json.Unmarshal([]byte(body), &req) != nil {
+			return
+		}
+		bin, encErr := EncodeBinSolveRequest(&req)
+		if encErr != nil {
+			return // shape the binary codec does not carry (e.g. graph+catalog)
+		}
+		binSpec, aerr := decodeSolveRequestBin(bin)
+		if aerr != nil {
+			t.Fatalf("JSON-accepted body, binary twin rejected: %v", aerr)
+		}
+		if binSpec.key != jsonSpec.key || binSpec.instKey != jsonSpec.instKey {
+			t.Fatalf("canonical keys differ: bin (%s, %s) vs json (%s, %s)",
+				binSpec.key, binSpec.instKey, jsonSpec.key, jsonSpec.instKey)
+		}
+		if binSpec.algoName != jsonSpec.algoName || binSpec.schedule != jsonSpec.schedule ||
+			binSpec.timeout != jsonSpec.timeout || binSpec.tree != jsonSpec.tree ||
+			binSpec.anytime != jsonSpec.anytime || binSpec.prob.Deadline != jsonSpec.prob.Deadline {
+			t.Fatal("spec fields differ between codecs")
+		}
+	})
+}
+
+// FuzzBinFrame throws arbitrary bytes at the binary frame decoders: malformed
+// frames must surface as 400 apiErrors — never panics, never foreign error
+// types — and any accepted frame must decode to stable canonical keys.
+func FuzzBinFrame(f *testing.F) {
+	if bin, err := EncodeBinSolveRequest(&SolveRequest{Bench: "elliptic", Seed: ptrInt64(1), Slack: ptrInt(4)}); err == nil {
+		f.Add(bin)
+		f.Add(bin[:len(bin)-3])
+		mut := append([]byte(nil), bin...)
+		mut[4] = 99
+		f.Add(mut)
+	}
+	if bb, err := EncodeBinBatchRequest(&BatchRequest{Entries: []SolveRequest{
+		{Bench: "volterra", Seed: ptrInt64(2), Slack: ptrInt(1)},
+	}}); err == nil {
+		f.Add(bb)
+	}
+	f.Add([]byte("HSB1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		spec, aerr := decodeSolveRequestBin(body)
+		if aerr != nil {
+			if aerr.Status != 400 {
+				t.Fatalf("solve frame rejection carries status %d, want 400", aerr.Status)
+			}
+		} else {
+			if verr := spec.prob.Validate(); verr != nil {
+				t.Fatalf("decoder accepted an invalid problem: %v", verr)
+			}
+			again, aerr2 := decodeSolveRequestBin(body)
+			if aerr2 != nil || again.key != spec.key || again.instKey != spec.instKey {
+				t.Fatal("binary decode unstable across calls")
+			}
+		}
+		entries, berr := decodeBatchRequestBin(body)
+		if berr != nil {
+			if berr.Status != 400 {
+				t.Fatalf("batch frame rejection carries status %d, want 400", berr.Status)
+			}
+			return
+		}
+		for _, e := range entries {
+			if e.aerr == nil && e.spec == nil {
+				t.Fatal("batch entry decoded to neither spec nor error")
+			}
+			if e.aerr != nil && e.aerr.Status != 400 {
+				t.Fatalf("batch entry rejection carries status %d, want 400", e.aerr.Status)
+			}
+		}
+	})
+}
+
+func ptrInt(v int) *int       { return &v }
+func ptrInt64(v int64) *int64 { return &v }
+
+// TestBinaryMalformedFramesAre400 pins the HTTP contract for a handful of
+// hand-built broken frames: the server answers 400 with a JSON error body,
+// whatever codec the client asked for.
+func TestBinaryMalformedFramesAre400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	good, err := EncodeBinSolveRequest(&SolveRequest{Bench: "elliptic", Seed: ptrInt64(1), Slack: ptrInt(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": []byte("HSB"),
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"bad type":     append([]byte("HSB1\x07"), good[5:]...),
+		"truncated":    good[:len(good)-2],
+		"overlong len": append(append([]byte(nil), good...), 0xff),
+		"json body":    []byte(volterraReq),
+	}
+	for name, body := range cases {
+		code, ct, raw := doRaw(t, ts, "/v1/solve", BinContentType, "", body)
+		if code != 400 {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+		if !strings.Contains(ct, "application/json") {
+			t.Errorf("%s: error content type %s, want JSON", name, ct)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil || m["error"] == nil {
+			t.Errorf("%s: error body not JSON: %s", name, raw)
+		}
+	}
+}
+
+// TestRawEntryCodecsEvictTogether pins the atomic-lifetime contract of the
+// raw-replay cache: one verbatim body that has been answered in both wire
+// codecs holds both encodings in ONE entry under ONE key, so pinning protects
+// both and eviction drops both — a split lifetime would leak one codec's
+// body after the other is gone.
+func TestRawEntryCodecsEvictTogether(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheSize: 4, CacheShards: 1})
+	body := []byte(volterraReq)
+
+	// Settle the result, then replay once per response codec so the raw entry
+	// accumulates both encodings under the single JSON-body key.
+	for _, accept := range []string{"", "", BinContentType} {
+		if code, _, _ := doRaw(t, ts, "/v1/solve", "", accept, body); code != 200 {
+			t.Fatalf("solve: status %d", code)
+		}
+	}
+	v, ok := srv.rawCache.getBytes(body)
+	if !ok {
+		t.Fatal("raw entry missing after both codecs answered")
+	}
+	e := v.(*rawEntry)
+	if e.body[codecJSON] == nil || e.body[codecBin] == nil {
+		t.Fatalf("raw entry not merged: json=%v bin=%v",
+			e.body[codecJSON] != nil, e.body[codecBin] != nil)
+	}
+
+	// Pinned: the combined entry must ride out evictions with BOTH bodies.
+	if _, ok := srv.rawCache.acquire(string(body)); !ok {
+		t.Fatal("acquire failed")
+	}
+	churn := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := []byte(fmt.Sprintf(`{"bench":"elliptic","seed":%d,"slack":3}`, i))
+			// Twice: the first solves, the second stores the raw entry.
+			for k := 0; k < 2; k++ {
+				if code, _, _ := doRaw(t, ts, "/v1/solve", "", "", b); code != 200 {
+					t.Fatalf("churn solve %d: status %d", i, code)
+				}
+			}
+		}
+	}
+	churn(0, 10)
+	if v, ok := srv.rawCache.getBytes(body); !ok {
+		t.Fatal("pinned raw entry was evicted")
+	} else if e := v.(*rawEntry); e.body[codecJSON] == nil || e.body[codecBin] == nil {
+		t.Fatalf("pinned raw entry lost a codec body: json=%v bin=%v",
+			e.body[codecJSON] != nil, e.body[codecBin] != nil)
+	}
+
+	// Released: the next churn wave evicts the entry, and with it both
+	// codecs at once — neither can be served stale afterwards.
+	srv.rawCache.release(string(body))
+	churn(10, 20)
+	if _, ok := srv.rawCache.getBytes(body); ok {
+		t.Fatal("raw entry survived eviction churn after release")
+	}
+	before := srv.met.rawHits.Load()
+	if code, _, _ := doRaw(t, ts, "/v1/solve", "", "", body); code != 200 {
+		t.Fatal("re-solve after eviction failed")
+	}
+	if code, _, _ := doRaw(t, ts, "/v1/solve", "", BinContentType, body); code != 200 {
+		t.Fatal("binary re-solve after eviction failed")
+	}
+	if got := srv.met.rawHits.Load(); got != before {
+		t.Fatalf("request after eviction replayed raw (%d hits, had %d): a codec body leaked past eviction", got, before)
+	}
+}
+
+func TestBinContentTypeNegotiation(t *testing.T) {
+	for _, ct := range []string{
+		BinContentType,
+		BinContentType + "; v=1",
+		"  " + BinContentType + "  ",
+		BinContentType + " ; charset=utf-8",
+	} {
+		if !isBinContentType(ct) {
+			t.Errorf("isBinContentType(%q) = false, want true", ct)
+		}
+	}
+	for _, ct := range []string{"", "application/json", BinContentType + "2", "text/plain"} {
+		if isBinContentType(ct) {
+			t.Errorf("isBinContentType(%q) = true, want false", ct)
+		}
+	}
+	if respCodecFor(true, "") != codecBin || respCodecFor(false, BinContentType) != codecBin {
+		t.Error("binary request or Accept must select the binary response codec")
+	}
+	if respCodecFor(false, "application/json") != codecJSON || respCodecFor(false, "") != codecJSON {
+		t.Error("plain requests must default to the JSON response codec")
+	}
+}
+
+func TestEncodeBinSolveRequestRejectsUncarriableShapes(t *testing.T) {
+	cases := map[string]*SolveRequest{
+		"no source":        {Slack: ptrInt(4)},
+		"graph, no table":  {Graph: json.RawMessage(`{"nodes":[{"name":"a","op":"x"}],"edges":[]}`), Deadline: 3},
+		"bad graph JSON":   {Graph: json.RawMessage(`{`), Table: &TablePayload{Time: [][]int{{1}}, Cost: [][]int64{{1}}}, Deadline: 3},
+		"bench, no table":  {Bench: "elliptic", Slack: ptrInt(4)},
+		"graph + catalog":  {Graph: json.RawMessage(`{"nodes":[{"name":"a","op":"x"}],"edges":[]}`), Catalog: "generic3", Deadline: 3},
+		"bad inline table": {Graph: json.RawMessage(`{"nodes":[{"name":"a","op":"x"}],"edges":[]}`), Table: &TablePayload{Time: [][]int{{0}}, Cost: [][]int64{{1}}}, Deadline: 3},
+	}
+	for name, req := range cases {
+		if _, err := EncodeBinSolveRequest(req); err == nil {
+			t.Errorf("%s: encode succeeded, want error", name)
+		}
+	}
+	if _, err := EncodeBinBatchRequest(&BatchRequest{Entries: []SolveRequest{{Slack: ptrInt(1)}}}); err == nil {
+		t.Error("batch encode with an uncarriable entry succeeded, want error")
+	}
+}
+
+// TestDecodeBinResponseTruncations runs the response decoders over every
+// prefix of a maximal valid frame: each truncation must error out cleanly.
+func TestDecodeBinResponseTruncations(t *testing.T) {
+	gap, lb := 0.5, int64(7)
+	full := appendSolveRespFrame(nil, &SolveResponse{
+		Source: "solve",
+		SolveResult: SolveResult{
+			Algorithm: "anytime", Deadline: 9, Cost: 44, Length: 8,
+			Assignment: []int{1, 0}, Quality: "heuristic", Gap: &gap, LowerBound: &lb,
+			Stage:    "anneal",
+			Frontier: []FrontierPointPayload{{Deadline: 3, Cost: 60}},
+			Schedule: &SchedulePayload{Start: []int{0, 1}, Instance: []int{0, 0}, Length: 8, Config: []int{1, 1}},
+		},
+	})
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeBinSolveResponse(full[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(full))
+		}
+	}
+	if _, err := DecodeBinSolveResponse(append(append([]byte(nil), full...), 0)); err == nil {
+		t.Fatal("frame with trailing byte decoded without error")
+	}
+	if _, err := DecodeBinBatchResponse(full); err == nil {
+		t.Fatal("solve frame accepted as a batch response")
+	}
+
+	bfull := appendBatchRespFrame(nil, &BatchResponse{
+		Results: []BatchEntryResult{
+			{Source: "cache", Result: &SolveResult{Algorithm: "auto", Deadline: 2, Assignment: []int{0}}},
+			{Error: "boom", Status: 422},
+		},
+		Entries: 2, ElapsedMS: 1,
+	})
+	for i := 0; i < len(bfull); i++ {
+		if _, err := DecodeBinBatchResponse(bfull[:i]); err == nil {
+			t.Fatalf("batch prefix of %d/%d bytes decoded without error", i, len(bfull))
+		}
+	}
+}
+
+// TestDecodeBinRequestTruncations mirrors the sweep for the request side:
+// every proper prefix of valid solve and batch request frames must come back
+// as a 400 apiError.
+func TestDecodeBinRequestTruncations(t *testing.T) {
+	solve, err := EncodeBinSolveRequest(&SolveRequest{
+		Graph:     json.RawMessage(`{"nodes":[{"name":"a","op":"x"},{"name":"b","op":"y"}],"edges":[{"from":"a","to":"b","delays":0}]}`),
+		Table:     &TablePayload{Time: [][]int{{1, 2}, {2, 1}}, Cost: [][]int64{{3, 4}, {4, 3}}},
+		Deadline:  9,
+		Schedule:  true,
+		TimeoutMS: 50,
+		Algorithm: "tree",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(solve); i++ {
+		if _, aerr := decodeSolveRequestBin(solve[:i]); aerr == nil {
+			t.Fatalf("solve prefix of %d/%d bytes decoded without error", i, len(solve))
+		} else if aerr.Status != 400 {
+			t.Fatalf("solve prefix %d: status %d, want 400", i, aerr.Status)
+		}
+	}
+	batch, err := EncodeBinBatchRequest(&BatchRequest{Entries: []SolveRequest{
+		{Bench: "volterra", Seed: ptrInt64(1), Slack: ptrInt(2)},
+		{Bench: "elliptic", Catalog: "generic3", Deadline: 40},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(batch); i++ {
+		if _, aerr := decodeBatchRequestBin(batch[:i]); aerr == nil {
+			t.Fatalf("batch prefix of %d/%d bytes decoded without error", i, len(batch))
+		}
+	}
+	if _, aerr := decodeBatchRequestBin(solve); aerr == nil {
+		t.Fatal("solve frame accepted as a batch request")
+	}
+}
+
+// TestBinBatchSemanticErrorsIsolated pins the error-isolation contract: a
+// bench-form entry naming an unknown benchmark is a per-entry 4xx that does
+// not poison its siblings, matching the JSON batch path.
+func TestBinBatchSemanticErrorsIsolated(t *testing.T) {
+	enc, err := EncodeBinBatchRequest(&BatchRequest{Entries: []SolveRequest{
+		{Bench: "volterra", Seed: ptrInt64(1), Slack: ptrInt(2)},
+		{Bench: "nosuchbench", Seed: ptrInt64(1), Slack: ptrInt(2)},
+		{Bench: "elliptic", Seed: ptrInt64(3), Slack: ptrInt(4)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, aerr := decodeBatchRequestBin(enc)
+	if aerr != nil {
+		t.Fatalf("batch rejected wholesale: %v", aerr)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	if entries[0].spec == nil || entries[2].spec == nil {
+		t.Fatal("valid sibling entries did not decode to specs")
+	}
+	if entries[1].aerr == nil || entries[1].spec != nil {
+		t.Fatalf("unknown-bench entry: got spec=%v err=%v, want a per-entry error", entries[1].spec, entries[1].aerr)
+	}
+}
