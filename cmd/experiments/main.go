@@ -12,9 +12,12 @@
 //	experiments -ablation        # ablation studies
 //	experiments -pareto          # ASCII cost-vs-deadline charts
 //	experiments -seed 7          # different random time/cost tables
+//	experiments -taskset -tasks 8 -util 3 -periods harmonic
+//	                             # periodic task set JSON for POST /v1/admit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +39,28 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "rerun the tables over N random-table seeds and report mean/stddev")
 		seed     = flag.Int64("seed", 2004, "seed for the random time/cost tables")
 		rows     = flag.Int("rows", 6, "timing constraints per benchmark")
+		taskset  = flag.Bool("taskset", false, "generate a periodic task set (JSON, POST /v1/admit shape) instead of the tables")
+		tasks    = flag.Int("tasks", 6, "taskset: number of periodic tasks")
+		util     = flag.Float64("util", 2, "taskset: target total utilization on fastest FU types")
+		periods  = flag.String("periods", "harmonic", "taskset: period distribution (harmonic|uniform)")
+		types    = flag.Int("types", 3, "taskset: FU types per task table")
 	)
 	flag.Parse()
+
+	if *taskset {
+		set, err := benchdfg.TaskSet(benchdfg.TaskSetSpec{
+			Tasks: *tasks, Utilization: *util, Periods: *periods, Types: *types, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out, err := json.MarshalIndent(map[string]any{"tasks": set}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
 
 	opt := exper.Options{Seed: *seed, Deadlines: *rows}
 	if *ablation {

@@ -11,6 +11,13 @@
 // ending with a strict check that a settled cached answer decodes
 // field-for-field identically from both encodings.
 //
+// With -admit it runs the admission-control scenario (`make serve-admit`):
+// a generated periodic task set is sent to POST /v1/admit in cheapest-fit
+// search mode, the winning configuration must re-admit the set when probed
+// as a fixed configuration and must be locally minimal (one unit removed →
+// rejected), the async job flavor must settle to done, and the admit
+// verdict ledger on /metrics must balance.
+//
 // With -overload it instead runs the overload scenario (`make serve-overload`):
 // a 1-worker daemon with a short queue receives a burst of anytime solves
 // under a tight per-request compute deadline, and must shed with 429 +
@@ -39,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetsynth/internal/benchdfg"
 	"hetsynth/internal/server"
 )
 
@@ -46,6 +54,7 @@ func main() {
 	bin := flag.String("bin", "", "path to the hetsynthd binary")
 	wire := flag.String("wire", "json", `wire codec for solve traffic: "json", "bin", or "mixed" (both, cross-checked)`)
 	overload := flag.Bool("overload", false, "run the overload scenario instead of the cache/drain smoke")
+	admit := flag.Bool("admit", false, "run the admission-control scenario instead of the cache/drain smoke")
 	flag.Parse()
 	if *bin == "" {
 		fmt.Fprintln(os.Stderr, "servesmoke: -bin is required")
@@ -58,6 +67,9 @@ func main() {
 	run, name := func() error { return smoke(*bin, *wire) }, "PASS (wire="+*wire+")"
 	if *overload {
 		run, name = func() error { return overloadSmoke(*bin) }, "PASS (overload)"
+	}
+	if *admit {
+		run, name = func() error { return admitSmoke(*bin) }, "PASS (admit)"
 	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
@@ -497,4 +509,178 @@ func waitHealthy(base string) error {
 		time.Sleep(50 * time.Millisecond)
 	}
 	return fmt.Errorf("daemon never became healthy at %s", base)
+}
+
+// admitSmoke drives the admission-control endpoint end to end: cheapest-fit
+// search over a generated periodic task set, cache replay, fixed-config
+// consistency (the winning configuration admits; one unit less does not),
+// the async job flavor, and the /metrics verdict ledger.
+func admitSmoke(bin string) error {
+	cmd, base, err := boot(bin)
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	set, err := benchdfg.TaskSet(benchdfg.TaskSetSpec{
+		Tasks: 4, Utilization: 1.2, Periods: benchdfg.PeriodsHarmonic, Types: 3, Seed: 11,
+	})
+	if err != nil {
+		return err
+	}
+	searchBody, err := json.Marshal(map[string]any{
+		"tasks":  set,
+		"search": map[string]any{"max_per_type": 6},
+	})
+	if err != nil {
+		return err
+	}
+
+	first, err := postOver(base, "json", "/v1/admit", string(searchBody))
+	if err != nil {
+		return fmt.Errorf("search admit: %w", err)
+	}
+	if first["source"] != "admit" {
+		return fmt.Errorf("first search source = %v, want admit", first["source"])
+	}
+	if first["found"] != true || first["admitted"] != true {
+		return fmt.Errorf("search did not find an admitting configuration: %v", first)
+	}
+	cfgAny, _ := first["config"].([]any)
+	if len(cfgAny) != 3 {
+		return fmt.Errorf("search config %v, want width 3", first["config"])
+	}
+	cfg := make([]int, len(cfgAny))
+	for i, v := range cfgAny {
+		cfg[i] = int(v.(float64))
+	}
+
+	second, err := postOver(base, "json", "/v1/admit", string(searchBody))
+	if err != nil {
+		return fmt.Errorf("cached search admit: %w", err)
+	}
+	if second["source"] != "cache" {
+		return fmt.Errorf("second identical search source = %v, want cache", second["source"])
+	}
+	if !reflect.DeepEqual(stripVolatile(first), stripVolatile(second)) {
+		return fmt.Errorf("cache replayed a different verdict:\n%v\n%v", first, second)
+	}
+
+	// Consistency: the configuration the search returned must itself admit
+	// the set when asked as a fixed configuration.
+	fixed := func(c []int) (map[string]any, error) {
+		body, err := json.Marshal(map[string]any{"tasks": set, "config": c})
+		if err != nil {
+			return nil, err
+		}
+		return postOver(base, "json", "/v1/admit", string(body))
+	}
+	win, err := fixed(cfg)
+	if err != nil {
+		return fmt.Errorf("fixed-config admit of the search winner: %w", err)
+	}
+	if win["admitted"] != true {
+		return fmt.Errorf("search winner %v does not admit the set: %v", cfg, win)
+	}
+	if n, _ := win["placements"].([]any); len(n) != len(set) {
+		return fmt.Errorf("winner placed %d tasks, want %d", len(n), len(set))
+	}
+
+	// Local minimality: the greedy descent only stops when no single-unit
+	// removal admits, so the winner minus one unit of any used type must be
+	// rejected.
+	for k := range cfg {
+		if cfg[k] == 0 {
+			continue
+		}
+		less := append([]int(nil), cfg...)
+		less[k]--
+		rej, err := fixed(less)
+		if err != nil {
+			return fmt.Errorf("shrunken-config admit: %w", err)
+		}
+		if rej["admitted"] != false {
+			return fmt.Errorf("config %v (one unit below the winner) admitted; search result is not minimal", less)
+		}
+		break
+	}
+
+	// Async flavor on a fresh task set: submit, poll to done, read the verdict.
+	set2, err := benchdfg.TaskSet(benchdfg.TaskSetSpec{
+		Tasks: 3, Utilization: 1.0, Periods: benchdfg.PeriodsUniform, Types: 3, Seed: 12,
+	})
+	if err != nil {
+		return err
+	}
+	jobBody, err := json.Marshal(map[string]any{"tasks": set2, "config": []int{4, 4, 4}})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/admit/jobs", "application/json", bytes.NewReader(jobBody))
+	if err != nil {
+		return err
+	}
+	var jv map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&jv)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != 201 {
+		return fmt.Errorf("admit job submit status %d: %v", resp.StatusCode, jv)
+	}
+	id, _ := jv["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if jv["status"] == "done" {
+			break
+		}
+		if jv["status"] == "failed" || jv["status"] == "canceled" {
+			return fmt.Errorf("admit job settled %v: %v", jv["status"], jv["error"])
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("admit job %s stuck in %v", id, jv["status"])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	jres, _ := jv["result"].(map[string]any)
+	if jres == nil {
+		return fmt.Errorf("done admit job has no result: %v", jv)
+	}
+	if _, ok := jres["admitted"]; !ok {
+		return fmt.Errorf("admit job result lacks a verdict: %v", jres)
+	}
+
+	// The verdict ledger must balance: every served verdict bumped exactly
+	// one of accepted/rejected, cache hits included.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var met map[string]any
+	err = json.NewDecoder(mresp.Body).Decode(&met)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	reqs := met["admit_requests"].(float64)
+	acc := met["admit_accepted"].(float64)
+	rej := met["admit_rejected"].(float64)
+	if reqs < 5 || acc+rej != reqs {
+		return fmt.Errorf("admit ledger broken: requests=%v accepted=%v rejected=%v", reqs, acc, rej)
+	}
+	if met["admit_search_steps"].(float64) < 1 {
+		return fmt.Errorf("admit_search_steps = %v, want >= 1", met["admit_search_steps"])
+	}
+
+	return terminate(cmd)
 }

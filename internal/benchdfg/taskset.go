@@ -1,0 +1,168 @@
+package benchdfg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hetsynth/internal/fu"
+)
+
+// Period distributions accepted by TaskSetSpec.Periods.
+const (
+	// PeriodsHarmonic rounds every generated period up to the next power of
+	// two, so any two periods in the set divide each other and the
+	// hyperperiod stays equal to the largest period.
+	PeriodsHarmonic = "harmonic"
+	// PeriodsUniform keeps the utilization-derived periods as generated, so
+	// they land anywhere on the integer grid and the hyperperiod can be
+	// much larger than any single period.
+	PeriodsUniform = "uniform"
+)
+
+// maxTaskPeriod caps generated periods; it is far inside every consumer's
+// own bound (the admit endpoint accepts periods up to 2^31−1 and the RTA
+// horizon is 2^30) while keeping harmonic hyperperiods simulable.
+const maxTaskPeriod = 1 << 20
+
+// TaskSetSpec parameterizes a reproducible periodic task-set draw: how many
+// tasks, the total utilization they should target on their fastest FU types,
+// how periods are distributed, and the seed that makes the draw repeatable.
+type TaskSetSpec struct {
+	// Tasks is the number of periodic tasks to generate, in [1, 64].
+	Tasks int
+	// Utilization is the target sum over tasks of (minimum work / period),
+	// where minimum work runs every node on its fastest FU type. Split
+	// across tasks with the UUniFast algorithm; must be positive. Values
+	// above 1 produce heavy tasks that only fit with dedicated parallel
+	// capacity.
+	Utilization float64
+	// Periods selects the period distribution: PeriodsHarmonic (default) or
+	// PeriodsUniform.
+	Periods string
+	// Types is the number of FU types in each task's random table
+	// (default 3, max 8).
+	Types int
+	// Seed drives every random choice; equal specs generate equal sets.
+	Seed int64
+}
+
+// TaskSpec is one generated periodic task, expressed in the same vocabulary
+// the admission endpoint consumes: a bundled benchmark name, the seed and
+// type count of its random FU table, and the period/deadline in steps. A
+// zero Deadline means implicit (equal to the period).
+type TaskSpec struct {
+	Bench    string `json:"bench"`
+	Seed     int64  `json:"seed"`
+	Types    int    `json:"types"`
+	Period   int    `json:"period"`
+	Deadline int    `json:"deadline,omitempty"`
+}
+
+// TaskSet generates a periodic task set from spec, reproducibly by seed.
+//
+// Each task draws a benchmark from the registry and a fresh random FU table
+// (the same fu.RandomTable draw the server performs for a {seed, types}
+// request, so a generated TaskSpec round-trips over the wire bit-identically).
+// The spec's total utilization is split across tasks with UUniFast; each
+// task's period is then its minimum work divided by its utilization share,
+// clamped below by the critical path on fastest types (shorter periods are
+// trivially infeasible) and above by an internal cap, then shaped by the
+// period distribution. Half the tasks, chosen by the same stream, get a
+// constrained deadline at three quarters of the period. O(Σ|V|+|E|) over the
+// drawn benchmarks.
+func TaskSet(spec TaskSetSpec) ([]TaskSpec, error) {
+	if spec.Tasks < 1 || spec.Tasks > 64 {
+		return nil, fmt.Errorf("benchdfg: taskset: tasks %d out of range [1, 64]", spec.Tasks)
+	}
+	if !(spec.Utilization > 0) || spec.Utilization > 64 {
+		return nil, fmt.Errorf("benchdfg: taskset: utilization %v out of range (0, 64]", spec.Utilization)
+	}
+	periods := spec.Periods
+	if periods == "" {
+		periods = PeriodsHarmonic
+	}
+	if periods != PeriodsHarmonic && periods != PeriodsUniform {
+		return nil, fmt.Errorf("benchdfg: taskset: unknown period distribution %q", spec.Periods)
+	}
+	types := spec.Types
+	if types == 0 {
+		types = 3
+	}
+	if types < 1 || types > 8 {
+		return nil, fmt.Errorf("benchdfg: taskset: types %d out of range [1, 8]", spec.Types)
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	shares := uuniFast(rng, spec.Tasks, spec.Utilization)
+	names := Names()
+	out := make([]TaskSpec, 0, spec.Tasks)
+	for i := 0; i < spec.Tasks; i++ {
+		name := names[rng.Intn(len(names))]
+		b, _ := Lookup(name)
+		g := b.Build()
+		tseed := 1 + rng.Int63n(1<<31-2)
+		tab := fu.RandomTable(rand.New(rand.NewSource(tseed)), g.N(), types)
+
+		work, span := 0, 0
+		if order, err := g.TopoOrder(); err == nil {
+			finish := make([]int, g.N())
+			for _, v := range order {
+				t := tab.Time[v][0] // fastest type for v
+				work += t
+				f := t
+				for _, u := range g.Pred(v) {
+					if finish[u]+t > f {
+						f = finish[u] + t
+					}
+				}
+				finish[v] = f
+				if f > span {
+					span = f
+				}
+			}
+		} else {
+			// Defensive: registry graphs are acyclic on zero-delay edges.
+			return nil, fmt.Errorf("benchdfg: taskset: %s: %v", name, err)
+		}
+
+		period := int(math.Ceil(float64(work) / shares[i]))
+		if period < span {
+			period = span
+		}
+		if period > maxTaskPeriod {
+			period = maxTaskPeriod
+		}
+		if periods == PeriodsHarmonic {
+			p := 1
+			for p < period {
+				p <<= 1
+			}
+			period = p
+		}
+		dl := 0
+		if rng.Intn(2) == 1 {
+			dl = 3 * period / 4
+			if dl < span {
+				dl = span
+			}
+		}
+		out = append(out, TaskSpec{Bench: name, Seed: tseed, Types: types, Period: period, Deadline: dl})
+	}
+	return out, nil
+}
+
+// uuniFast splits total utilization u across n tasks with the classic
+// UUniFast recurrence, which samples uniformly from the simplex of
+// utilization vectors summing to u. O(n).
+func uuniFast(rng *rand.Rand, n int, u float64) []float64 {
+	out := make([]float64, n)
+	sum := u
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}

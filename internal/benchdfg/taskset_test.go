@@ -1,0 +1,107 @@
+package benchdfg
+
+import (
+	"encoding/json"
+	"math/bits"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTaskSetReproducible(t *testing.T) {
+	spec := TaskSetSpec{Tasks: 8, Utilization: 3, Periods: PeriodsUniform, Types: 4, Seed: 42}
+	a, err := TaskSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TaskSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same spec generated different sets:\n%v\n%v", a, b)
+	}
+	spec.Seed = 43
+	c, err := TaskSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical sets")
+	}
+}
+
+func TestTaskSetShape(t *testing.T) {
+	for _, dist := range []string{PeriodsHarmonic, PeriodsUniform} {
+		set, err := TaskSet(TaskSetSpec{Tasks: 12, Utilization: 4, Periods: dist, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != 12 {
+			t.Fatalf("%s: got %d tasks, want 12", dist, len(set))
+		}
+		for i, ts := range set {
+			if _, ok := Lookup(ts.Bench); !ok {
+				t.Errorf("%s task %d: unknown bench %q", dist, i, ts.Bench)
+			}
+			if ts.Seed < 1 {
+				t.Errorf("%s task %d: seed %d < 1", dist, i, ts.Seed)
+			}
+			if ts.Types != 3 {
+				t.Errorf("%s task %d: types %d, want default 3", dist, i, ts.Types)
+			}
+			if ts.Period < 1 || ts.Period > maxTaskPeriod {
+				t.Errorf("%s task %d: period %d out of range", dist, i, ts.Period)
+			}
+			if ts.Deadline < 0 || ts.Deadline > ts.Period {
+				t.Errorf("%s task %d: deadline %d outside [0, %d]", dist, i, ts.Deadline, ts.Period)
+			}
+			if dist == PeriodsHarmonic && bits.OnesCount(uint(ts.Period)) != 1 {
+				t.Errorf("harmonic task %d: period %d is not a power of two", i, ts.Period)
+			}
+		}
+	}
+}
+
+func TestTaskSetValidate(t *testing.T) {
+	cases := []struct {
+		spec TaskSetSpec
+		want string
+	}{
+		{TaskSetSpec{Tasks: 0, Utilization: 1}, "tasks 0"},
+		{TaskSetSpec{Tasks: 65, Utilization: 1}, "tasks 65"},
+		{TaskSetSpec{Tasks: 4}, "utilization 0"},
+		{TaskSetSpec{Tasks: 4, Utilization: 100}, "utilization 100"},
+		{TaskSetSpec{Tasks: 4, Utilization: 1, Periods: "zipf"}, `"zipf"`},
+		{TaskSetSpec{Tasks: 4, Utilization: 1, Types: 9}, "types 9"},
+	}
+	for _, c := range cases {
+		if _, err := TaskSet(c.spec); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("TaskSet(%+v) err = %v, want mention of %q", c.spec, err, c.want)
+		}
+	}
+}
+
+// TestTaskSetGolden locks the full generated set for one spec: any change
+// to the registry, the random-table generator or the period derivation
+// shows up as a diff here. Regenerate testdata/taskset_seed7.json
+// deliberately when such a change is intended.
+func TestTaskSetGolden(t *testing.T) {
+	set, err := TaskSet(TaskSetSpec{Tasks: 6, Utilization: 2, Periods: PeriodsHarmonic, Types: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	want, err := os.ReadFile("testdata/taskset_seed7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("generated task set drifted from the golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

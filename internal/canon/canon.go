@@ -115,6 +115,51 @@ func Request(g *dfg.Graph, t *fu.Table, deadline int, algo string) string {
 	return req
 }
 
+// AdmitTask is the resolved per-task content digested into an admission
+// key: one periodic HAP instance plus its period and relative deadline.
+type AdmitTask struct {
+	Graph    *dfg.Graph
+	Table    *fu.Table
+	Period   int
+	Deadline int
+}
+
+// AdmitKey digests a resolved admission request — the ordered task set plus
+// either a fixed configuration (cfg non-nil) or the search parameters
+// (prices, maxPerType) — together with the analysis option maxCandidates.
+// Like Request, it hashes the resolved problem, so the same fleet submitted
+// via benchmarks or inline graphs keys identically. One pass, one SHA-256.
+func AdmitKey(tasks []AdmitTask, cfg []int, prices []int64, maxPerType, maxCandidates int) string {
+	bp := encPool.Get().(*[]byte)
+	b := append((*bp)[:0], 'A')
+	b = appendUvarint(b, uint64(len(tasks)))
+	for _, t := range tasks {
+		b = appendTable(appendGraph(b, t.Graph), t.Table)
+		b = append(b, 'P')
+		b = appendInt(b, int64(t.Period))
+		b = appendInt(b, int64(t.Deadline))
+	}
+	if cfg != nil {
+		b = append(b, 'C')
+		b = appendUvarint(b, uint64(len(cfg)))
+		for _, m := range cfg {
+			b = appendInt(b, int64(m))
+		}
+	} else {
+		b = append(b, 'S')
+		b = appendUvarint(b, uint64(len(prices)))
+		for _, p := range prices {
+			b = appendInt(b, p)
+		}
+		b = appendInt(b, int64(maxPerType))
+	}
+	b = appendInt(b, int64(maxCandidates))
+	d := hexSum(b)
+	*bp = b
+	encPool.Put(bp)
+	return d
+}
+
 // Keys digests a request and its instance in one pass: the instance encoding
 // is built once and hashed, then extended with the deadline/algorithm suffix
 // and hashed again. The two digests are byte-identical to what Request and

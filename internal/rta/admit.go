@@ -1,0 +1,533 @@
+package rta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hetsynth/internal/hap"
+)
+
+// Options tunes admission analysis. The zero value uses package defaults.
+type Options struct {
+	// MaxCandidates caps how many operating points are sampled per task off
+	// its cost/deadline frontier (default 6). More candidates admit more
+	// sets at lower energy, at more placement work per task.
+	MaxCandidates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCandidates < 1 {
+		o.MaxCandidates = 6
+	}
+	return o
+}
+
+// rtaIterCap bounds the fixed-point iterations of one member's response
+// test; a fixed point that has not converged by then is treated as
+// unschedulable, which is always sound (admission only errs toward "no").
+const rtaIterCap = 256
+
+// ladderMaxStates bounds the branch-and-bound effort of each anytime rung
+// during candidate sampling. Admission samples a handful of operating
+// points per task, so a full-depth exact proof per rung (the solver's
+// 20M-state default) would dominate the whole analysis; a capped run still
+// returns the best incumbent found, it merely reports heuristic quality.
+const ladderMaxStates = 200_000
+
+// Admit decides whether the task set fits the FU configuration: it samples
+// candidate operating points per task (frontier breakpoints for tree DFGs,
+// anytime-ladder solutions otherwise), then greedily places tasks —
+// hardest first — preferring shared light channels and falling back to
+// dedicated heavy partitions grown one FU at a time. The verdict is sound:
+// Admitted implies every placement's response-time bound is at most its
+// deadline under the package's scheduling model (see channelRTA and
+// heavyBound). Complexity: one frontier or anytime solve per task plus
+// O(tasks² · candidates · RTA) placement work. The error is non-nil only
+// for malformed input or a dead context; "does not fit" is a verdict, not
+// an error.
+func Admit(ctx context.Context, set TaskSet, cfg Config, opts Options) (Verdict, error) {
+	pr, err := prepare(ctx, set, opts)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if err := set.validateConfig(cfg); err != nil {
+		return Verdict{}, err
+	}
+	return pr.admit(cfg), nil
+}
+
+// prepared holds the per-task candidate operating points, computed once and
+// reusable across many configuration probes (the search loop's hot path).
+type prepared struct {
+	set     TaskSet
+	cands   [][]*demand // per task, cheapest energy first
+	order   []int       // task indices, hardest (densest) first
+	quality hap.Quality
+}
+
+// prepare samples candidate operating points for every task. A task whose
+// fastest assignment still misses its deadline gets zero candidates; admit
+// then rejects the set naming that task.
+func prepare(ctx context.Context, set TaskSet, opts Options) (*prepared, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	pr := &prepared{set: set, quality: hap.QualityExact}
+	for i, t := range set {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cands, q, err := candidates(ctx, t, opts.MaxCandidates)
+		if err != nil {
+			return nil, fmt.Errorf("rta: task %d (%s): %w", i, t.Name, err)
+		}
+		pr.cands = append(pr.cands, cands)
+		pr.quality = worseQuality(pr.quality, q)
+	}
+	// Hardest first: highest minimal density (least work any candidate
+	// needs, relative to the deadline) placed while capacity is plentiful.
+	pr.order = make([]int, len(set))
+	for i := range pr.order {
+		pr.order[i] = i
+	}
+	sort.SliceStable(pr.order, func(a, b int) bool {
+		return pr.density(pr.order[a]) > pr.density(pr.order[b])
+	})
+	return pr, nil
+}
+
+// density scores task i's tightness: minimal sequential work over its
+// candidates, relative to its deadline. Tasks without candidates sort first
+// (they fail admission immediately, with a reason).
+func (pr *prepared) density(i int) float64 {
+	if len(pr.cands[i]) == 0 {
+		return 2.0 * float64(maxHorizon)
+	}
+	min := pr.cands[i][0].total
+	for _, d := range pr.cands[i][1:] {
+		if d.total < min {
+			min = d.total
+		}
+	}
+	return float64(min) / float64(pr.set[i].RelDeadline())
+}
+
+// worseQuality merges two quality verdicts, keeping the weaker claim.
+func worseQuality(a, b hap.Quality) hap.Quality {
+	rank := func(q hap.Quality) int {
+		switch q {
+		case hap.QualityExact:
+			return 0
+		case hap.QualityHeuristic:
+			return 1
+		default:
+			return 2 // timeout
+		}
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+// candidates samples up to maxCand operating points for one task, cheapest
+// energy first. Tree-shaped DFGs read exact points off the PR-1
+// cost/deadline frontier in one DP run; general DFGs run the PR-4 anytime
+// ladder at up to three deadlines (fastest, middle, full slack). An
+// infeasible task (critical path beyond the deadline even at full speed)
+// yields zero candidates and no error.
+func candidates(ctx context.Context, t Task, maxCand int) ([]*demand, hap.Quality, error) {
+	p := hap.Problem{Graph: t.Graph, Table: t.Table, Deadline: t.RelDeadline()}
+	if t.Graph.IsOutForest() || t.Graph.IsInForest() {
+		return treeCandidates(p, t, maxCand)
+	}
+	return ladderCandidates(ctx, p, t, maxCand)
+}
+
+// treeCandidates reads candidates off the exact frontier of a tree task.
+func treeCandidates(p hap.Problem, t Task, maxCand int) ([]*demand, hap.Quality, error) {
+	fs, err := hap.NewFrontierSolver(p)
+	if errors.Is(err, hap.ErrInfeasible) {
+		return nil, hap.QualityExact, nil
+	}
+	if err != nil {
+		return nil, hap.QualityExact, err
+	}
+	front := fs.Frontier()
+	if len(front) == 0 {
+		return nil, hap.QualityExact, nil
+	}
+	picks := sampleFrontier(front, maxCand)
+	var out []*demand
+	for _, fp := range picks {
+		sol, err := fs.SolveAt(fp.Deadline)
+		if err != nil {
+			return nil, hap.QualityExact, err
+		}
+		d, err := newDemand(t, sol.Assign)
+		if err != nil {
+			return nil, hap.QualityExact, err
+		}
+		out = append(out, d)
+	}
+	sortByEnergy(out)
+	return out, hap.QualityExact, nil
+}
+
+// sampleFrontier picks at most maxCand breakpoints spread across the
+// frontier, always keeping the fastest (first) and cheapest (last) points.
+func sampleFrontier(front []hap.FrontierPoint, maxCand int) []hap.FrontierPoint {
+	if len(front) <= maxCand {
+		return front
+	}
+	picks := make([]hap.FrontierPoint, 0, maxCand)
+	for i := 0; i < maxCand; i++ {
+		// Even spread over [0, len-1], endpoints included.
+		idx := i * (len(front) - 1) / (maxCand - 1)
+		picks = append(picks, front[idx])
+	}
+	return picks
+}
+
+// ladderCandidates produces candidates for a general DFG by running the
+// anytime ladder at up to three deadlines between the minimum makespan and
+// the task deadline.
+func ladderCandidates(ctx context.Context, p hap.Problem, t Task, maxCand int) ([]*demand, hap.Quality, error) {
+	minMk, err := hap.MinMakespan(t.Graph, t.Table)
+	if err != nil {
+		return nil, hap.QualityHeuristic, err
+	}
+	d := t.RelDeadline()
+	if minMk > d {
+		return nil, hap.QualityExact, nil // provably infeasible: even full speed misses
+	}
+	// The anytime DP's horizon grows with the deadline, but rungs beyond the
+	// fully serialized slowest assignment cannot yield new operating points
+	// (that horizon already fits every assignment); clamp so a task with a
+	// huge period costs the same to sample as a tight one. Sound: a smaller
+	// candidate deadline only restricts the assignments considered.
+	serial := 0
+	for v := 0; v < t.Graph.N(); v++ {
+		serial += t.Table.MaxTime(v)
+	}
+	if serial < minMk {
+		serial = minMk
+	}
+	if d > serial {
+		d = serial
+	}
+	deadlines := []int{d}
+	if mid := (minMk + d) / 2; mid != d && mid >= minMk {
+		deadlines = append(deadlines, mid)
+	}
+	if minMk != d {
+		deadlines = append(deadlines, minMk)
+	}
+	if len(deadlines) > maxCand {
+		deadlines = deadlines[:maxCand]
+	}
+	quality := hap.QualityExact
+	var out []*demand
+	for _, dl := range deadlines {
+		if err := ctx.Err(); err != nil {
+			return nil, quality, err
+		}
+		sub := p
+		sub.Deadline = dl
+		res, err := hap.SolveAnytime(ctx, sub, hap.AnytimeOptions{
+			// Sequential keeps the sampled assignments deterministic across
+			// runs (the cache and the differential tests rely on equal
+			// requests producing equal verdicts).
+			Exact:      hap.ExactOptions{MaxStates: ladderMaxStates},
+			Sequential: true,
+		})
+		switch {
+		case errors.Is(err, hap.ErrInfeasible):
+			continue // this rung is too tight; looser rungs may still work
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			return nil, hap.QualityTimeout, err
+		case err != nil:
+			return nil, quality, err
+		}
+		quality = worseQuality(quality, res.Quality)
+		dem, err := newDemand(t, res.Assign)
+		if err != nil {
+			return nil, quality, err
+		}
+		if !dupDemand(out, dem) {
+			out = append(out, dem)
+		}
+	}
+	sortByEnergy(out)
+	return out, quality, nil
+}
+
+// dupDemand reports whether an identical assignment is already sampled.
+func dupDemand(have []*demand, d *demand) bool {
+	for _, h := range have {
+		if len(h.assign) != len(d.assign) {
+			continue
+		}
+		same := true
+		for i := range h.assign {
+			if h.assign[i] != d.assign[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// sortByEnergy orders candidates cheapest first (ties: shorter critical
+// path, then larger total work — slower points keep expensive types free).
+func sortByEnergy(ds []*demand) {
+	sort.SliceStable(ds, func(a, b int) bool {
+		if ds[a].energy != ds[b].energy {
+			return ds[a].energy < ds[b].energy
+		}
+		if ds[a].length != ds[b].length {
+			return ds[a].length < ds[b].length
+		}
+		return ds[a].total > ds[b].total
+	})
+}
+
+// channelState is one shared light channel under construction: the FU
+// types it owns (one instance each) and its members in priority order.
+type channelState struct {
+	owns    []bool
+	members []*member
+	cands   []*demand // parallel to members: the chosen operating point
+}
+
+// admit runs the pure placement phase against one configuration. It is
+// deterministic and side-effect free, so the configuration search can probe
+// many configurations against one prepared candidate set.
+func (pr *prepared) admit(cfg Config) Verdict {
+	k := pr.set.K()
+	remaining := cfg.Clone()
+	var channels []*channelState
+	type placed struct {
+		d       *demand
+		heavy   bool
+		part    []int
+		channel int
+	}
+	placedBy := make(map[int]*placed, len(pr.set))
+
+	for _, ti := range pr.order {
+		t := pr.set[ti]
+		if len(pr.cands[ti]) == 0 {
+			return Verdict{
+				Admitted: false,
+				Reason: fmt.Sprintf("task %d (%s) is infeasible: no assignment meets its deadline %d",
+					ti, t.Name, t.RelDeadline()),
+				Quality: pr.quality,
+			}
+		}
+		var ok bool
+		for _, d := range pr.cands[ti] {
+			// Light first: serialized channel sharing is the cheapest home.
+			if d.total <= int64(t.RelDeadline()) {
+				if ch := tryLight(channels, remaining, ti, t, d, k); ch >= 0 {
+					placedBy[ti] = &placed{d: d, channel: ch}
+					if ch == len(channels) {
+						channels = append(channels, newChannel(k))
+					}
+					commitLight(channels[ch], remaining, ti, t, d)
+					ok = true
+					break
+				}
+			}
+			if part := tryHeavy(t, d, remaining); part != nil {
+				for ky := range part {
+					remaining[ky] -= part[ky]
+				}
+				placedBy[ti] = &placed{d: d, heavy: true, part: part}
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Verdict{
+				Admitted: false,
+				Reason: fmt.Sprintf("task %d (%s) does not fit: no candidate placement within the remaining capacity",
+					ti, t.Name),
+				Quality: pr.quality,
+			}
+		}
+	}
+
+	// Assemble the verdict: final channel RTAs give the reported bounds.
+	v := Verdict{Admitted: true, Quality: pr.quality, Used: make(Config, k)}
+	chanResp := make([][]int, len(channels))
+	for ci, ch := range channels {
+		resp, fits := channelRTA(ch.members)
+		if !fits {
+			// Insertions only ever pass a full-channel RTA, so the final
+			// recheck cannot fail; treat a failure as the bug it would be.
+			panic("rta: committed channel fails its own RTA")
+		}
+		chanResp[ci] = resp
+		mi := make([]int, len(ch.members))
+		for i, m := range ch.members {
+			mi[i] = m.task
+		}
+		v.Channels = append(v.Channels, mi)
+		for ky, own := range ch.owns {
+			if own {
+				v.Used[ky]++
+			}
+		}
+	}
+	for ti := range pr.set {
+		p, ok := placedBy[ti]
+		if !ok {
+			continue
+		}
+		pl := Placement{
+			Task:      ti,
+			Assign:    p.d.assign,
+			Heavy:     p.heavy,
+			Channel:   -1,
+			Length:    p.d.length,
+			TotalWork: p.d.total,
+			Work:      append([]int64(nil), p.d.work...),
+			Energy:    p.d.energy,
+		}
+		if p.heavy {
+			pl.Partition = p.part
+			pl.Response = heavyBound(pr.set[ti], p.d, p.part)
+			for ky := range p.part {
+				v.Used[ky] += p.part[ky]
+			}
+		} else {
+			pl.Channel = p.channel
+			for i, m := range channels[p.channel].members {
+				if m.task == ti {
+					pl.Response = chanResp[p.channel][i]
+					break
+				}
+			}
+		}
+		v.Placements = append(v.Placements, pl)
+	}
+	return v
+}
+
+// newChannel allocates an empty channel over a k-type library.
+func newChannel(k int) *channelState {
+	return &channelState{owns: make([]bool, k)}
+}
+
+// tryLight finds the first channel (existing, or a fresh one at index
+// len(channels)) that can take task ti at operating point d: enough spare
+// FUs for any newly needed types, and the whole channel — existing members
+// included — still passes its RTA. Returns -1 when none fits.
+func tryLight(channels []*channelState, remaining Config, ti int, t Task, d *demand, k int) int {
+	m := &member{task: ti, period: t.Period, dl: t.RelDeadline(), c: d.total, blk: d.maxNode}
+	for ci, ch := range channels {
+		need := 0
+		for ky := range d.used {
+			if d.used[ky] && !ch.owns[ky] {
+				if remaining[ky] < 1 {
+					need = -1
+					break
+				}
+				need++
+			}
+		}
+		if need < 0 {
+			continue
+		}
+		trial := insertByPrio(ch.members, m)
+		if _, fits := channelRTA(trial); fits {
+			return ci
+		}
+	}
+	// Fresh channel: needs one FU of every used type; alone on it, the
+	// task's response is exactly its sequential work, already <= deadline.
+	for ky := range d.used {
+		if d.used[ky] && remaining[ky] < 1 {
+			return -1
+		}
+	}
+	return len(channels)
+}
+
+// commitLight inserts the member into the channel and claims any newly
+// owned types from the remaining capacity.
+func commitLight(ch *channelState, remaining Config, ti int, t Task, d *demand) {
+	for ky := range d.used {
+		if d.used[ky] && !ch.owns[ky] {
+			ch.owns[ky] = true
+			remaining[ky]--
+		}
+	}
+	m := &member{task: ti, period: t.Period, dl: t.RelDeadline(), c: d.total, blk: d.maxNode}
+	ch.members = insertByPrio(ch.members, m)
+	ch.cands = append(ch.cands, d)
+}
+
+// insertByPrio returns a new slice with m inserted into the
+// priority-ordered member list.
+func insertByPrio(members []*member, m *member) []*member {
+	out := make([]*member, 0, len(members)+1)
+	inserted := false
+	for _, x := range members {
+		if !inserted && prioBefore(m, x) {
+			out = append(out, m)
+			inserted = true
+		}
+		out = append(out, x)
+	}
+	if !inserted {
+		out = append(out, m)
+	}
+	return out
+}
+
+// tryHeavy grows a dedicated partition for task t at operating point d —
+// one FU per used type, then one more FU at a time on the type that
+// improves the typed Graham/Han bound most — until the bound meets the
+// deadline or capacity runs out. Returns the partition, or nil when the
+// task cannot fit heavy within the remaining capacity.
+func tryHeavy(t Task, d *demand, remaining Config) []int {
+	part := make([]int, len(remaining))
+	for ky, used := range d.used {
+		if !used {
+			continue
+		}
+		if remaining[ky] < 1 {
+			return nil
+		}
+		part[ky] = 1
+	}
+	bound := heavyBound(t, d, part)
+	for bound > t.RelDeadline() {
+		bestK, bestBound := -1, bound
+		for ky, used := range d.used {
+			if !used || part[ky] >= MaxPartition || part[ky] >= remaining[ky] {
+				continue
+			}
+			part[ky]++
+			if b := heavyBound(t, d, part); b < bestBound {
+				bestK, bestBound = ky, b
+			}
+			part[ky]--
+		}
+		if bestK < 0 {
+			return nil // no increment improves the bound (or no capacity left)
+		}
+		part[bestK]++
+		bound = bestBound
+	}
+	return part
+}

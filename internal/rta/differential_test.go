@@ -1,0 +1,211 @@
+package rta
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/sim"
+)
+
+// randomTaskSet draws a small harmonic task set: 2–5 tasks over a shared
+// 2–3 type library, each a random chain, tree or DAG of 3–6 nodes with a
+// paper-style random table, a period from {32, 64, 128} (pairwise harmonic)
+// and a deadline of the full period or three quarters of it.
+func randomTaskSet(rng *rand.Rand) TaskSet {
+	n := 2 + rng.Intn(4)
+	k := 2 + rng.Intn(2)
+	set := make(TaskSet, 0, n)
+	periods := []int{32, 64, 128}
+	for i := 0; i < n; i++ {
+		nodes := 3 + rng.Intn(4)
+		var g *dfg.Graph
+		switch rng.Intn(3) {
+		case 0:
+			g = dfg.Chain(nodes)
+		case 1:
+			g = dfg.RandomTree(rng, nodes)
+		default:
+			g = dfg.RandomDAG(rng, nodes, 0.4)
+		}
+		p := periods[rng.Intn(len(periods))]
+		d := p
+		if rng.Intn(2) == 0 {
+			d = p * 3 / 4
+		}
+		set = append(set, Task{
+			Name:     fmt.Sprintf("t%d", i),
+			Graph:    g,
+			Table:    fu.RandomTable(rng, nodes, k),
+			Period:   p,
+			Deadline: d,
+		})
+	}
+	return set
+}
+
+// placedTasks converts an admitted verdict into the simulator's input.
+func placedTasks(t *testing.T, set TaskSet, v Verdict) []sim.PlacedTask {
+	t.Helper()
+	if len(v.Placements) != len(set) {
+		t.Fatalf("admitted verdict places %d of %d tasks", len(v.Placements), len(set))
+	}
+	placed := make([]sim.PlacedTask, len(set))
+	seen := make([]bool, len(set))
+	for _, p := range v.Placements {
+		if seen[p.Task] {
+			t.Fatalf("task %d placed twice", p.Task)
+		}
+		seen[p.Task] = true
+		task := set[p.Task]
+		placed[p.Task] = sim.PlacedTask{
+			Task: sim.PeriodicTask{
+				Graph:    task.Graph,
+				Table:    task.Table,
+				Assign:   p.Assign,
+				Period:   task.Period,
+				Deadline: task.RelDeadline(),
+			},
+			Heavy:     p.Heavy,
+			Partition: p.Partition,
+			Channel:   p.Channel,
+		}
+	}
+	return placed
+}
+
+// checkCapacity asserts the verdict's accounting: Used never exceeds the
+// configuration, and Used equals dedicated partitions plus one FU per
+// channel-owned type (a type is channel-owned when any member uses it).
+func checkCapacity(t *testing.T, set TaskSet, cfg Config, v Verdict) {
+	t.Helper()
+	k := set.K()
+	want := make(Config, k)
+	for _, p := range v.Placements {
+		if p.Heavy {
+			for ky := range p.Partition {
+				want[ky] += p.Partition[ky]
+			}
+		}
+	}
+	owned := make([][]bool, len(v.Channels))
+	for ci := range v.Channels {
+		owned[ci] = make([]bool, k)
+	}
+	for _, p := range v.Placements {
+		if p.Heavy {
+			continue
+		}
+		for ky, w := range p.Work {
+			if w > 0 {
+				owned[p.Channel][ky] = true
+			}
+		}
+	}
+	for ci := range owned {
+		for ky, own := range owned[ci] {
+			if own {
+				want[ky]++
+			}
+		}
+	}
+	for ky := 0; ky < k; ky++ {
+		if v.Used[ky] != want[ky] {
+			t.Fatalf("used %v, recomputed %v", v.Used, want)
+		}
+		if v.Used[ky] > cfg[ky] {
+			t.Fatalf("used %v exceeds configuration %v", v.Used, cfg)
+		}
+	}
+}
+
+// simulateVerdict runs the hyperperiod simulation and asserts soundness:
+// zero deadline misses and per-task worst responses within the analytical
+// bounds reported by the placements.
+func simulateVerdict(t *testing.T, set TaskSet, v Verdict, label string) {
+	t.Helper()
+	placed := placedTasks(t, set, v)
+	rep, err := sim.SimulatePeriodic(placed)
+	if err != nil {
+		t.Fatalf("%s: simulate: %v", label, err)
+	}
+	if rep.Missed != 0 {
+		t.Fatalf("%s: admitted set missed %d of %d job deadlines (set %+v, verdict %+v)",
+			label, rep.Missed, rep.Jobs, set, v)
+	}
+	for _, p := range v.Placements {
+		if rep.WorstResponse[p.Task] > p.Response {
+			t.Fatalf("%s: task %d simulated response %d exceeds analytical bound %d",
+				label, p.Task, rep.WorstResponse[p.Task], p.Response)
+		}
+	}
+}
+
+// TestAdmitDifferential cross-checks admission against brute-force
+// hyperperiod simulation over hundreds of randomized harmonic task sets:
+// every admitted verdict must survive simulation with zero deadline misses
+// and simulated responses within the analytical bounds.
+func TestAdmitDifferential(t *testing.T) {
+	const trials = 300
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	admitted := 0
+	for trial := 0; trial < trials; trial++ {
+		set := randomTaskSet(rng)
+		k := set.K()
+		cfg := make(Config, k)
+		for ky := range cfg {
+			cfg[ky] = 1 + rng.Intn(4)
+		}
+		v, err := Admit(ctx, set, cfg, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Admit: %v", trial, err)
+		}
+		if !v.Admitted {
+			continue
+		}
+		admitted++
+		checkCapacity(t, set, cfg, v)
+		simulateVerdict(t, set, v, fmt.Sprintf("trial %d", trial))
+	}
+	if admitted < trials/10 {
+		t.Fatalf("only %d of %d trials admitted; the differential test is vacuous", admitted, trials)
+	}
+	t.Logf("admitted %d of %d randomized task sets; all survived simulation", admitted, trials)
+}
+
+// TestCheapestConfigDifferential simulates the winning configuration of the
+// cheapest-fit search on randomized sets.
+func TestCheapestConfigDifferential(t *testing.T) {
+	const trials = 60
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	found := 0
+	for trial := 0; trial < trials; trial++ {
+		set := randomTaskSet(rng)
+		prices := make([]int64, set.K())
+		for ky := range prices {
+			prices[ky] = int64(1 + rng.Intn(9))
+		}
+		res, err := CheapestConfig(ctx, set, SearchOptions{Prices: prices, MaxPerType: 4}, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: CheapestConfig: %v", trial, err)
+		}
+		if !res.Found {
+			continue
+		}
+		found++
+		if res.Price != configPrice(res.Config, prices) {
+			t.Fatalf("trial %d: price %d does not match config %v", trial, res.Price, res.Config)
+		}
+		checkCapacity(t, set, res.Config, res.Verdict)
+		simulateVerdict(t, set, res.Verdict, fmt.Sprintf("trial %d", trial))
+	}
+	if found < trials/10 {
+		t.Fatalf("only %d of %d searches found a configuration; the differential test is vacuous", found, trials)
+	}
+	t.Logf("found and simulated %d of %d cheapest configurations", found, trials)
+}

@@ -1,0 +1,434 @@
+package rta
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+// parGraph builds n independent nodes (maximal parallelism, no edges).
+func parGraph(n int) *dfg.Graph {
+	g := dfg.New()
+	for i := 0; i < n; i++ {
+		g.MustAddNode(fmt.Sprintf("n%d", i), "op")
+	}
+	return g
+}
+
+// uniTask wraps a graph with a uniform table into a periodic task.
+func uniTask(name string, g *dfg.Graph, times []int, costs []int64, period, dl int) Task {
+	return Task{Name: name, Graph: g, Table: fu.UniformTable(g.N(), times, costs), Period: period, Deadline: dl}
+}
+
+func mustDemand(t *testing.T, task Task, a hap.Assignment) *demand {
+	t.Helper()
+	d, err := newDemand(task, a)
+	if err != nil {
+		t.Fatalf("newDemand: %v", err)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	if err := TaskSet(nil).Validate(); err != ErrNoTasks {
+		t.Fatalf("empty set: got %v, want ErrNoTasks", err)
+	}
+	ok := uniTask("a", dfg.Chain(3), []int{2}, []int64{1}, 20, 10)
+	cases := []struct {
+		name string
+		set  TaskSet
+		want string
+	}{
+		{"bad instance", TaskSet{{Name: "x", Graph: dfg.Chain(2), Table: fu.UniformTable(3, []int{1}, []int64{1}), Period: 10}}, "task 0"},
+		{"mixed K", TaskSet{ok, uniTask("b", dfg.Chain(2), []int{1, 2}, []int64{2, 1}, 10, 10)}, "FU types"},
+		{"bad period", TaskSet{{Name: "p", Graph: ok.Graph, Table: ok.Table, Period: 0}}, "deadline"},
+		{"huge period", TaskSet{{Name: "p", Graph: ok.Graph, Table: ok.Table, Period: maxHorizon + 1, Deadline: 5}}, "period"},
+		{"deadline past period", TaskSet{{Name: "d", Graph: ok.Graph, Table: ok.Table, Period: 10, Deadline: 11}}, "constrained"},
+	}
+	for _, tc := range cases {
+		err := tc.set.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (TaskSet{ok}).Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	big := make(TaskSet, maxTasks+1)
+	for i := range big {
+		big[i] = ok
+	}
+	if err := big.Validate(); err == nil || !strings.Contains(err.Error(), "maximum") {
+		t.Fatalf("oversize set: got %v", err)
+	}
+}
+
+func TestValidateConfig(t *testing.T) {
+	set := TaskSet{uniTask("a", dfg.Chain(2), []int{1}, []int64{1}, 10, 10)}
+	if err := set.validateConfig(Config{1, 1}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if err := set.validateConfig(Config{-1}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if err := set.validateConfig(Config{MaxPartition*maxTasks + 1}); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+	if err := set.validateConfig(Config{3}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{2, 0, 3}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", c.Total())
+	}
+	d := c.Clone()
+	d[0] = 9
+	if c[0] != 2 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestRelDeadline(t *testing.T) {
+	if got := (Task{Period: 7}).RelDeadline(); got != 7 {
+		t.Fatalf("implicit deadline = %d, want 7", got)
+	}
+	if got := (Task{Period: 7, Deadline: 5}).RelDeadline(); got != 5 {
+		t.Fatalf("explicit deadline = %d, want 5", got)
+	}
+}
+
+// Single type, m=1: the bound degenerates to total sequential work.
+// Single type, m FUs: Graham's W/m + (1−1/m)·L, rounded up.
+func TestHeavyBound(t *testing.T) {
+	task := uniTask("p", parGraph(4), []int{2}, []int64{1}, 100, 100)
+	d := mustDemand(t, task, hap.Assignment{0, 0, 0, 0})
+	if got := heavyBound(task, d, []int{1}); got != 8 {
+		t.Fatalf("m=1: bound = %d, want 8 (total work)", got)
+	}
+	// m=2: W/m = 4, path = single node of 2 scaled by (1−1/2) = 1 → 5.
+	if got := heavyBound(task, d, []int{2}); got != 5 {
+		t.Fatalf("m=2: bound = %d, want 5", got)
+	}
+	// m=3: 8/3 + 2·(2/3) = 4 exactly.
+	if got := heavyBound(task, d, []int{3}); got != 4 {
+		t.Fatalf("m=3: bound = %d, want 4", got)
+	}
+
+	chain := uniTask("c", dfg.Chain(3), []int{4}, []int64{1}, 100, 100)
+	dc := mustDemand(t, chain, hap.Assignment{0, 0, 0})
+	// A chain gains nothing from parallelism but the bound stays sound:
+	// m=2 gives 12/2 + 12·(1/2) = 12 = the serial length.
+	if got := heavyBound(chain, dc, []int{2}); got != 12 {
+		t.Fatalf("chain m=2: bound = %d, want 12", got)
+	}
+}
+
+func TestChannelRTA(t *testing.T) {
+	m1 := &member{task: 0, period: 10, dl: 10, c: 3, blk: 3}
+	m2 := &member{task: 1, period: 20, dl: 20, c: 4, blk: 4}
+	resp, ok := channelRTA([]*member{m1, m2})
+	if !ok {
+		t.Fatal("schedulable channel rejected")
+	}
+	// m1: own 3 + blocking 4 (one m2 node in flight) = 7.
+	// m2: 4 + interference ceil((R+7)/10)·3 → fixed point 10.
+	if resp[0] != 7 || resp[1] != 10 {
+		t.Fatalf("responses = %v, want [7 10]", resp)
+	}
+
+	// Overload: two tasks each needing 8 of every 10 steps.
+	h1 := &member{task: 0, period: 10, dl: 10, c: 8, blk: 8}
+	h2 := &member{task: 1, period: 10, dl: 10, c: 8, blk: 8}
+	if _, ok := channelRTA([]*member{h1, h2}); ok {
+		t.Fatal("overloaded channel admitted")
+	}
+}
+
+func TestPrioBefore(t *testing.T) {
+	a := &member{task: 0, period: 10, dl: 5}
+	b := &member{task: 1, period: 8, dl: 5}
+	c := &member{task: 2, period: 10, dl: 6}
+	if !prioBefore(a, c) || prioBefore(c, a) {
+		t.Fatal("deadline order broken")
+	}
+	if !prioBefore(b, a) {
+		t.Fatal("period tiebreak broken")
+	}
+	if !prioBefore(a, &member{task: 3, period: 10, dl: 5}) {
+		t.Fatal("index tiebreak broken")
+	}
+}
+
+func TestWorseQuality(t *testing.T) {
+	if q := worseQuality(hap.QualityExact, hap.QualityHeuristic); q != hap.QualityHeuristic {
+		t.Fatalf("got %v", q)
+	}
+	if q := worseQuality(hap.QualityTimeout, hap.QualityHeuristic); q != hap.QualityTimeout {
+		t.Fatalf("got %v", q)
+	}
+	if q := worseQuality(hap.QualityExact, hap.QualityExact); q != hap.QualityExact {
+		t.Fatalf("got %v", q)
+	}
+}
+
+func TestSampleFrontier(t *testing.T) {
+	front := make([]hap.FrontierPoint, 10)
+	for i := range front {
+		front[i] = hap.FrontierPoint{Deadline: i, Cost: int64(100 - i)}
+	}
+	picks := sampleFrontier(front, 4)
+	if len(picks) != 4 || picks[0].Deadline != 0 || picks[3].Deadline != 9 {
+		t.Fatalf("picks = %v", picks)
+	}
+	if got := sampleFrontier(front[:3], 4); len(got) != 3 {
+		t.Fatalf("small frontier resampled: %v", got)
+	}
+}
+
+// Two light tasks share one channel and one FU instance.
+func TestAdmitLightSharing(t *testing.T) {
+	set := TaskSet{
+		uniTask("a", dfg.Chain(2), []int{2}, []int64{1}, 20, 10),
+		uniTask("b", dfg.Chain(2), []int{2}, []int64{1}, 20, 20),
+	}
+	v, err := Admit(context.Background(), set, Config{1}, Options{})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if !v.Admitted {
+		t.Fatalf("rejected: %s", v.Reason)
+	}
+	if len(v.Channels) != 1 || len(v.Channels[0]) != 2 {
+		t.Fatalf("channels = %v, want one channel with both tasks", v.Channels)
+	}
+	if !reflect.DeepEqual(v.Used, Config{1}) {
+		t.Fatalf("used = %v, want [1]", v.Used)
+	}
+	for _, p := range v.Placements {
+		if p.Heavy || p.Channel != 0 {
+			t.Fatalf("placement %+v, want light on channel 0", p)
+		}
+		if p.Response > set[p.Task].RelDeadline() {
+			t.Fatalf("task %d response %d beyond deadline", p.Task, p.Response)
+		}
+	}
+	if v.Quality != hap.QualityExact {
+		t.Fatalf("quality = %v, want exact", v.Quality)
+	}
+}
+
+// A task whose sequential work misses the deadline goes heavy on a grown
+// partition.
+func TestAdmitHeavyGrowth(t *testing.T) {
+	set := TaskSet{uniTask("wide", parGraph(4), []int{4}, []int64{1}, 8, 8)}
+	v, err := Admit(context.Background(), set, Config{4}, Options{})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if !v.Admitted {
+		t.Fatalf("rejected: %s", v.Reason)
+	}
+	p := v.Placements[0]
+	if !p.Heavy || len(p.Partition) != 1 || p.Partition[0] < 2 {
+		t.Fatalf("placement %+v, want heavy with a grown partition", p)
+	}
+	if p.Response > 8 {
+		t.Fatalf("response %d beyond deadline 8", p.Response)
+	}
+	if v.Used[0] != p.Partition[0] {
+		t.Fatalf("used %v does not match partition %v", v.Used, p.Partition)
+	}
+	// The same task cannot fit on a single FU.
+	v, err = Admit(context.Background(), set, Config{1}, Options{})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if v.Admitted {
+		t.Fatal("16 steps of work admitted against deadline 8 on one FU")
+	}
+	if !strings.Contains(v.Reason, "does not fit") {
+		t.Fatalf("reason = %q", v.Reason)
+	}
+}
+
+// A task infeasible at any speed is reported by name, not as capacity.
+func TestAdmitInfeasibleTask(t *testing.T) {
+	set := TaskSet{uniTask("slow", dfg.Chain(4), []int{5}, []int64{1}, 10, 10)}
+	v, err := Admit(context.Background(), set, Config{8}, Options{})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if v.Admitted || !strings.Contains(v.Reason, "infeasible") {
+		t.Fatalf("verdict %+v, want infeasible rejection", v)
+	}
+}
+
+func TestAdmitErrors(t *testing.T) {
+	set := TaskSet{uniTask("a", dfg.Chain(2), []int{1}, []int64{1}, 10, 10)}
+	if _, err := Admit(context.Background(), nil, Config{1}, Options{}); err != ErrNoTasks {
+		t.Fatalf("empty set: %v", err)
+	}
+	if _, err := Admit(context.Background(), set, Config{1, 2}, Options{}); err == nil {
+		t.Fatal("config width mismatch accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Admit(ctx, set, Config{1}, Options{}); err == nil {
+		t.Fatal("dead context accepted")
+	}
+}
+
+func TestAdmitDeterministic(t *testing.T) {
+	set := TaskSet{
+		uniTask("a", dfg.Chain(3), []int{1, 2}, []int64{4, 1}, 16, 16),
+		uniTask("b", parGraph(3), []int{2, 3}, []int64{4, 1}, 12, 12),
+		uniTask("c", dfg.Chain(2), []int{1, 3}, []int64{5, 2}, 8, 8),
+	}
+	v1, err := Admit(context.Background(), set, Config{2, 2}, Options{})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	v2, err := Admit(context.Background(), set, Config{2, 2}, Options{})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("verdicts differ:\n%+v\n%+v", v1, v2)
+	}
+}
+
+func TestCheapestConfig(t *testing.T) {
+	set := TaskSet{
+		uniTask("a", dfg.Chain(2), []int{2, 4}, []int64{4, 1}, 16, 16),
+		uniTask("b", parGraph(4), []int{2, 4}, []int64{4, 1}, 10, 10),
+	}
+	res, err := CheapestConfig(context.Background(), set, SearchOptions{Prices: []int64{5, 2}}, Options{})
+	if err != nil {
+		t.Fatalf("CheapestConfig: %v", err)
+	}
+	if !res.Found {
+		t.Fatalf("no configuration found: %s", res.Reason)
+	}
+	if !res.Verdict.Admitted {
+		t.Fatal("winning configuration's verdict not admitted")
+	}
+	if res.Steps < 2 {
+		t.Fatalf("steps = %d, want at least the full probe plus one descent", res.Steps)
+	}
+	if want := configPrice(res.Config, []int64{5, 2}); res.Price != want {
+		t.Fatalf("price = %d, want %d", res.Price, want)
+	}
+	// Local minimality: no single instance can be removed.
+	for k := range res.Config {
+		if res.Config[k] == 0 {
+			continue
+		}
+		trial := res.Config.Clone()
+		trial[k]--
+		v, err := Admit(context.Background(), set, trial, Options{})
+		if err != nil {
+			t.Fatalf("Admit probe: %v", err)
+		}
+		if v.Admitted {
+			t.Fatalf("config %v is not locally minimal: %v still admits", res.Config, trial)
+		}
+	}
+}
+
+func TestCheapestConfigRejects(t *testing.T) {
+	// Infeasible task: even the full configuration rejects.
+	set := TaskSet{uniTask("slow", dfg.Chain(4), []int{5}, []int64{1}, 10, 10)}
+	res, err := CheapestConfig(context.Background(), set, SearchOptions{}, Options{})
+	if err != nil {
+		t.Fatalf("CheapestConfig: %v", err)
+	}
+	if res.Found || !strings.Contains(res.Reason, "no admissible configuration") {
+		t.Fatalf("result %+v, want not-found with reason", res)
+	}
+	ok := TaskSet{uniTask("a", dfg.Chain(2), []int{1}, []int64{1}, 10, 10)}
+	if _, err := CheapestConfig(context.Background(), ok, SearchOptions{Prices: []int64{1, 2}}, Options{}); err == nil {
+		t.Fatal("price width mismatch accepted")
+	}
+	if _, err := CheapestConfig(context.Background(), ok, SearchOptions{Prices: []int64{-1}}, Options{}); err == nil {
+		t.Fatal("negative price accepted")
+	}
+	if _, err := CheapestConfig(context.Background(), ok, SearchOptions{MaxPerType: MaxPartition + 1}, Options{}); err == nil {
+		t.Fatal("oversized max_per_type accepted")
+	}
+}
+
+func TestCheapestConfigAnytime(t *testing.T) {
+	set := TaskSet{
+		uniTask("a", dfg.Chain(2), []int{2, 4}, []int64{4, 1}, 16, 16),
+		uniTask("b", parGraph(4), []int{2, 4}, []int64{4, 1}, 10, 10),
+	}
+	pr, err := prepare(context.Background(), set, Options{})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	_ = pr
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel after prepare; the descent then stops with best-so-far.
+		cancel()
+	}()
+	res, err := CheapestConfig(ctx, set, SearchOptions{}, Options{})
+	if err != nil {
+		// The context may die before prepare finishes; that path errors.
+		return
+	}
+	if res.Found && res.Quality != hap.QualityTimeout && !res.Verdict.Admitted {
+		t.Fatalf("anytime result inconsistent: %+v", res)
+	}
+}
+
+func TestTypesByPriceDesc(t *testing.T) {
+	got := typesByPriceDesc([]int64{3, 9, 9, 1})
+	want := []int{1, 2, 0, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+// General (non-forest) DFGs go through the anytime ladder.
+func TestLadderCandidates(t *testing.T) {
+	g := dfg.New()
+	a := g.MustAddNode("a", "op")
+	b := g.MustAddNode("b", "op")
+	c := g.MustAddNode("c", "op")
+	d := g.MustAddNode("d", "op")
+	g.MustAddEdge(a, b, 0)
+	g.MustAddEdge(a, c, 0)
+	g.MustAddEdge(b, d, 0)
+	g.MustAddEdge(c, d, 0) // diamond: two preds at d → not a forest
+	if g.IsOutForest() || g.IsInForest() {
+		t.Fatal("diamond classified as forest")
+	}
+	task := Task{Name: "dia", Graph: g, Table: fu.UniformTable(4, []int{1, 2}, []int64{3, 1}), Period: 12, Deadline: 12}
+	set := TaskSet{task}
+	v, err := Admit(context.Background(), set, Config{1, 1}, Options{})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if !v.Admitted {
+		t.Fatalf("diamond task rejected: %s", v.Reason)
+	}
+	// Infeasible general DFG: zero candidates, named rejection.
+	tight := Task{Name: "tight", Graph: g, Table: fu.UniformTable(4, []int{5, 6}, []int64{3, 1}), Period: 10, Deadline: 10}
+	v, err = Admit(context.Background(), TaskSet{tight}, Config{1, 1}, Options{})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if v.Admitted || !strings.Contains(v.Reason, "infeasible") {
+		t.Fatalf("verdict %+v, want infeasible rejection", v)
+	}
+}

@@ -1,0 +1,157 @@
+package rta
+
+import (
+	"context"
+	"fmt"
+
+	"hetsynth/internal/hap"
+)
+
+// maxPrice caps per-instance FU prices so summed configuration prices stay
+// far from int64 overflow.
+const maxPrice = int64(1) << 40
+
+// SearchOptions tunes the cheapest-configuration search.
+type SearchOptions struct {
+	// Prices gives the per-instance price of each FU type; nil means every
+	// instance costs 1 (the search then minimizes total FU count).
+	Prices []int64
+	// MaxPerType caps the FU instances per type the search may propose
+	// (default 8, at most MaxPartition).
+	MaxPerType int
+}
+
+// SearchResult is the outcome of a cheapest-configuration search.
+type SearchResult struct {
+	// Found reports whether any configuration within MaxPerType admits the
+	// set; when false, Reason says why (Verdict holds the last rejection).
+	Found bool
+	// Config is the cheapest admitting configuration found; its Verdict has
+	// the placements.
+	Config  Config
+	Price   int64
+	Verdict Verdict
+	// Steps counts admission probes — the search-effort measure surfaced in
+	// metrics and responses.
+	Steps int
+	// Quality is the weakest per-task solve quality encountered, degraded
+	// to timeout when the budget expired before the greedy descent
+	// finished (the result is then the best configuration found so far).
+	Quality hap.Quality
+	Reason  string
+}
+
+// CheapestConfig finds a locally minimal-price FU configuration that admits
+// the task set: it starts from the full configuration (MaxPerType instances
+// of every type), verifies admissibility, then greedily removes one FU
+// instance at a time — most expensive types first — keeping every removal
+// that still admits the set, until no single removal does. Candidate
+// operating points are prepared once and shared across all probes, so each
+// probe costs only placement work. Complexity: O(K·MaxPerType) admission
+// probes in the worst case, each O(tasks² · candidates · RTA). Under a
+// context deadline the search is anytime: it returns the best (cheapest)
+// admitting configuration found before the budget expired, with Quality
+// timeout. The error is non-nil only for malformed input or a context that
+// died before any complete probe.
+func CheapestConfig(ctx context.Context, set TaskSet, so SearchOptions, opts Options) (SearchResult, error) {
+	pr, err := prepare(ctx, set, opts)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	k := set.K()
+	prices := so.Prices
+	if prices == nil {
+		prices = make([]int64, k)
+		for i := range prices {
+			prices[i] = 1
+		}
+	}
+	if len(prices) != k {
+		return SearchResult{}, fmt.Errorf("rta: %d prices for %d FU types", len(prices), k)
+	}
+	for i, p := range prices {
+		if p < 0 || p > maxPrice {
+			return SearchResult{}, fmt.Errorf("rta: price %d for type %d out of range [0, %d]", p, i, maxPrice)
+		}
+	}
+	maxPer := so.MaxPerType
+	if maxPer == 0 {
+		maxPer = 8
+	}
+	if maxPer < 1 || maxPer > MaxPartition {
+		return SearchResult{}, fmt.Errorf("rta: max_per_type %d out of range [1, %d]", maxPer, MaxPartition)
+	}
+
+	full := make(Config, k)
+	for i := range full {
+		full[i] = maxPer
+	}
+	res := SearchResult{Quality: pr.quality}
+	v := pr.admit(full)
+	res.Steps++
+	if !v.Admitted {
+		res.Verdict = v
+		res.Reason = "no admissible configuration within max_per_type: " + v.Reason
+		return res, nil
+	}
+	res.Found = true
+	res.Config = full
+	res.Verdict = v
+
+	// Greedy descent: drop the priciest droppable instance, restart.
+	improved := true
+	for improved {
+		improved = false
+		for _, ky := range typesByPriceDesc(prices) {
+			if res.Config[ky] == 0 {
+				continue
+			}
+			if ctx.Err() != nil {
+				res.Quality = hap.QualityTimeout
+				res.Price = configPrice(res.Config, prices)
+				return res, nil
+			}
+			trial := res.Config.Clone()
+			trial[ky]--
+			tv := pr.admit(trial)
+			res.Steps++
+			if tv.Admitted {
+				res.Config = trial
+				res.Verdict = tv
+				improved = true
+				break
+			}
+		}
+	}
+	res.Price = configPrice(res.Config, prices)
+	return res, nil
+}
+
+// typesByPriceDesc orders type indices most expensive first (ties: lower
+// index first), the order the greedy descent tries removals in.
+func typesByPriceDesc(prices []int64) []int {
+	order := make([]int, len(prices))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort: K is small
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if prices[b] > prices[a] || (prices[b] == prices[a] && b < a) {
+				order[j-1], order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}
+
+// configPrice sums the instance prices of a configuration.
+func configPrice(cfg Config, prices []int64) int64 {
+	var total int64
+	for k, m := range cfg {
+		total += int64(m) * prices[k]
+	}
+	return total
+}

@@ -1,0 +1,490 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// admitBody is a two-task harmonic set over a shared seeded 2-type library;
+// small enough to admit on a modest configuration.
+const admitBody = `{"tasks":[
+  {"name":"fir","bench":"fir16","seed":3,"types":2,"period":200},
+  {"name":"biquad","bench":"iir4","seed":4,"types":2,"period":400,"deadline":300}
+],"config":[2,2]}`
+
+const admitSearchBody = `{"tasks":[
+  {"name":"fir","bench":"fir16","seed":3,"types":2,"period":200},
+  {"name":"biquad","bench":"iir4","seed":4,"types":2,"period":400,"deadline":300}
+],"search":{"prices":[5,2],"max_per_type":4}}`
+
+func TestAdmitSyncAndCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	code, m := postJSON(t, ts, "POST", "/v1/admit", admitBody)
+	if code != 200 {
+		t.Fatalf("admit: status %d: %v", code, m)
+	}
+	if m["source"] != "admit" {
+		t.Fatalf("source = %v, want admit", m["source"])
+	}
+	if m["admitted"] != true {
+		t.Fatalf("set not admitted: %v", m)
+	}
+	placements := m["placements"].([]any)
+	if len(placements) != 2 {
+		t.Fatalf("placements = %v, want 2", placements)
+	}
+	for _, p := range placements {
+		pm := p.(map[string]any)
+		if pm["assignment"] == nil {
+			t.Fatalf("placement without assignment: %v", pm)
+		}
+		if pm["response"].(float64) <= 0 {
+			t.Fatalf("placement without response bound: %v", pm)
+		}
+	}
+
+	code, m = postJSON(t, ts, "POST", "/v1/admit", admitBody)
+	if code != 200 || m["source"] != "cache" {
+		t.Fatalf("repeat admit: status %d source %v, want 200/cache", code, m["source"])
+	}
+
+	snap := s.Metrics()
+	if snap.AdmitRequests != 2 || snap.AdmitAccepted != 2 || snap.AdmitRejected != 0 {
+		t.Fatalf("admit counters requests=%d accepted=%d rejected=%d, want 2/2/0",
+			snap.AdmitRequests, snap.AdmitAccepted, snap.AdmitRejected)
+	}
+	if snap.AdmitSearchSteps < 1 {
+		t.Fatalf("admit_search_steps = %d, want >= 1", snap.AdmitSearchSteps)
+	}
+	if snap.SolveLatency.Count < 1 {
+		t.Fatal("admit latency not observed in the solve histogram")
+	}
+}
+
+func TestAdmitQualityHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Post(ts.URL+"/v1/admit", "application/json", strings.NewReader(admitBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if q := resp.Header.Get(QualityHeader); q == "" {
+		t.Fatal("no quality header on admit response")
+	}
+}
+
+func TestAdmitSearch(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	code, m := postJSON(t, ts, "POST", "/v1/admit", admitSearchBody)
+	if code != 200 {
+		t.Fatalf("search admit: status %d: %v", code, m)
+	}
+	if m["found"] != true || m["admitted"] != true {
+		t.Fatalf("search result %v, want found+admitted", m)
+	}
+	if m["config"] == nil || m["price"] == nil {
+		t.Fatalf("search result missing config/price: %v", m)
+	}
+	if m["steps"].(float64) < 2 {
+		t.Fatalf("steps = %v, want the full probe plus descent", m["steps"])
+	}
+	snap := s.Metrics()
+	if snap.AdmitSearchSteps < 2 {
+		t.Fatalf("admit_search_steps = %d, want >= 2", snap.AdmitSearchSteps)
+	}
+}
+
+func TestAdmitRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// One FU of the slow type only: the wide task set cannot fit.
+	body := `{"tasks":[
+	  {"name":"e","bench":"elliptic","seed":7,"types":2,"period":40,"deadline":30}
+	],"config":[0,1]}`
+	code, m := postJSON(t, ts, "POST", "/v1/admit", body)
+	if code != 200 {
+		t.Fatalf("admit: status %d: %v", code, m)
+	}
+	if m["admitted"] != false || m["reason"] == "" {
+		t.Fatalf("verdict %v, want rejection with reason", m)
+	}
+	snap := s.Metrics()
+	if snap.AdmitRejected != 1 || snap.AdmitAccepted != 0 {
+		t.Fatalf("counters accepted=%d rejected=%d, want 0/1", snap.AdmitAccepted, snap.AdmitRejected)
+	}
+}
+
+func TestAdmitBadRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	cases := []struct{ name, body string }{
+		{"malformed", `{"tasks":`},
+		{"no tasks", `{"tasks":[],"config":[1]}`},
+		{"no mode", `{"tasks":[{"bench":"fir16","seed":1,"period":100}]}`},
+		{"both modes", `{"tasks":[{"bench":"fir16","seed":1,"period":100}],"config":[1,1,1],"search":{}}`},
+		{"bad period", `{"tasks":[{"bench":"fir16","seed":1,"period":0}],"config":[1,1,1]}`},
+		{"deadline past period", `{"tasks":[{"bench":"fir16","seed":1,"period":10,"deadline":11}],"config":[1,1,1]}`},
+		{"config width", `{"tasks":[{"bench":"fir16","seed":1,"types":2,"period":100}],"config":[1]}`},
+		{"mixed K", `{"tasks":[{"bench":"fir16","seed":1,"types":2,"period":100},{"bench":"fir16","seed":1,"types":3,"period":100}],"config":[1,1]}`},
+		{"price width", `{"tasks":[{"bench":"fir16","seed":1,"types":2,"period":100}],"search":{"prices":[1]}}`},
+		{"unknown field", `{"tasks":[{"bench":"fir16","seed":1,"period":100}],"config":[1,1,1],"zap":1}`},
+		{"unknown bench", `{"tasks":[{"bench":"nope","seed":1,"period":100}],"config":[1,1,1]}`},
+		{"trailing", `{"tasks":[{"bench":"fir16","seed":1,"period":100}],"config":[1,1,1]}{}`},
+	}
+	for _, tc := range cases {
+		code, m := postJSON(t, ts, "POST", "/v1/admit", tc.body)
+		if code != 400 {
+			t.Errorf("%s: status %d (%v), want 400", tc.name, code, m)
+		}
+	}
+	// Malformed compute-deadline header is a 400 too.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/admit", strings.NewReader(admitBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(DeadlineHeader, "soon")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad deadline header: status %d, want 400", resp.StatusCode)
+	}
+	snap := s.Metrics()
+	if snap.BadRequests != int64(len(cases)+1) {
+		t.Fatalf("bad_requests = %d, want %d", snap.BadRequests, len(cases)+1)
+	}
+	if snap.AdmitAccepted != 0 && snap.AdmitRejected != 0 {
+		t.Fatal("bad requests settled verdict counters")
+	}
+}
+
+func TestAdmitJobAsync(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	code, m := postJSON(t, ts, "POST", "/v1/admit/jobs", admitBody)
+	if code != 201 {
+		t.Fatalf("job submit: status %d: %v", code, m)
+	}
+	id := m["id"].(string)
+	var final map[string]any
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never settled")
+		}
+		_, jm := postJSON(t, ts, "GET", "/v1/jobs/"+id, "")
+		st := jm["status"]
+		if st == JobDone || st == JobFailed || st == JobCanceled {
+			final = jm
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final["status"] != JobDone {
+		t.Fatalf("job settled %v: %v", final["status"], final["error"])
+	}
+	res := final["result"].(map[string]any)
+	if res["admitted"] != true {
+		t.Fatalf("job result %v, want admitted", res)
+	}
+
+	// Second submission hits the result cache and settles immediately.
+	code, m = postJSON(t, ts, "POST", "/v1/admit/jobs", admitBody)
+	if code != 201 || m["status"] != JobDone || m["source"] != "cache" {
+		t.Fatalf("cached job submit: status %d %v, want immediate done/cache", code, m)
+	}
+
+	snap := s.Metrics()
+	if snap.JobsSubmitted != 2 || snap.JobsDone != 2 {
+		t.Fatalf("jobs submitted=%d done=%d, want 2/2", snap.JobsSubmitted, snap.JobsDone)
+	}
+	if snap.AdmitRequests != 2 || snap.AdmitAccepted != 2 {
+		t.Fatalf("admit counters requests=%d accepted=%d, want 2/2", snap.AdmitRequests, snap.AdmitAccepted)
+	}
+}
+
+// TestAdmitCounterBalance drives a mix of sync and async admit traffic with
+// no errors or shedding and asserts the ledger:
+// admit_requests == admit_accepted + admit_rejected once everything settles
+// (the settleJob-style balance for the admission endpoint).
+func TestAdmitCounterBalance(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	bodies := []string{
+		admitBody,
+		admitSearchBody,
+		`{"tasks":[{"name":"e","bench":"elliptic","seed":7,"types":2,"period":40,"deadline":30}],"config":[0,1]}`,
+		admitBody, // cache hit
+	}
+	for i, b := range bodies {
+		path := "/v1/admit"
+		if i%2 == 1 {
+			path = "/v1/admit/jobs"
+		}
+		code, m := postJSON(t, ts, "POST", path, b)
+		if code != 200 && code != 201 {
+			t.Fatalf("request %d: status %d: %v", i, code, m)
+		}
+		if code == 201 {
+			id := m["id"].(string)
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if time.Now().After(deadline) {
+					t.Fatalf("job %d never settled", i)
+				}
+				_, jm := postJSON(t, ts, "GET", "/v1/jobs/"+id, "")
+				st := jm["status"]
+				if st == JobDone || st == JobFailed || st == JobCanceled {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+	snap := s.Metrics()
+	if snap.AdmitRequests != int64(len(bodies)) {
+		t.Fatalf("admit_requests = %d, want %d", snap.AdmitRequests, len(bodies))
+	}
+	if snap.AdmitAccepted+snap.AdmitRejected != snap.AdmitRequests {
+		t.Fatalf("ledger broken: accepted %d + rejected %d != requests %d",
+			snap.AdmitAccepted, snap.AdmitRejected, snap.AdmitRequests)
+	}
+}
+
+// TestAdmitTimeout exhausts a sync admission request's compute budget: the
+// execution hook holds the analysis until its context dies, so the search
+// surfaces a deadline error and the handler answers 504.
+func TestAdmitTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	s.preSolve = func(ctx context.Context) { <-ctx.Done() }
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	body := `{"tasks":[{"bench":"fir16","seed":1,"types":2,"period":200}],"search":{},"timeout_ms":40}`
+	code, m := postJSON(t, ts, "POST", "/v1/admit", body)
+	if code != 504 {
+		t.Fatalf("timed-out admit: status %d: %v", code, m)
+	}
+	snap := s.Metrics()
+	if snap.SolveErrors == 0 {
+		t.Fatal("admission deadline error not counted in solve_errors")
+	}
+	if snap.AdmitAccepted != 0 || snap.AdmitRejected != 0 {
+		t.Fatal("failed admission settled a verdict counter")
+	}
+}
+
+// TestAdmitAbandoned covers the grace-expiry abandon: the analysis keeps
+// running well past both the budget and the post-budget grace, so the
+// handler gives up with 504 and counts the request abandoned.
+func TestAdmitAbandoned(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	s.preSolve = func(ctx context.Context) {
+		<-ctx.Done()
+		time.Sleep(abandonGrace + 250*time.Millisecond)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	body := `{"tasks":[{"bench":"fir16","seed":2,"types":2,"period":200}],"config":[1,1],"timeout_ms":30}`
+	code, m := postJSON(t, ts, "POST", "/v1/admit", body)
+	if code != 504 {
+		t.Fatalf("abandoned admit: status %d: %v", code, m)
+	}
+	if s.Metrics().Abandoned == 0 {
+		t.Fatal("abandoned metric not incremented")
+	}
+}
+
+// TestAdmitJobCancel cancels a running admission job and checks it settles
+// as canceled without touching the accepted/rejected verdict ledger.
+func TestAdmitJobCancel(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	arrived := make(chan struct{}, 1)
+	s.preSolve = func(ctx context.Context) {
+		select {
+		case arrived <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	code, m := postJSON(t, ts, "POST", "/v1/admit/jobs", admitBody)
+	if code != 201 {
+		t.Fatalf("submit: status %d: %v", code, m)
+	}
+	id := m["id"].(string)
+	<-arrived
+	if code, _ = postJSON(t, ts, "DELETE", "/v1/jobs/"+id, ""); code != 200 {
+		t.Fatalf("cancel: status %d", code)
+	}
+	final := waitJobTerminal(t, ts, id)
+	if final["status"] != JobCanceled {
+		t.Fatalf("canceled admit job ended as %v: %v", final["status"], final)
+	}
+	snap := s.Metrics()
+	if snap.AdmitAccepted != 0 || snap.AdmitRejected != 0 {
+		t.Fatal("canceled admission settled a verdict counter")
+	}
+	if snap.JobsCanceledFinal != 1 {
+		t.Fatalf("jobs_canceled_final = %d, want 1", snap.JobsCanceledFinal)
+	}
+}
+
+// TestAdmitJobQueueSkip expires an admission job's budget while it is still
+// queued behind a busy worker: the pool skips the dead task and the job must
+// settle as failed with the timeout classification.
+func TestAdmitJobQueueSkip(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	arrived := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.preSolve = func(ctx context.Context) {
+		select {
+		case arrived <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	// Occupy the single worker with a blocked solve job.
+	code, _ := postJSON(t, ts, "POST", "/v1/jobs", `{"bench":"diffeq","seed":21,"slack":4,"algorithm":"repeat"}`)
+	if code != 201 {
+		t.Fatalf("blocker submit: status %d", code)
+	}
+	<-arrived
+
+	body := `{"tasks":[{"bench":"fir16","seed":6,"types":2,"period":200}],"config":[1,1],"timeout_ms":30}`
+	code, m := postJSON(t, ts, "POST", "/v1/admit/jobs", body)
+	if code != 201 {
+		t.Fatalf("admit submit: status %d: %v", code, m)
+	}
+	id := m["id"].(string)
+	time.Sleep(60 * time.Millisecond) // let the queued budget lapse
+	close(release)                    // free the worker; it skips the dead admit task
+	final := waitJobTerminal(t, ts, id)
+	if final["status"] != JobFailed {
+		t.Fatalf("queue-skipped admit job ended as %v: %v", final["status"], final)
+	}
+	if final["error"] == "" || final["error"] == nil {
+		t.Fatalf("failed job carries no error: %v", final)
+	}
+}
+
+// TestAdmitQueueFull checks both admission endpoints shed with 429 when the
+// pool queue is at capacity — the same admission control as solves.
+func TestAdmitQueueFull(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	arrived := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.preSolve = func(ctx context.Context) {
+		select {
+		case arrived <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); close(release); s.Close() })
+
+	// Solve #1 occupies the worker, #2 the single queue slot.
+	if code, _ := postJSON(t, ts, "POST", "/v1/jobs", `{"bench":"diffeq","seed":31,"slack":4,"algorithm":"repeat"}`); code != 201 {
+		t.Fatalf("blocker 1: status %d", code)
+	}
+	<-arrived
+	if code, _ := postJSON(t, ts, "POST", "/v1/jobs", `{"bench":"diffeq","seed":32,"slack":4,"algorithm":"repeat"}`); code != 201 {
+		t.Fatalf("blocker 2: status %d", code)
+	}
+	body := `{"tasks":[{"bench":"fir16","seed":8,"types":2,"period":200}],"config":[1,1]}`
+	if code, m := postJSON(t, ts, "POST", "/v1/admit", body); code != http.StatusTooManyRequests {
+		t.Fatalf("shed sync admit: status %d (%v), want 429", code, m)
+	}
+	if code, m := postJSON(t, ts, "POST", "/v1/admit/jobs", body); code != http.StatusTooManyRequests {
+		t.Fatalf("shed admit job: status %d (%v), want 429", code, m)
+	}
+}
+
+// waitJobTerminal polls a job until it reaches a terminal status.
+func waitJobTerminal(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never settled", id)
+		}
+		_, m := postJSON(t, ts, "GET", "/v1/jobs/"+id, "")
+		if st := m["status"]; st == JobDone || st == JobFailed || st == JobCanceled {
+			return m
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAdmitDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.draining.Store(true)
+	code, m := postJSON(t, ts, "POST", "/v1/admit", admitBody)
+	if code != 503 {
+		t.Fatalf("draining admit: status %d: %v", code, m)
+	}
+}
+
+// FuzzAdmit throws arbitrary bodies at the admission decoder: malformed
+// input must surface as a 400 apiError (never a panic), and any accepted
+// body must produce a stable canonical key across re-decodes.
+func FuzzAdmit(f *testing.F) {
+	f.Add(admitBody)
+	f.Add(admitSearchBody)
+	f.Add(`{"tasks":[{"bench":"fir16","seed":1,"period":100}],"config":[1,1,1]}`)
+	f.Add(`{"tasks":[{"graph":{"nodes":[{"name":"a","op":"add"}],"edges":[]},"table":{"time":[[1]],"cost":[[2]]},"period":8,"deadline":4}],"config":[1]}`)
+	f.Add(`{"tasks":[{"bench":"fir16","seed":1,"period":100}],"search":{"max_per_type":99}}`)
+	f.Add(`{"tasks":`)
+	f.Add(`{"tasks":[],"config":[]}`)
+	f.Add(`{"tasks":[{"bench":"fir16","seed":1,"period":-3}],"config":[1,1,1]}`)
+	f.Add(`{"tasks":[{"bench":"fir16","seed":1,"period":100}],"config":[1,1,1]}{}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, body string) {
+		spec, err := decodeAdmitRequest([]byte(body))
+		if err != nil {
+			var ae *apiError
+			if !errors.As(err, &ae) {
+				t.Fatalf("decode error is %T (%v), want *apiError", err, err)
+			}
+			if ae.Status != 400 {
+				t.Fatalf("decode rejection carries status %d, want 400", ae.Status)
+			}
+			return
+		}
+		if spec.key == "" || !strings.HasPrefix(spec.key, "admit/") {
+			t.Fatalf("accepted spec with bad key %q", spec.key)
+		}
+		if err := spec.set.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid task set: %v", err)
+		}
+		if spec.search && spec.cfg != nil {
+			t.Fatal("spec has both a config and search mode")
+		}
+		if !spec.search && spec.cfg == nil {
+			t.Fatal("spec has neither config nor search mode")
+		}
+		again, err := decodeAdmitRequest([]byte(body))
+		if err != nil {
+			t.Fatalf("body accepted once, rejected on re-decode: %v", err)
+		}
+		if spec.key != again.key {
+			t.Fatalf("canonical key unstable across decodes: %s vs %s", spec.key, again.key)
+		}
+	})
+}

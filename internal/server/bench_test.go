@@ -156,6 +156,51 @@ func BenchmarkHTTPSolveSweepIndividual(b *testing.B) {
 	fire(b, ts.URL+"/v1/solve", 1, func(i int) string { return bodies[i%64] })
 }
 
+// admitBenchBody is a two-task admission request against a fixed
+// configuration; distinct seeds name distinct task sets, defeating the
+// result cache.
+func admitBenchBody(seed int) string {
+	return fmt.Sprintf(`{"tasks":[`+
+		`{"bench":"fir16","seed":%d,"types":2,"period":200},`+
+		`{"bench":"diffeq","seed":%d,"types":2,"period":400,"deadline":300}],`+
+		`"config":[2,2]}`, seed, seed+1)
+}
+
+// BenchmarkHTTPAdmitCached measures admission-verdict replay throughput:
+// every request is the identical task set, so after one warmup analysis the
+// verdict comes straight off the digest-keyed result cache.
+func BenchmarkHTTPAdmitCached(b *testing.B) {
+	for _, conc := range benchConcurrencies {
+		b.Run(fmt.Sprintf("conc%d", conc), func(b *testing.B) {
+			ts, stop := newBenchServer()
+			defer stop()
+			body := admitBenchBody(1)
+			resp, err := http.Post(ts.URL+"/v1/admit", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Fatalf("warmup status %d", resp.StatusCode)
+			}
+			fire(b, ts.URL+"/v1/admit", conc, func(int) string { return body })
+		})
+	}
+}
+
+// BenchmarkHTTPAdmitUncached measures full admission-analysis throughput:
+// every request names a fresh task set (distinct table seeds), so each runs
+// candidate sampling and placement on a worker.
+func BenchmarkHTTPAdmitUncached(b *testing.B) {
+	for _, conc := range benchConcurrencies {
+		b.Run(fmt.Sprintf("conc%d", conc), func(b *testing.B) {
+			ts, stop := newBenchServer()
+			defer stop()
+			fire(b, ts.URL+"/v1/admit", conc, func(i int) string { return admitBenchBody(2*i + 1) })
+		})
+	}
+}
+
 func newBenchServer() (*httptest.Server, func()) {
 	s := New(Config{QueueDepth: 4096, CacheSize: 1 << 17, JobRetention: 16})
 	ts := httptest.NewServer(s.Handler())

@@ -35,6 +35,15 @@ type metrics struct {
 	batchEntries  atomic.Int64 // entries across all batch requests
 	batchDeduped  atomic.Int64 // batch entries answered by an earlier duplicate in the same batch
 
+	// Admission-control endpoint (/v1/admit). Every served verdict bumps
+	// exactly one of accepted/rejected — cache hits included — so after all
+	// admit traffic settles without errors or shedding,
+	// admitRequests == admitAccepted + admitRejected.
+	admitRequests    atomic.Int64 // admit submissions decoded OK (sync + jobs)
+	admitAccepted    atomic.Int64 // verdicts served with the set admitted / a config found
+	admitRejected    atomic.Int64 // verdicts served with the set rejected / no config
+	admitSearchSteps atomic.Int64 // cumulative admission probes across fresh executions
+
 	shed      atomic.Int64 // requests load-shed with 429 (queue full or predicted overload)
 	abandoned atomic.Int64 // sync waits given up past deadline + grace (504, result discarded)
 	degraded  atomic.Int64 // solver executions that returned a timeout-quality incumbent
@@ -104,6 +113,11 @@ type MetricsSnapshot struct {
 	BatchEntries  int64 `json:"batch_entries"`
 	BatchDeduped  int64 `json:"batch_deduped"`
 
+	AdmitRequests    int64 `json:"admit_requests"`
+	AdmitAccepted    int64 `json:"admit_accepted"`
+	AdmitRejected    int64 `json:"admit_rejected"`
+	AdmitSearchSteps int64 `json:"admit_search_steps"`
+
 	Shed      int64 `json:"shed"`
 	Abandoned int64 `json:"abandoned"`
 	Degraded  int64 `json:"degraded"`
@@ -148,6 +162,11 @@ func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
 		BatchRequests: m.batchRequests.Load(),
 		BatchEntries:  m.batchEntries.Load(),
 		BatchDeduped:  m.batchDeduped.Load(),
+		AdmitRequests:    m.admitRequests.Load(),
+		AdmitAccepted:    m.admitAccepted.Load(),
+		AdmitRejected:    m.admitRejected.Load(),
+		AdmitSearchSteps: m.admitSearchSteps.Load(),
+
 		Shed:          m.shed.Load(),
 		Abandoned:     m.abandoned.Load(),
 		Degraded:      m.degraded.Load(),

@@ -106,15 +106,17 @@ const (
 	JobCanceled = "canceled"
 )
 
-// Job is one asynchronous solve. All mutable fields are guarded by mu; the
-// HTTP layer reads them through view().
+// Job is one asynchronous solve or admission. All mutable fields are
+// guarded by mu; the HTTP layer reads them through view(). result holds the
+// endpoint's payload type (*SolveResult for solves, *AdmitResult for
+// admissions) behind any, so one store and one lifecycle serve both.
 type Job struct {
 	ID string
 
 	mu       sync.Mutex
-	status   string       // guarded by mu
-	source   string       // guarded by mu
-	result   *SolveResult // guarded by mu
+	status   string // guarded by mu
+	source   string // guarded by mu
+	result   any    // guarded by mu; *SolveResult or *AdmitResult, nil until done
 	errMsg   string       // guarded by mu
 	errCode  int          // guarded by mu; HTTP status a sync caller would have received
 	created  time.Time    // guarded by mu
@@ -127,14 +129,14 @@ type Job struct {
 
 // JobView is the wire form of a job's state.
 type JobView struct {
-	ID       string       `json:"id"`
-	Status   string       `json:"status"`
-	Source   string       `json:"source,omitempty"`
-	Error    string       `json:"error,omitempty"`
-	Created  time.Time    `json:"created"`
-	Started  *time.Time   `json:"started,omitempty"`
-	Finished *time.Time   `json:"finished,omitempty"`
-	Result   *SolveResult `json:"result,omitempty"`
+	ID       string     `json:"id"`
+	Status   string     `json:"status"`
+	Source   string     `json:"source,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Result   any        `json:"result,omitempty"`
 }
 
 func (j *Job) view() JobView {
@@ -172,7 +174,7 @@ func (j *Job) setRunning() {
 // whether this call performed the transition; false means the job had already
 // reached a terminal state and nothing changed, so callers can keep terminal
 // counters exact even when a worker and a janitor race to settle the same job.
-func (j *Job) finish(status, source string, res *SolveResult, errMsg string, errCode int) bool {
+func (j *Job) finish(status, source string, res any, errMsg string, errCode int) bool {
 	j.mu.Lock()
 	if j.status == JobDone || j.status == JobFailed || j.status == JobCanceled {
 		j.mu.Unlock()

@@ -375,18 +375,28 @@ func resolveTable(req *SolveRequest, g *dfg.Graph) (*fu.Table, error) {
 // A malformed header is a 400 — silently ignoring it would let a client
 // believe a deadline is being honored when it is not.
 func applyComputeDeadline(spec *solveSpec, r *http.Request) *apiError {
-	h := r.Header.Get(DeadlineHeader)
-	if h == "" {
-		return nil
+	ms, aerr := computeDeadlineMS(r)
+	if aerr != nil {
+		return aerr
 	}
-	ms, err := strconv.Atoi(strings.TrimSpace(h))
-	if err != nil || ms <= 0 {
-		return badRequest("invalid %s header %q: want a positive integer millisecond count", DeadlineHeader, h)
-	}
-	if spec.timeout == 0 || ms < spec.timeout {
+	if ms > 0 && (spec.timeout == 0 || ms < spec.timeout) {
 		spec.timeout = ms
 	}
 	return nil
+}
+
+// computeDeadlineMS parses the DeadlineHeader: 0 when absent, the positive
+// millisecond count when well-formed, a 400 apiError otherwise.
+func computeDeadlineMS(r *http.Request) (int, *apiError) {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || ms <= 0 {
+		return 0, badRequest("invalid %s header %q: want a positive integer millisecond count", DeadlineHeader, h)
+	}
+	return ms, nil
 }
 
 // classifySolveErr maps solver errors onto HTTP statuses: infeasible and

@@ -103,7 +103,8 @@ type Server struct {
 
 	draining atomic.Bool
 
-	// preSolve, when set, runs at the start of every real solver execution.
+	// preSolve, when set, runs at the start of every real solver or
+	// admission-analysis execution.
 	// It exists for package tests that need a solve to block deterministically
 	// (e.g. to prove concurrent duplicates coalesce onto one execution).
 	preSolve func(ctx context.Context)
@@ -133,6 +134,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/solve-batch", s.handleSolveBatch)
+	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
+	mux.HandleFunc("POST /v1/admit/jobs", s.handleAdmitJobSubmit)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -469,17 +472,20 @@ func assignmentInts(a hap.Assignment) []int {
 	return out
 }
 
-// dispatch submits spec to the pool and returns the task; the caller waits
-// on task.done and reads *out. A janitor goroutine releases the solve
-// context once the task completes (or is skipped), so an abandoned sync
-// request neither cancels a shared solve nor leaks its context.
+// dispatch submits a unit of work to the pool and returns the task; the
+// caller waits on task.done and reads whatever run wrote. A janitor
+// goroutine releases the work context once the task completes (or is
+// skipped), so an abandoned sync request neither cancels a shared execution
+// nor leaks its context. run executes on the worker between before and
+// after, so pool.drain() returning implies every accepted job has reached a
+// final state.
 type solveOutcome struct {
 	res    *SolveResult
 	source string
 	err    error
 }
 
-func (s *Server) dispatch(spec *solveSpec, ctx context.Context, cancel context.CancelFunc, out *solveOutcome, before, after func()) (*task, *apiError) {
+func (s *Server) dispatch(ctx context.Context, cancel context.CancelFunc, run func(ctx context.Context), before, after func()) (*task, *apiError) {
 	t := &task{
 		ctx:  ctx,
 		done: make(chan struct{}),
@@ -487,9 +493,7 @@ func (s *Server) dispatch(spec *solveSpec, ctx context.Context, cancel context.C
 			if before != nil {
 				before()
 			}
-			out.res, out.source, out.err = s.runSolve(ctx, spec)
-			// after runs on the worker, before done closes, so pool.drain()
-			// returning implies every accepted job has reached a final state.
+			run(ctx)
 			if after != nil {
 				after()
 			}
@@ -621,7 +625,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.solveBudget(spec))
 	out := &solveOutcome{}
-	t, apiErr := s.dispatch(spec, ctx, cancel, out, nil, nil)
+	t, apiErr := s.dispatch(ctx, cancel, func(ctx context.Context) {
+		out.res, out.source, out.err = s.runSolve(ctx, spec)
+	}, nil, nil)
 	if apiErr != nil {
 		writeErr(w, apiErr)
 		return
@@ -720,7 +726,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// finish runs on the worker for executed jobs (so drain implies settled
 	// jobs); the janitor below settles jobs whose context died while queued.
-	t, apiErr := s.dispatch(spec, jctx, func() { jcancel(); tcancel() }, out, j.setRunning, finish)
+	t, apiErr := s.dispatch(jctx, func() { jcancel(); tcancel() }, func(ctx context.Context) {
+		out.res, out.source, out.err = s.runSolve(ctx, spec)
+	}, j.setRunning, finish)
 	if apiErr != nil {
 		writeErr(w, apiErr)
 		return
@@ -735,10 +743,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // transition, bumps the matching terminal-state counter — keeping the books
 // balanced (jobs_submitted == jobs_done + jobs_failed + jobs_canceled_final
 // after a drain) even when a worker and the queue janitor race to settle the
-// same job.
-func (s *Server) settleJob(j *Job, status, source string, res *SolveResult, errMsg string, errCode int) {
+// same job. It reports whether this call performed the transition, so
+// endpoint-specific once-only accounting (e.g. the admit verdict ledger)
+// can piggyback on the same dedup.
+func (s *Server) settleJob(j *Job, status, source string, res any, errMsg string, errCode int) bool {
 	if !j.finish(status, source, res, errMsg, errCode) {
-		return
+		return false
 	}
 	switch status {
 	case JobDone:
@@ -748,6 +758,7 @@ func (s *Server) settleJob(j *Job, status, source string, res *SolveResult, errM
 	default:
 		s.met.jobsFailed.Add(1)
 	}
+	return true
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/hap"
+)
+
+func TestHyperperiod(t *testing.T) {
+	mk := func(periods ...int) []PlacedTask {
+		out := make([]PlacedTask, len(periods))
+		for i, p := range periods {
+			out[i].Task.Period = p
+		}
+		return out
+	}
+	h, err := Hyperperiod(mk(4, 6, 10))
+	if err != nil || h != 60 {
+		t.Fatalf("lcm(4,6,10) = %d, %v; want 60", h, err)
+	}
+	if _, err := Hyperperiod(mk(0)); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := Hyperperiod(mk(maxHyperperiod, maxHyperperiod-1)); err == nil {
+		t.Fatal("hyperperiod overflow accepted")
+	}
+}
+
+// Four independent 2-step nodes on 2 FUs: two waves, makespan 4.
+func TestSimulateHeavy(t *testing.T) {
+	g := dfg.New()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		g.MustAddNode(name, "op")
+	}
+	pt := PlacedTask{
+		Task: PeriodicTask{
+			Graph:    g,
+			Table:    fu.UniformTable(4, []int{2}, []int64{1}),
+			Assign:   hap.Assignment{0, 0, 0, 0},
+			Period:   8,
+			Deadline: 8,
+		},
+		Heavy:     true,
+		Partition: []int{2},
+	}
+	rep, err := SimulatePeriodic([]PlacedTask{pt})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if rep.Horizon != 8 || rep.Jobs != 1 || rep.Missed != 0 {
+		t.Fatalf("report %+v, want horizon 8, 1 job, 0 missed", rep)
+	}
+	if rep.WorstResponse[0] != 4 {
+		t.Fatalf("response %d, want 4 (two waves of two nodes)", rep.WorstResponse[0])
+	}
+	// One FU: serial, makespan 8; deadline 6 then misses every job.
+	pt.Partition = []int{1}
+	pt.Task.Deadline = 6
+	rep, err = SimulatePeriodic([]PlacedTask{pt})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if rep.Missed != 1 || rep.WorstResponse[0] != 8 {
+		t.Fatalf("report %+v, want 1 miss at response 8", rep)
+	}
+}
+
+// Two chains sharing a serialized channel: the short-deadline task preempts
+// at node boundaries only.
+func TestSimulateChannel(t *testing.T) {
+	mk := func(n, period, dl int) PlacedTask {
+		return PlacedTask{
+			Task: PeriodicTask{
+				Graph:    dfg.Chain(n),
+				Table:    fu.UniformTable(n, []int{2}, []int64{1}),
+				Assign:   make(hap.Assignment, n),
+				Period:   period,
+				Deadline: dl,
+			},
+			Channel: 0,
+		}
+	}
+	hi := mk(2, 8, 8)   // C=4
+	lo := mk(3, 16, 16) // C=6
+	rep, err := SimulatePeriodic([]PlacedTask{lo, hi})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if rep.Missed != 0 {
+		t.Fatalf("report %+v, want no misses", rep)
+	}
+	// hi is blocked by at most one lo node (2) then runs 4 → worst 6.
+	if rep.WorstResponse[1] > 6 {
+		t.Fatalf("hi response %d, want <= 6", rep.WorstResponse[1])
+	}
+	// lo: 6 own + interference from hi jobs.
+	if rep.WorstResponse[0] > 14 {
+		t.Fatalf("lo response %d, want <= 14", rep.WorstResponse[0])
+	}
+	if rep.Jobs != 2+1 {
+		t.Fatalf("jobs = %d, want 3 (two hi releases, one lo)", rep.Jobs)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := SimulatePeriodic(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	g := dfg.Chain(2)
+	tab := fu.UniformTable(2, []int{1}, []int64{1})
+	bad := []PlacedTask{{Task: PeriodicTask{Graph: g, Table: tab, Assign: hap.Assignment{0}, Period: 4, Deadline: 4}}}
+	if _, err := SimulatePeriodic(bad); err == nil || !strings.Contains(err.Error(), "assignment") {
+		t.Fatalf("short assignment: %v", err)
+	}
+	bad = []PlacedTask{{Task: PeriodicTask{Graph: g, Table: tab, Assign: hap.Assignment{0, 0}, Period: 4, Deadline: 5}}}
+	if _, err := SimulatePeriodic(bad); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("unconstrained deadline: %v", err)
+	}
+	heavy := []PlacedTask{{
+		Task:  PeriodicTask{Graph: g, Table: tab, Assign: hap.Assignment{0, 0}, Period: 4, Deadline: 4},
+		Heavy: true, Partition: []int{0},
+	}}
+	if _, err := SimulatePeriodic(heavy); err == nil || !strings.Contains(err.Error(), "no dedicated FU") {
+		t.Fatalf("empty partition: %v", err)
+	}
+}
