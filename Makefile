@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet lint vuln bench bench2 bench3 bench4 bench5 bench-compare serve-smoke serve-overload serve-admit fuzz cover-gate
+.PHONY: build test check race vet lint escape-gate vuln bench bench2 bench3 bench4 bench5 bench-compare serve-smoke serve-overload serve-admit fuzz cover-gate
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,22 @@ vet:
 
 # lint runs the stock vet passes plus hetsynthlint, the project's own
 # go/analysis-style suite (internal/lint): ctxpropagate, guardedby,
-# goroutinelife, apidoc, retval. See DESIGN.md §8 for the conventions each
-# analyzer enforces and how to suppress a finding with justification.
+# goroutinelife, apidoc, retval, plus the dataflow generation — poolsafe,
+# pinpair, arenaescape, atomicfield — and the escapebudget gate. See
+# DESIGN.md §8 for the conventions each analyzer enforces and how to
+# suppress a finding with justification. Package listings are cached under
+# bin/lintcache/ keyed on go.mod and source mtimes, so repeat runs skip the
+# go list -deps -export walk; HETSYNTHLINT_NOCACHE=1 bypasses the cache.
 lint: vet
 	$(GO) run ./cmd/hetsynthlint ./...
+
+# escape-gate runs only the escape-budget gate: every // hetsynth:hotpath
+# function's heap-escape count from go build -gcflags=-m must stay within
+# the committed baseline internal/lint/testdata/escapes.golden. Regenerate
+# the baseline after a deliberate change with:
+#   go run ./cmd/hetsynthlint -update-escapes ./...
+escape-gate:
+	$(GO) run ./cmd/hetsynthlint -only=escapebudget ./...
 
 # vuln runs govulncheck when it is installed; local dev containers may not
 # ship it, so absence is a skip, not a failure. CI installs and runs it.
@@ -34,10 +46,11 @@ race:
 	$(GO) test -race ./internal/hap/... ./internal/cptree/... ./internal/server/...
 
 # cover-gate enforces statement-coverage floors on the packages the anytime,
-# serving and admission work concentrates in. The floors are set below the
-# measured numbers (hap ~93%, server ~89%, rta ~93%, sim ~92%) so ordinary
-# churn passes while a change that silently drops a solver, handler or
-# analysis path out of the tests fails.
+# serving and admission work concentrates in, plus the analyzer suite that
+# gates everything else. The floors are set below the measured numbers
+# (hap ~93%, server ~89%, rta ~93%, sim ~92%, lint ~93%) so ordinary churn
+# passes while a change that silently drops a solver, handler or analysis
+# path out of the tests fails.
 cover-gate:
 	@mkdir -p bin
 	@$(GO) test -count=1 -coverprofile=bin/cover-hap.out ./internal/hap/ > /dev/null
@@ -56,6 +69,10 @@ cover-gate:
 	@$(GO) tool cover -func=bin/cover-sim.out | awk 'END { pct = $$3 + 0; \
 		if (pct < 85.0) { printf "FAIL: internal/sim coverage %.1f%% < 85.0%% floor\n", pct; exit 1 } \
 		printf "internal/sim coverage %.1f%% (floor 85.0%%)\n", pct }'
+	@$(GO) test -count=1 -coverprofile=bin/cover-lint.out ./internal/lint/ > /dev/null
+	@$(GO) tool cover -func=bin/cover-lint.out | awk 'END { pct = $$3 + 0; \
+		if (pct < 85.0) { printf "FAIL: internal/lint coverage %.1f%% < 85.0%% floor\n", pct; exit 1 } \
+		printf "internal/lint coverage %.1f%% (floor 85.0%%)\n", pct }'
 
 # check is the tier-1 gate: vet + hetsynthlint + build + tests + race over
 # the concurrent packages + the coverage floors.

@@ -193,13 +193,16 @@ func loadReport(path string) Report {
 }
 
 // diff prints a per-benchmark delta table (new vs old, matched by name) and
-// reports whether every gated benchmark stayed within tolerance.
+// reports whether every gated benchmark stayed within tolerance. Each gate
+// failure is also written to stderr naming the benchmark and the exact
+// metric (ns/op or allocs/op) that regressed, with the measured delta and
+// the tolerance it broke — the table alone is too easy to misread in CI.
 func diff(old, new Report, gateRe *regexp.Regexp, maxNs, maxAllocs float64) bool {
 	byName := make(map[string]Result, len(old.Results))
 	for _, r := range old.Results {
 		byName[r.Name] = r
 	}
-	pass := true
+	var failures []string
 	for _, r := range new.Results {
 		o, ok := byName[r.Name]
 		if !ok {
@@ -211,11 +214,25 @@ func diff(old, new Report, gateRe *regexp.Regexp, maxNs, maxAllocs float64) bool
 		allocDelta := ratio(float64(r.AllocsPerOp), float64(o.AllocsPerOp))
 		status := ""
 		if gateRe != nil && gateRe.MatchString(r.Name) {
-			if nsDelta > maxNs || allocDelta > maxAllocs {
+			status = "  ok"
+			if nsDelta > maxNs {
 				status = "  REGRESSION"
-				pass = false
-			} else {
-				status = "  ok"
+				failures = append(failures, fmt.Sprintf(
+					"%s: ns/op %.0f -> %.0f (%+.1f%%, tolerance %+.1f%%)",
+					r.Name, o.NsPerOp, r.NsPerOp, 100*nsDelta, 100*maxNs))
+			}
+			// ratio() reports 0 -> N as "no change" to avoid dividing by
+			// zero, which would let a zero-alloc benchmark silently start
+			// allocating; that jump is always a regression.
+			if allocDelta > maxAllocs || (o.AllocsPerOp == 0 && r.AllocsPerOp > 0) {
+				status = "  REGRESSION"
+				detail := fmt.Sprintf("%+.1f%%, tolerance %+.1f%%", 100*allocDelta, 100*maxAllocs)
+				if o.AllocsPerOp == 0 {
+					detail = "was zero-alloc"
+				}
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op %d -> %d (%s)",
+					r.Name, o.AllocsPerOp, r.AllocsPerOp, detail))
 			}
 		}
 		fmt.Printf("%-55s %12.0f ns/op (%+6.1f%%) %8d allocs/op (%+6.1f%%)%s\n",
@@ -224,7 +241,10 @@ func diff(old, new Report, gateRe *regexp.Regexp, maxNs, maxAllocs float64) bool
 	for name := range byName {
 		fmt.Printf("%-55s (only in baseline)\n", name)
 	}
-	return pass
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "benchjson: gate failure: %s\n", f)
+	}
+	return len(failures) == 0
 }
 
 // ratio is (new-old)/old, treating a zero or missing old value as no change

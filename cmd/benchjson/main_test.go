@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runDiff captures diff's stderr (where gate failures go) while discarding
+// the stdout table.
+func runDiff(t *testing.T, old, new Report, gate string, maxNs, maxAllocs float64) (bool, string) {
+	t.Helper()
+	origOut, origErr := os.Stdout, os.Stderr
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = devnull, w
+	pass := diff(old, new, regexp.MustCompile(gate), maxNs, maxAllocs)
+	w.Close()
+	os.Stdout, os.Stderr = origOut, origErr
+	devnull.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pass, string(out)
+}
+
+func TestDiffGateFailureNamesBenchmarkAndMetric(t *testing.T) {
+	old := Report{Results: []Result{
+		{Name: "BenchmarkSolve-8", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkCachedPath-8", NsPerOp: 50, AllocsPerOp: 0},
+	}}
+	// Solve regresses on time only; CachedPath regresses on allocs only.
+	cur := Report{Results: []Result{
+		{Name: "BenchmarkSolve-8", NsPerOp: 200, AllocsPerOp: 2},
+		{Name: "BenchmarkCachedPath-8", NsPerOp: 50, AllocsPerOp: 3},
+	}}
+	pass, stderr := runDiff(t, old, cur, "Benchmark", 0.10, 0.0)
+	if pass {
+		t.Fatal("regressed benchmarks must fail the gate")
+	}
+	if !strings.Contains(stderr, "BenchmarkSolve-8: ns/op 100 -> 200") {
+		t.Errorf("failure output must name BenchmarkSolve-8 and its ns/op delta, got:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "BenchmarkSolve-8: allocs/op") {
+		t.Errorf("BenchmarkSolve-8 allocs did not regress, yet stderr blames allocs/op:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkCachedPath-8: allocs/op 0 -> 3") {
+		t.Errorf("failure output must name BenchmarkCachedPath-8 and its allocs/op delta, got:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "BenchmarkCachedPath-8: ns/op") {
+		t.Errorf("BenchmarkCachedPath-8 time did not regress, yet stderr blames ns/op:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "tolerance") {
+		t.Errorf("failure output should state the broken tolerance, got:\n%s", stderr)
+	}
+}
+
+func TestDiffWithinToleranceIsQuiet(t *testing.T) {
+	old := Report{Results: []Result{{Name: "BenchmarkSolve-8", NsPerOp: 100, AllocsPerOp: 2}}}
+	cur := Report{Results: []Result{{Name: "BenchmarkSolve-8", NsPerOp: 104, AllocsPerOp: 2}}}
+	pass, stderr := runDiff(t, old, cur, "Benchmark", 0.10, 0.0)
+	if !pass {
+		t.Fatal("within-tolerance run must pass the gate")
+	}
+	if stderr != "" {
+		t.Errorf("passing gate should write nothing to stderr, got:\n%s", stderr)
+	}
+}

@@ -99,6 +99,8 @@ func hexSum(b []byte) string {
 // Instance digests the deadline-independent part of a problem: the graph
 // and the time/cost table. Artifacts valid across deadlines (frontiers,
 // reusable solvers) are keyed by it.
+//
+// hetsynth:hotpath
 func Instance(g *dfg.Graph, t *fu.Table) string {
 	bp := encPool.Get().(*[]byte)
 	b := appendTable(appendGraph((*bp)[:0], g), t)
@@ -164,6 +166,8 @@ func AdmitKey(tasks []AdmitTask, cfg []int, prices []int64, maxPerType, maxCandi
 // is built once and hashed, then extended with the deadline/algorithm suffix
 // and hashed again. The two digests are byte-identical to what Request and
 // Instance return separately.
+//
+// hetsynth:hotpath
 func Keys(g *dfg.Graph, t *fu.Table, deadline int, algo string) (request, instance string) {
 	bp := encPool.Get().(*[]byte)
 	b := appendTable(appendGraph((*bp)[:0], g), t)

@@ -85,6 +85,8 @@ func putScratch(sc *dpScratch) { scratchPool.Put(sc) }
 // queries past the deadline). The result aliases sc.sum — or one of the
 // inputs when len(curves) == 1 — and is only valid until the next call with
 // the same scratch; callers must copy anything they keep.
+//
+// hetsynth:hotpath
 func sumCurves(curves []curve, limit int, sc *dpScratch) curve {
 	switch len(curves) {
 	case 0:
@@ -157,6 +159,8 @@ func sumCurves(curves []curve, limit int, sc *dpScratch) curve {
 // comparison sort. The result aliases sc.pts and is only valid until the
 // next call with the same scratch; callers copy what they retain (the tree
 // solver copies it into its curve arena).
+//
+// hetsynth:hotpath
 func envelope(sum curve, cand []fu.TypeID, timeRow []int, costRow []int64, limit int, sc *dpScratch) curve {
 	if cap(sc.idx) < len(cand) {
 		sc.idx = make([]int, len(cand))

@@ -98,12 +98,14 @@ func newTreeSolverMode(p Problem, allowed [][]bool, reversed, sliceMode bool) (*
 		sliceMode: sliceMode,
 		dirty:     make([]bool, n),
 		ndirty:    n,
-		sc:        getScratch(),
+		// hetsynth:pool-escape solver-owned scratch, held until release() recycles it
+		sc: getScratch(),
 	}
 	if sliceMode {
 		s.sliceCurves = make([]curve, n)
 	} else {
 		s.refs = make([]curveRef, n)
+		// hetsynth:pool-escape serial arena, held until release() recycles it
 		s.arenas = append(s.arenas, getArena())
 	}
 	for v := 0; v < n; v++ {
@@ -210,6 +212,8 @@ func (s *treeSolver) release() {
 // the node's own slice in slice mode). Callers must not append to it; the
 // arena view's capacity is pinned, so a stray append cannot corrupt a
 // neighbor, but the result must be treated as read-only either way.
+//
+// hetsynth:hotpath
 func (s *treeSolver) curveOf(v dfg.NodeID) curve {
 	if s.sliceMode {
 		return s.sliceCurves[v]
@@ -225,6 +229,8 @@ func (s *treeSolver) curveOf(v dfg.NodeID) curve {
 // storeCurve retains pts (a transient envelope result) as node v's curve by
 // copying it into arena ar. In slice mode the copy is a fresh per-node
 // allocation instead. A nil/empty pts records the infeasible curve.
+//
+// hetsynth:hotpath
 func (s *treeSolver) storeCurve(v dfg.NodeID, pts curve, ar int32) {
 	if s.sliceMode {
 		if len(pts) == 0 {
@@ -248,6 +254,7 @@ func (s *treeSolver) storeCurve(v dfg.NodeID, pts curve, ar int32) {
 			// for real instances (2^31 points is 32 GiB of curve), but the
 			// DP must stay correct if it ever happens.
 			ar = int32(len(s.arenas))
+			// hetsynth:pool-escape overflow arena, held until release() recycles it
 			s.arenas = append(s.arenas, getArena())
 			a = s.arenas[ar]
 		}
@@ -269,7 +276,7 @@ func (s *treeSolver) compactArena(ar int32) {
 			continue
 		}
 		at := len(fresh)
-		fresh = append(fresh, old[r.off:r.off+r.n]...)
+		fresh = append(fresh, old[r.off:r.off+r.n:r.off+r.n]...)
 		s.refs[v] = curveRef{off: int32(at), n: r.n, ar: ar}
 	}
 	s.arenas[ar].pts = fresh
@@ -394,6 +401,7 @@ func (s *treeSolver) recomputeParallel() {
 	base := len(s.arenas)
 	if !s.sliceMode {
 		for w := 0; w < workers; w++ {
+			// hetsynth:pool-escape per-worker arena, held until release() recycles it
 			s.arenas = append(s.arenas, getArena())
 		}
 	}
@@ -429,6 +437,7 @@ func (s *treeSolver) recomputeParallel() {
 						// aliasing the (immutable) prior one.
 						s.arenaMu.Lock()
 						ar = int32(len(s.arenas))
+						// hetsynth:pool-escape worker overflow arena, recycled by release()
 						s.arenas = append(s.arenas, getArena())
 						a = s.arenas[ar]
 						s.arenaMu.Unlock()

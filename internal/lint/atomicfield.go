@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity per struct field: once any
+// code in the package accesses a field through the call-style sync/atomic
+// API (`atomic.AddInt64(&s.n, 1)`), every other access to that field must be
+// atomic too — a single plain read or write reintroduces exactly the data
+// race the atomic was bought to remove, and it does so silently, because
+// mixed access is valid Go that even the race detector only catches when the
+// interleaving cooperates. Typed atomics (atomic.Int64 and friends) are
+// immune by construction and are the repository's preferred style; this
+// analyzer exists for the call-style residue, where the field's type gives
+// no such protection.
+//
+// Scope: the field set is collected package-wide, the access scan covers
+// every non-atomic selector of those fields, and mutex-guarded plain access
+// mixed with atomics is still flagged — mixing the two disciplines on one
+// field is at best misleading and at worst wrong (the mutex does not order
+// the atomic's readers).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic anywhere must never be read or written non-atomically",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	// Pass 1: fields accessed atomically anywhere in the package, plus the
+	// exact selector nodes inside those atomic calls (so they are not
+	// re-flagged as plain accesses).
+	atomicFields := map[*types.Var]token.Pos{} // field → one atomic call site
+	atomicSels := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			sel := addrOfFieldSel(pass.Info, call.Args[0])
+			if sel == nil {
+				return true
+			}
+			v := pass.Info.Uses[sel.Sel].(*types.Var)
+			if _, seen := atomicFields[v]; !seen {
+				atomicFields[v] = call.Pos()
+			}
+			atomicSels[sel] = true
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: any other selector of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			if _, atomic := atomicFields[v]; atomic {
+				pass.Report(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this plain access races with it", v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a package-level sync/atomic
+// function (Add*, Load*, Store*, Swap*, CompareAndSwap*). Methods on the
+// typed atomics also live in sync/atomic but take no address argument and
+// cannot be mixed with plain access, so only non-method functions count.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addrOfFieldSel unwraps `&x.f` to the field selector when f resolves to a
+// struct field, or returns nil.
+func addrOfFieldSel(info *types.Info, e ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return sel
+}

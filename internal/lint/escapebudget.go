@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeBudgetAnalyzer is the suite's entry for the escape-budget gate. It
+// has no per-package Run: the gate works on `go build -gcflags=-m` compiler
+// output for the whole module, not on a single package's AST, so the driver
+// (cmd/hetsynthlint) invokes EscapeBudget separately when this analyzer is
+// selected. It lives in All() so `-list` shows it and `-only=escapebudget`
+// resolves.
+var EscapeBudgetAnalyzer = &Analyzer{
+	Name: "escapebudget",
+	Doc:  "functions annotated // hetsynth:hotpath must not gain heap escapes versus the committed baseline (testdata/escapes.golden)",
+}
+
+// hotpathRe matches the annotation that opts a function into the escape
+// budget. It goes in the function's doc comment:
+//
+//	// hetsynth:hotpath
+//	func (c *lruCache) getBytes(key []byte) (any, bool) { ... }
+//
+// The pattern is anchored to the whole comment line so prose that merely
+// mentions the annotation (like this paragraph) does not opt anything in.
+var hotpathRe = regexp.MustCompile(`^//\s*hetsynth:hotpath\s*$`)
+
+// escapeLineRe matches one compiler diagnostic line from -gcflags=-m.
+var escapeLineRe = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.+)$`)
+
+// hotpathFunc is one annotated function: its baseline key and the file/line
+// span compiler diagnostics are attributed against.
+type hotpathFunc struct {
+	key        string // pkgpath.Recv.Name or pkgpath.Name
+	file       string // absolute, cleaned
+	start, end int    // declaration line span, inclusive
+	pos        token.Position
+}
+
+// EscapeBudget runs the gate: compile the module with -m, count heap
+// escapes inside every // hetsynth:hotpath function, and report each
+// function whose count exceeds the committed golden baseline. A hotpath
+// function absent from the baseline is reported too — the budget must be
+// set deliberately (run with -update-escapes), not defaulted.
+func EscapeBudget(dir, goldenPath string, patterns []string) ([]Diagnostic, error) {
+	funcs, counts, samples, err := escapeCounts(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := readEscapeGolden(goldenPath)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, fn := range funcs {
+		got := counts[fn.key]
+		want, inGolden := golden[fn.key]
+		switch {
+		case !inGolden:
+			out = append(out, Diagnostic{
+				Pos:      fn.pos,
+				Analyzer: EscapeBudgetAnalyzer.Name,
+				Message:  fmt.Sprintf("hotpath function %s has no escape baseline; run hetsynthlint -update-escapes to record its budget (%d)", fn.key, got),
+			})
+		case got > want:
+			detail := ""
+			if s := samples[fn.key]; len(s) > 0 {
+				detail = " (" + strings.Join(s, "; ") + ")"
+			}
+			out = append(out, Diagnostic{
+				Pos:      fn.pos,
+				Analyzer: EscapeBudgetAnalyzer.Name,
+				Message:  fmt.Sprintf("hotpath function %s gained heap escapes: %d, budget %d%s", fn.key, got, want, detail),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteEscapeBaseline regenerates the golden baseline from the current
+// compiler output, one `<funcKey> <count>` line per hotpath function.
+func WriteEscapeBaseline(dir, goldenPath string, patterns []string) error {
+	funcs, counts, _, err := escapeCounts(dir, patterns)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString("# Escape budget per // hetsynth:hotpath function: the number of\n")
+	buf.WriteString("# \"escapes to heap\"/\"moved to heap\" diagnostics go build -gcflags=-m\n")
+	buf.WriteString("# attributes to its lines. Regenerate with: hetsynthlint -update-escapes\n")
+	keys := make([]string, 0, len(funcs))
+	for _, fn := range funcs {
+		keys = append(keys, fn.key)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%s %d\n", k, counts[k])
+	}
+	return os.WriteFile(goldenPath, buf.Bytes(), 0o644)
+}
+
+// escapeCounts compiles the module with escape diagnostics on and attributes
+// "escapes to heap"/"moved to heap" lines to the hotpath function whose
+// declaration spans them. samples carries up to three diagnostic snippets
+// per function for actionable gate failures.
+func escapeCounts(dir string, patterns []string) ([]hotpathFunc, map[string]int, map[string][]string, error) {
+	funcs, err := findHotpathFuncs(dir, patterns)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	counts := map[string]int{}
+	samples := map[string][]string{}
+	for _, fn := range funcs {
+		counts[fn.key] = 0
+	}
+	if len(funcs) == 0 {
+		return funcs, counts, samples, nil
+	}
+	modPath, err := modulePath(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// -gcflags applies -m to module packages only; the build cache replays
+	// compiler diagnostics on unchanged packages, so repeat runs stay cheap
+	// and still produce the full output.
+	args := append([]string{"build", "-gcflags=" + modPath + "/...=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := escapeLineRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absDir, file)
+		}
+		file = filepath.Clean(file)
+		//hetsynth:ignore retval the capture group is \d+, Atoi cannot fail on it
+		line, _ := strconv.Atoi(m[2])
+		for i := range funcs {
+			fn := &funcs[i]
+			if fn.file == file && line >= fn.start && line <= fn.end {
+				counts[fn.key]++
+				if len(samples[fn.key]) < 3 {
+					samples[fn.key] = append(samples[fn.key], fmt.Sprintf("line %d: %s", line, msg))
+				}
+				break
+			}
+		}
+	}
+	return funcs, counts, samples, nil
+}
+
+// findHotpathFuncs parses every module package matched by patterns and
+// collects the functions annotated // hetsynth:hotpath in their doc comment.
+func findHotpathFuncs(dir string, patterns []string) ([]hotpathFunc, error) {
+	listed, err := goListCached(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []hotpathFunc
+	fset := token.NewFileSet()
+	for _, p := range listed {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		for _, name := range p.GoFiles {
+			path := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				annotated := false
+				for _, c := range fd.Doc.List {
+					if hotpathRe.MatchString(c.Text) {
+						annotated = true
+					}
+				}
+				if !annotated {
+					continue
+				}
+				out = append(out, hotpathFunc{
+					key:   funcKey(p.ImportPath, fd),
+					file:  filepath.Clean(path),
+					start: fset.Position(fd.Pos()).Line,
+					end:   fset.Position(fd.End()).Line,
+					pos:   fset.Position(fd.Name.Pos()),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out, nil
+}
+
+// funcKey names a function for the golden file: pkgpath.Recv.Name for
+// methods (pointer receivers stripped), pkgpath.Name otherwise.
+func funcKey(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return pkgPath + "." + id.Name + "." + fd.Name.Name
+		}
+	}
+	return pkgPath + "." + fd.Name.Name
+}
+
+// readEscapeGolden parses the `<funcKey> <count>` baseline; '#' starts a
+// comment. A missing file is an error pointing at -update-escapes, so the
+// gate cannot silently pass on a repo that never set a budget.
+func readEscapeGolden(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: escape baseline %s: %v (run hetsynthlint -update-escapes to create it)", path, err)
+	}
+	out := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			return nil, fmt.Errorf("lint: escape baseline %s:%d: want \"funcKey count\", got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("lint: escape baseline %s:%d: bad count %q", path, i+1, f[1])
+		}
+		out[f[0]] = n
+	}
+	return out, nil
+}
+
+// modulePath reads the module path from the go.mod governing dir.
+func modulePath(dir string) (string, error) {
+	root := findModuleRoot(dir)
+	if root == "" {
+		return "", fmt.Errorf("lint: no go.mod above %s", dir)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot finds the module root of this repository for whole-module tests.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root := ModuleRoot(".")
+	if root == "" {
+		t.Fatal("module root not found")
+	}
+	return root
+}
+
+// TestEscapeBudgetCleanOnRepo is the positive gate: every hotpath function
+// in this repository stays within its committed budget.
+func TestEscapeBudgetCleanOnRepo(t *testing.T) {
+	root := repoRoot(t)
+	golden := filepath.Join(root, "internal", "lint", "testdata", "escapes.golden")
+	diags, err := EscapeBudget(root, golden, []string{"./..."})
+	if err != nil {
+		t.Fatalf("escape budget: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s", d.Pos, d.Message)
+	}
+}
+
+// writeEscapeModule materializes a one-file module in a temp dir so gate
+// behaviour can be tested without touching the repo's own baseline.
+func writeEscapeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	gomod := "module escapetest\n\ngo 1.24\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "esc.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const leakySrc = `package esc
+
+// Leak forces a heap escape: x outlives the frame through the returned
+// pointer.
+//
+// hetsynth:hotpath
+func Leak() *int {
+	x := 42
+	return &x
+}
+`
+
+// TestEscapeBudgetGateFails is the negative gate required by the issue: a
+// hotpath function that gains a heap allocation over its budget must fail.
+func TestEscapeBudgetGateFails(t *testing.T) {
+	dir := writeEscapeModule(t, leakySrc)
+	golden := filepath.Join(dir, "escapes.golden")
+	if err := os.WriteFile(golden, []byte("escapetest.Leak 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := EscapeBudget(dir, golden, []string{"./..."})
+	if err != nil {
+		t.Fatalf("escape budget: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one over-budget diagnostic, got %v", diags)
+	}
+	msg := diags[0].Message
+	if !strings.Contains(msg, "escapetest.Leak") || !strings.Contains(msg, "gained heap escapes: 1, budget 0") {
+		t.Errorf("over-budget message should name the function and both counts, got %q", msg)
+	}
+	if !strings.Contains(msg, "moved to heap") && !strings.Contains(msg, "escapes to heap") {
+		t.Errorf("over-budget message should carry a compiler sample line, got %q", msg)
+	}
+}
+
+// TestEscapeBudgetRequiresBaselineEntry: a hotpath function missing from
+// the golden file is itself a finding — budgets are set deliberately.
+func TestEscapeBudgetRequiresBaselineEntry(t *testing.T) {
+	dir := writeEscapeModule(t, leakySrc)
+	golden := filepath.Join(dir, "escapes.golden")
+	if err := os.WriteFile(golden, []byte("# empty baseline\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := EscapeBudget(dir, golden, []string{"./..."})
+	if err != nil {
+		t.Fatalf("escape budget: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no escape baseline") {
+		t.Fatalf("want a no-baseline diagnostic, got %v", diags)
+	}
+}
+
+// TestWriteEscapeBaselineRoundTrip: -update-escapes records the current
+// counts, after which the gate passes on the same tree.
+func TestWriteEscapeBaselineRoundTrip(t *testing.T) {
+	dir := writeEscapeModule(t, leakySrc)
+	golden := filepath.Join(dir, "escapes.golden")
+	if err := WriteEscapeBaseline(dir, golden, []string{"./..."}); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "escapetest.Leak 1") {
+		t.Fatalf("baseline should record the Leak escape, got:\n%s", data)
+	}
+	diags, err := EscapeBudget(dir, golden, []string{"./..."})
+	if err != nil {
+		t.Fatalf("escape budget: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("freshly regenerated baseline should pass, got %v", diags)
+	}
+}
+
+// TestHotpathAnnotationAnchored: prose that merely mentions the annotation
+// must not opt a function into the gate.
+func TestHotpathAnnotationAnchored(t *testing.T) {
+	const src = `package esc
+
+// mention talks about hetsynth:hotpath without being annotated; adding the
+// marker mid-sentence like hetsynth:hotpath here must not count either.
+func mention() *int {
+	x := 1
+	return &x
+}
+`
+	dir := writeEscapeModule(t, src)
+	funcs, err := findHotpathFuncs(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 0 {
+		t.Fatalf("prose mention opted functions in: %+v", funcs)
+	}
+}
+
+func TestReadEscapeGoldenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := readEscapeGolden(filepath.Join(dir, "missing.golden")); err == nil ||
+		!strings.Contains(err.Error(), "-update-escapes") {
+		t.Errorf("missing baseline should point at -update-escapes, got %v", err)
+	}
+	bad := filepath.Join(dir, "bad.golden")
+	if err := os.WriteFile(bad, []byte("only-one-field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readEscapeGolden(bad); err == nil {
+		t.Error("malformed baseline line should be an error")
+	}
+	if err := os.WriteFile(bad, []byte("k notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readEscapeGolden(bad); err == nil {
+		t.Error("non-numeric count should be an error")
+	}
+}
+
+// TestListCacheReuse: the go list cache is written under bin/lintcache on
+// first use, reused while nothing changes, and invalidated by a source edit.
+func TestListCacheReuse(t *testing.T) {
+	dir := writeEscapeModule(t, "package esc\n")
+	first, err := goListCached(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("first list: %v", err)
+	}
+	cacheDir := filepath.Join(dir, "bin", "lintcache")
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "list-*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want one cache entry after first list, got %v (%v)", entries, err)
+	}
+	second, err := goListCached(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("second list: %v", err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached listing disagrees: %d vs %d packages", len(first), len(second))
+	}
+	// Editing a source file must change the key, producing a second entry.
+	if err := os.WriteFile(filepath.Join(dir, "esc2.go"), []byte("package esc\n\nfunc two() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := goListCached(dir, []string{"./..."}); err != nil {
+		t.Fatalf("list after edit: %v", err)
+	}
+	entries, _ = filepath.Glob(filepath.Join(cacheDir, "list-*.json"))
+	if len(entries) != 2 {
+		t.Fatalf("source edit should miss the cache, got entries %v", entries)
+	}
+}
+
+// TestListCacheDisabled: HETSYNTHLINT_NOCACHE=1 bypasses the cache entirely.
+func TestListCacheDisabled(t *testing.T) {
+	t.Setenv("HETSYNTHLINT_NOCACHE", "1")
+	dir := writeEscapeModule(t, "package esc\n")
+	if _, err := goListCached(dir, []string{"./..."}); err != nil {
+		t.Fatalf("uncached list: %v", err)
+	}
+	entries, _ := filepath.Glob(filepath.Join(dir, "bin", "lintcache", "list-*.json"))
+	if len(entries) != 0 {
+		t.Fatalf("NOCACHE run should write no cache entries, got %v", entries)
+	}
+}

@@ -98,6 +98,73 @@ func TestGuardedByFixture(t *testing.T)     { runFixture(t, GuardedBy, "guardedb
 func TestGoroutineLifeFixture(t *testing.T) { runFixture(t, GoroutineLife, "goroutinelife") }
 func TestAPIDocFixture(t *testing.T)        { runFixture(t, APIDoc, "apidoc") }
 func TestRetValFixture(t *testing.T)        { runFixture(t, RetVal, "retval") }
+func TestPoolSafeFixture(t *testing.T)      { runFixture(t, PoolSafe, "poolsafe") }
+func TestPinPairFixture(t *testing.T)       { runFixture(t, PinPair, "pinpair") }
+func TestArenaEscapeFixture(t *testing.T)   { runFixture(t, ArenaEscape, "arenaescape") }
+func TestAtomicFieldFixture(t *testing.T)   { runFixture(t, AtomicField, "atomicfield") }
+
+// TestPoolSafeRequiresPut mirrors TestGoroutineLifeRequiresJoin for the
+// dataflow generation: the exact same function passes with its Put present
+// and fails the moment the recycle is deleted.
+func TestPoolSafeRequiresPut(t *testing.T) {
+	const good = `package p
+
+import (
+	"bytes"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func f() {
+	b := pool.Get().(*bytes.Buffer)
+	b.Reset()
+	pool.Put(b)
+}
+`
+	if ds := diagnosticsOf(writeFixture(t, good), PoolSafe); len(ds) != 0 {
+		t.Fatalf("balanced Get/Put flagged: %v", ds)
+	}
+	bad := strings.Replace(good, "\tpool.Put(b)\n", "", 1)
+	ds := diagnosticsOf(writeFixture(t, bad), PoolSafe)
+	if len(ds) != 1 || !strings.Contains(ds[0], "not returned with Put") {
+		t.Fatalf("removing pool.Put should flag the Get, got %v", ds)
+	}
+}
+
+// TestPinPairRequiresRelease proves the lostcancel-class detection: an
+// error return between acquire and release is flagged exactly when the
+// release is missing from that path.
+func TestPinPairRequiresRelease(t *testing.T) {
+	const good = `package p
+
+import "errors"
+
+type cache struct{ m map[string]any }
+
+func (c *cache) acquire(k string) (any, bool) { v, ok := c.m[k]; return v, ok }
+func (c *cache) release(k string)             { delete(c.m, k) }
+
+func f(c *cache, k string, fail bool) error {
+	if _, ok := c.acquire(k); ok {
+		if fail {
+			c.release(k)
+			return errors.New("x")
+		}
+		c.release(k)
+	}
+	return nil
+}
+`
+	if ds := diagnosticsOf(writeFixture(t, good), PinPair); len(ds) != 0 {
+		t.Fatalf("released-on-all-paths acquire flagged: %v", ds)
+	}
+	bad := strings.Replace(good, "\t\t\tc.release(k)\n", "", 1)
+	ds := diagnosticsOf(writeFixture(t, bad), PinPair)
+	if len(ds) != 1 || !strings.Contains(ds[0], "not released on this path") {
+		t.Fatalf("removing the error-path release should flag it, got %v", ds)
+	}
+}
 
 // TestGoroutineLifeRequiresJoin encodes the suite's core promise directly:
 // the exact same goroutine passes with its join point present and fails the
@@ -142,7 +209,8 @@ func f() {
 }
 
 // TestSuppressionNeedsReason verifies that bare markers do not suppress:
-// both //hetsynth:ignore and // detached: require a justification.
+// //hetsynth:ignore, // detached: and // hetsynth:pool-escape all require a
+// justification.
 func TestSuppressionNeedsReason(t *testing.T) {
 	const src = `package p
 
@@ -166,5 +234,29 @@ func g() {
 	}
 	if ds := diagnosticsOf(pkg, GoroutineLife); len(ds) != 1 {
 		t.Errorf("reasonless // detached: should not suppress goroutinelife, got %v", ds)
+	}
+
+	const poolSrc = `package p
+
+import (
+	"bytes"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+type h struct{ b *bytes.Buffer }
+
+func f(x *h) {
+	// hetsynth:pool-escape
+	x.b = pool.Get().(*bytes.Buffer)
+}
+`
+	if ds := diagnosticsOf(writeFixture(t, poolSrc), PoolSafe); len(ds) != 1 {
+		t.Errorf("reasonless // hetsynth:pool-escape should not suppress poolsafe, got %v", ds)
+	}
+	withReason := strings.Replace(poolSrc, "// hetsynth:pool-escape", "// hetsynth:pool-escape held until close", 1)
+	if ds := diagnosticsOf(writeFixture(t, withReason), PoolSafe); len(ds) != 0 {
+		t.Errorf("justified pool-escape annotation should suppress poolsafe, got %v", ds)
 	}
 }

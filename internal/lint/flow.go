@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file is the small intraprocedural dataflow engine behind the
+// resource-lifecycle analyzers (poolsafe, pinpair). It walks one function
+// body in execution order over Go's structured control flow — blocks,
+// if/else, for/range, switch/select — threading an analyzer-defined state
+// through every path and merging states at join points with the analyzer's
+// own lattice. It is deliberately not a basic-block CFG: Go bodies in this
+// repository are structured (no goto), so a recursive walk with explicit
+// joins models the same path facts in a fraction of the machinery. Bodies
+// that do use goto or labels are skipped wholesale — the engine reports
+// nothing rather than something wrong.
+//
+// Soundness posture, shared by its clients: paths through loop bodies are
+// walked once (zero-or-once approximation), `break`/`continue` end the
+// walked path at the statement (the post-loop join already includes the
+// pre-iteration state), and nested function literals are NOT walked by the
+// engine — the client sees them inside the statements it transfers and
+// decides what capture means for its resources.
+
+// flowState is an analyzer-owned state value threaded through the walk. The
+// engine never inspects it; it only asks the client to clone and join.
+type flowState any
+
+// flowClient is one dataflow analysis plugged into walkFlow.
+type flowClient interface {
+	// transfer processes one straight-line statement (assignments, calls,
+	// defers, go statements, declarations, sends, ...) mutating st in place.
+	// Control-flow statements are decomposed by the engine and never reach
+	// transfer whole.
+	transfer(stmt ast.Stmt, st flowState)
+	// use observes an expression evaluated for control flow (an if/for
+	// condition, switch tag, range operand) on the current path.
+	use(expr ast.Expr, st flowState)
+	// refine narrows st on entering a conditional branch: cond evaluated
+	// true when negated is false, false when negated is true.
+	refine(cond ast.Expr, negated bool, st flowState)
+	// atExit is called once per function exit: at each return statement
+	// (ret non-nil) and at an implicit fall-off-the-end exit (ret nil).
+	atExit(ret *ast.ReturnStmt, st flowState)
+	// clone deep-copies a state so branches evolve independently.
+	clone(st flowState) flowState
+	// join merges two states reaching the same program point. Either
+	// argument may be mutated and the result returned.
+	join(a, b flowState) flowState
+}
+
+// walkFlow runs the client's analysis over body starting from entry. It
+// returns false when the body contains control flow the engine does not
+// model (goto or labeled branches), in which case no exit callbacks were
+// guaranteed to fire and the client should discard any partial findings.
+func walkFlow(body *ast.BlockStmt, entry flowState, c flowClient) bool {
+	if hasGoto(body) {
+		return false
+	}
+	w := &flowWalker{c: c}
+	if exit := w.stmts(body.List, entry); exit != nil {
+		c.atExit(nil, exit)
+	}
+	return true
+}
+
+// hasGoto reports whether the body contains goto statements or labels,
+// which the structured walk cannot model.
+func hasGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BranchStmt:
+			if s.Tok.String() == "goto" {
+				found = true
+			}
+		case *ast.FuncLit:
+			return false // a nested literal's gotos are its own problem
+		}
+		return !found
+	})
+	return found
+}
+
+type flowWalker struct {
+	c flowClient
+}
+
+// stmts walks one statement sequence from st. It returns the fall-through
+// state, or nil when every path through the sequence left it (return,
+// break, continue, or a provably non-terminating loop).
+func (w *flowWalker) stmts(list []ast.Stmt, st flowState) flowState {
+	for _, s := range list {
+		st = w.stmt(s, st)
+		if st == nil {
+			return nil
+		}
+	}
+	return st
+}
+
+// joinStates merges the non-nil of a and b (nil marks a path that already
+// exited).
+func (w *flowWalker) joinStates(a, b flowState) flowState {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return w.c.join(a, b)
+	}
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, st flowState) flowState {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+
+	case *ast.ReturnStmt:
+		w.c.atExit(s, st)
+		return nil
+
+	case *ast.BranchStmt:
+		// break/continue/fallthrough leave this statement sequence; the
+		// enclosing loop/switch join already carries the pre-branch state.
+		return nil
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.c.transfer(s.Init, st)
+		}
+		w.c.use(s.Cond, st)
+		thenSt := w.c.clone(st)
+		w.c.refine(s.Cond, false, thenSt)
+		thenSt = w.stmts(s.Body.List, thenSt)
+		elseSt := w.c.clone(st)
+		w.c.refine(s.Cond, true, elseSt)
+		if s.Else != nil {
+			elseSt = w.stmt(s.Else, elseSt)
+		}
+		return w.joinStates(thenSt, elseSt)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.c.transfer(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.c.use(s.Cond, st)
+		}
+		bodySt := w.stmts(s.Body.List, w.c.clone(st))
+		if bodySt != nil && s.Post != nil {
+			w.c.transfer(s.Post, bodySt)
+		}
+		if s.Cond == nil && !hasBreak(s.Body) {
+			// `for { ... }` with no break never falls through.
+			return nil
+		}
+		return w.joinStates(st, bodySt)
+
+	case *ast.RangeStmt:
+		w.c.use(s.X, st)
+		bodySt := w.stmts(s.Body.List, w.c.clone(st))
+		return w.joinStates(st, bodySt)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.c.transfer(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.c.use(s.Tag, st)
+		}
+		return w.clauses(s.Body, st, switchHasDefault(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.c.transfer(s.Init, st)
+		}
+		w.c.transfer(s.Assign, st)
+		return w.clauses(s.Body, st, switchHasDefault(s.Body))
+
+	case *ast.SelectStmt:
+		var out flowState
+		any := false
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			caseSt := w.c.clone(st)
+			if comm.Comm != nil {
+				w.c.transfer(comm.Comm, caseSt)
+			}
+			out = w.joinStates(out, w.stmts(comm.Body, caseSt))
+			any = true
+		}
+		if !any {
+			return nil // empty select blocks forever
+		}
+		return out
+
+	default:
+		// Straight-line statement: assignments, expression statements,
+		// declarations, defer, go, send, inc/dec, empty.
+		w.c.transfer(s, st)
+		return st
+	}
+}
+
+// clauses walks a switch body: every case starts from the pre-switch state
+// and the exits merge. Without a default clause the zero-case path falls
+// through with the entry state.
+func (w *flowWalker) clauses(body *ast.BlockStmt, st flowState, hasDefault bool) flowState {
+	var out flowState
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		caseSt := w.c.clone(st)
+		for _, e := range cc.List {
+			w.c.use(e, caseSt)
+		}
+		out = w.joinStates(out, w.stmts(cc.Body, caseSt))
+	}
+	if !hasDefault {
+		out = w.joinStates(out, st)
+	}
+	return out
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBreak reports whether body contains a break that targets the loop the
+// body belongs to (breaks inside nested loops, switches and selects bind to
+// those constructs and are excluded; a labeled break is counted
+// conservatively, since its target may well be this loop).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node, breakable bool)
+	walk = func(n ast.Node, breakable bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found || m == nil {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.BranchStmt:
+				if m.Tok.String() == "break" && (breakable || m.Label != nil) {
+					found = true
+				}
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if m != n {
+					walk(m, false)
+					return false
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, true)
+	return found
+}

@@ -1,9 +1,19 @@
 // Package lint implements hetsynthlint, a suite of static analyzers that
-// machine-check the repository's concurrency and API conventions: context
-// propagation into solver calls (ctxpropagate), mutex discipline on fields
-// annotated "guarded by mu" (guardedby), goroutine lifecycle tie-down
-// (goroutinelife), documentation contracts on exported solver APIs (apidoc),
-// and discarded error returns (retval).
+// machine-check the repository's concurrency, resource and API conventions.
+//
+// The lexical generation (PR 3): context propagation into solver calls
+// (ctxpropagate), mutex discipline on fields annotated "guarded by mu"
+// (guardedby), goroutine lifecycle tie-down (goroutinelife), documentation
+// contracts on exported solver APIs (apidoc), and discarded error returns
+// (retval).
+//
+// The dataflow generation: sync.Pool ownership (poolsafe), cache pin
+// pairing (pinpair), arena view containment (arenaescape), and all-or-
+// nothing field atomicity (atomicfield) run an intraprocedural dataflow or
+// whole-package type analysis over the same go/ast + go/types
+// representation (see flow.go). The tenth analyzer, escapebudget, is a
+// compiler-output gate: it holds every // hetsynth:hotpath function to the
+// heap-escape budget committed in testdata/escapes.golden.
 //
 // The Analyzer/Pass shape deliberately mirrors golang.org/x/tools/go/analysis
 // so the suite could migrate onto the upstream driver later; the module
@@ -19,7 +29,11 @@
 //
 //	// detached: <why this goroutine outlives structured supervision>
 //
-// Both forms require a non-empty reason; a bare marker does not suppress.
+// and poolsafe accepts the dedicated retention annotation
+//
+//	// hetsynth:pool-escape <why this pooled value legitimately outlives the function>
+//
+// All forms require a non-empty reason; a bare marker does not suppress.
 package lint
 
 import (
@@ -33,7 +47,9 @@ import (
 )
 
 // An Analyzer is one named check. Run inspects a single type-checked package
-// through its Pass and reports findings via Pass.Report.
+// through its Pass and reports findings via Pass.Report. A nil Run marks a
+// whole-module gate (escapebudget) that the driver executes outside the
+// per-package loop; RunPackage skips it.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -72,9 +88,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// All returns the full suite in deterministic order.
+// All returns the full suite in deterministic order: the five lexical
+// analyzers, the four dataflow analyzers, and the escape-budget gate.
 func All() []*Analyzer {
-	return []*Analyzer{CtxPropagate, GuardedBy, GoroutineLife, APIDoc, RetVal}
+	return []*Analyzer{
+		CtxPropagate, GuardedBy, GoroutineLife, APIDoc, RetVal,
+		PoolSafe, PinPair, ArenaEscape, AtomicField,
+		EscapeBudgetAnalyzer,
+	}
 }
 
 // Select resolves a comma-separated analyzer name list against the full
@@ -105,6 +126,9 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	sup := collectSuppressions(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // whole-module gates run in the driver, not per package
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -152,12 +176,14 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 // ---- suppression comments ----
 
 var (
-	ignoreRe   = regexp.MustCompile(`//hetsynth:ignore\s+([a-z]+)\s+\S`)
-	detachedRe = regexp.MustCompile(`//\s*detached:\s*\S`)
+	ignoreRe     = regexp.MustCompile(`//hetsynth:ignore\s+([a-z]+)\s+\S`)
+	detachedRe   = regexp.MustCompile(`//\s*detached:\s*\S`)
+	poolEscapeRe = regexp.MustCompile(`//\s*hetsynth:pool-escape\s+\S`)
 )
 
 // suppressions maps file → line → analyzer names suppressed on that line.
-// The pseudo-name "detached" stands for the goroutinelife detachment marker.
+// The pseudo-names "detached" and "pool-escape" stand for the goroutinelife
+// detachment marker and the poolsafe retention marker.
 type suppressions map[string]map[int]map[string]bool
 
 func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
@@ -188,6 +214,10 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					add(fset.Position(c.Pos()), "detached")
 					add(end, "detached")
 				}
+				if poolEscapeRe.MatchString(c.Text) {
+					add(fset.Position(c.Pos()), "pool-escape")
+					add(end, "pool-escape")
+				}
 			}
 		}
 	}
@@ -208,6 +238,9 @@ func (s suppressions) suppressed(d Diagnostic) bool {
 				return true
 			}
 			if d.Analyzer == GoroutineLife.Name && marks["detached"] {
+				return true
+			}
+			if d.Analyzer == PoolSafe.Name && marks["pool-escape"] {
 				return true
 			}
 		}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// This file caches `go list -deps -export` output between hetsynthlint
+// invocations. Listing with -export is the expensive step of every lint run
+// — it compiles export data for the whole dependency graph — and `make
+// check` runs the binary several times (lint, escape gate), so re-exporting
+// the world each time dominated the target's latency. The cache key covers
+// everything that can change the listing: the go toolchain version, the
+// go.mod contents, the exact pattern list, and the path/size/mtime of every
+// .go file under the module root. Any edit to any Go file changes the key,
+// so a hit is byte-identical to what go list would print. Cached entries
+// whose export-data files have been pruned from the go build cache are
+// discarded and regenerated.
+//
+// Entries live in <moduleRoot>/bin/lintcache (bin/ is gitignored). Set
+// HETSYNTHLINT_NOCACHE=1 to bypass the cache entirely.
+
+const listCacheMax = 16 // entries kept per module before pruning oldest
+
+// goListCached is goList behind the metadata-keyed cache.
+func goListCached(dir string, patterns []string) ([]listedPkg, error) {
+	if os.Getenv("HETSYNTHLINT_NOCACHE") != "" {
+		return goList(dir, patterns)
+	}
+	root := findModuleRoot(dir)
+	if root == "" {
+		return goList(dir, patterns)
+	}
+	key, err := listCacheKey(root, patterns)
+	if err != nil {
+		return goList(dir, patterns)
+	}
+	cachePath := filepath.Join(root, "bin", "lintcache", "list-"+key+".json")
+	if pkgs, ok := readListCache(cachePath); ok {
+		return pkgs, nil
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	writeListCache(cachePath, pkgs)
+	return pkgs, nil
+}
+
+// ModuleRoot locates the module root governing dir (the nearest ancestor
+// directory containing go.mod), or "" when dir is outside any module. The
+// driver uses it to resolve the default escape-budget baseline path.
+func ModuleRoot(dir string) string { return findModuleRoot(dir) }
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// listCacheKey hashes everything the listing depends on.
+func listCacheKey(root string, patterns []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, strings.Join(patterns, "\x00"))
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	h.Write(gomod)
+	var lines []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// bin holds build artifacts and this cache itself; .git churns on
+			// every command. Neither affects go list output.
+			if name := d.Name(); name == ".git" || (name == "bin" && filepath.Dir(path) == root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		lines = append(lines, fmt.Sprintf("%s %d %d", rel, info.Size(), info.ModTime().UnixNano()))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(h, l)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// readListCache loads a cached listing, rejecting it when any export-data
+// file it references has been garbage-collected from the go build cache.
+func readListCache(path string) ([]listedPkg, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var pkgs []listedPkg
+	if err := json.Unmarshal(data, &pkgs); err != nil {
+		return nil, false
+	}
+	for _, p := range pkgs {
+		if p.Export == "" {
+			continue
+		}
+		if _, err := os.Stat(p.Export); err != nil {
+			return nil, false
+		}
+	}
+	return pkgs, true
+}
+
+// writeListCache persists a listing and prunes the cache directory to the
+// newest listCacheMax entries. Failures are silent: the cache is an
+// optimization, never a correctness dependency.
+func writeListCache(path string, pkgs []listedPkg) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(pkgs)
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	pruneListCache(dir)
+}
+
+func pruneListCache(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	var files []aged
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "list-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{e.Name(), info.ModTime().UnixNano()})
+	}
+	if len(files) <= listCacheMax {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod > files[j].mod })
+	for _, f := range files[listCacheMax:] {
+		os.Remove(filepath.Join(dir, f.name))
+	}
+}

@@ -94,7 +94,7 @@ func newInfo() *types.Info {
 // dir (a directory inside the module). Test files are excluded — the suite
 // checks production code — and packages are returned in import-path order.
 func Load(dir string, patterns []string) ([]*Package, error) {
-	listed, err := goList(dir, patterns)
+	listed, err := goListCached(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +177,7 @@ func LoadDir(dir string) (*Package, error) {
 			paths = append(paths, p)
 		}
 		sort.Strings(paths)
-		listed, err := goList(dir, paths)
+		listed, err := goListCached(dir, paths)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinPair checks the cache pin protocol: a successful acquire/getAcquired
+// (its ok result true) and every putAcquired leave the caller holding an
+// eviction-exempting pin that must be dropped with release on every path
+// out of the function — including early error returns, the path lostcancel
+// taught everyone to forget. Pins are matched by receiver expression (the
+// cache being pinned), not by key expression: callers routinely stash the
+// key in another variable between acquire and release, and pins on the same
+// cache discharge interchangeably.
+//
+// Two deliberate accommodations keep the repository's correct idioms clean:
+// a release under a condition counts for both sides of the merge (the
+// `pinned` flag pattern — the flag's value is exactly "a pin is held", which
+// this analysis cannot track through a bool), and a deferred closure that
+// releases the receiver covers every later acquisition on it (the batch
+// sweep's release-at-exit pattern). Early returns before any release are
+// still reported, because the report happens per exit path, not at merges.
+var PinPair = &Analyzer{
+	Name: "pinpair",
+	Doc:  "successful cache acquire/getAcquired and putAcquired must be paired with release on every path, including error returns",
+	Run:  runPinPair,
+}
+
+const (
+	pinLive uint8 = iota
+	pinReleased
+	pinCovered
+)
+
+type pinRes struct {
+	state uint8
+	what  string       // "acquire", "getAcquired" or "putAcquired"
+	pos   token.Pos    // acquisition site
+	okObj types.Object // the bool result var guarding this acquisition, if any
+}
+
+type pinState struct {
+	pins     map[string]*pinRes // receiver expression → obligation
+	deferred map[string]bool    // receivers released by a deferred closure
+}
+
+func runPinPair(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				// A function that IS the protocol (a forwarding wrapper or
+				// the cache implementation itself) hands its pin to the
+				// caller by contract; analyzing it against the caller-side
+				// rules would flag the protocol for existing.
+				switch fn.Name.Name {
+				case "acquire", "getAcquired", "putAcquired", "release":
+					return false
+				}
+			case *ast.FuncLit:
+				// Literals are reached through their enclosing declaration's
+				// Inspect walk below; analyze them independently there.
+			}
+			if body := bodyOf(n); body != nil {
+				c := &pinClient{pass: pass, okVars: map[types.Object]string{}}
+				c.analyze(body)
+			}
+			return true
+		})
+	}
+}
+
+// bodyOf returns the body of a function declaration or literal node.
+func bodyOf(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+type pinClient struct {
+	pass   *Pass
+	okVars map[types.Object]string // ok-result var → receiver it guards
+}
+
+func (c *pinClient) analyze(body *ast.BlockStmt) {
+	walkFlow(body, &pinState{pins: map[string]*pinRes{}, deferred: map[string]bool{}}, c)
+}
+
+func (c *pinClient) clone(st flowState) flowState {
+	s := st.(*pinState)
+	out := &pinState{
+		pins:     make(map[string]*pinRes, len(s.pins)),
+		deferred: make(map[string]bool, len(s.deferred)),
+	}
+	for k, r := range s.pins {
+		cp := *r
+		out.pins[k] = &cp
+	}
+	for k := range s.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+func (c *pinClient) join(a, b flowState) flowState {
+	sa, sb := a.(*pinState), b.(*pinState)
+	for k, rb := range sb.pins {
+		ra, ok := sa.pins[k]
+		if !ok {
+			sa.pins[k] = rb
+			continue
+		}
+		ra.state = joinPin(ra.state, rb.state)
+	}
+	for k := range sb.deferred {
+		sa.deferred[k] = true
+	}
+	return sa
+}
+
+// joinPin is deliberately optimistic about releases: a release observed on
+// either branch discharges the merged obligation, because the repository's
+// `if pinned { release }` flag pattern makes the release conditional on
+// exactly the condition under which the pin exists. Missing releases are
+// caught where they actually bite — on exit paths reached with a live pin.
+func joinPin(a, b uint8) uint8 {
+	if a == pinCovered || b == pinCovered {
+		return pinCovered
+	}
+	if a == pinReleased || b == pinReleased {
+		return pinReleased
+	}
+	return pinLive
+}
+
+// pinMethod classifies a call as one of the pin-protocol methods and
+// returns the receiver expression string, or "" when it is not one. Only
+// method calls count — the protocol lives on cache types.
+func pinMethod(info *types.Info, call *ast.CallExpr) (recv, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "acquire", "getAcquired", "putAcquired", "release":
+	default:
+		return "", ""
+	}
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return "", ""
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "acquire", "getAcquired":
+		// get-plus-pin: (value, ok) results.
+		if sig.Results().Len() != 2 {
+			return "", ""
+		}
+		if b, ok := sig.Results().At(1).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+			return "", ""
+		}
+	case "release":
+		if sig.Params().Len() != 1 {
+			return "", ""
+		}
+	case "putAcquired":
+		if sig.Params().Len() != 2 {
+			return "", ""
+		}
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+func (c *pinClient) transfer(stmt ast.Stmt, st flowState) {
+	s := st.(*pinState)
+	if d, ok := stmt.(*ast.DeferStmt); ok {
+		c.handleDeferredRelease(d, s)
+		return
+	}
+	// ok-var association: v, ok := recv.acquire(key).
+	var okIdent *ast.Ident
+	var okRecv string
+	if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Lhs) == 2 && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if recv, name := pinMethod(c.pass.Info, call); name == "acquire" || name == "getAcquired" {
+				if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+					okIdent, okRecv = id, recv
+				}
+			}
+		}
+	}
+	walkShallow(stmt, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		recv, name := pinMethod(c.pass.Info, call)
+		switch name {
+		case "acquire", "getAcquired", "putAcquired":
+			r := &pinRes{state: pinLive, what: name, pos: call.Pos()}
+			if s.deferred[recv] {
+				r.state = pinCovered
+			}
+			if okIdent != nil && recv == okRecv && name != "putAcquired" {
+				if o := identVar(c.pass.Info, okIdent); o != nil {
+					c.okVars[o] = recv
+					r.okObj = o
+				}
+			}
+			s.pins[recv] = r
+		case "release":
+			if r := s.pins[recv]; r != nil && r.state == pinLive {
+				r.state = pinReleased
+			}
+		}
+	})
+}
+
+// handleDeferredRelease covers a receiver for the rest of the function when
+// a deferred call (or deferred closure) releases it: the release runs at
+// every exit, whatever is pinned by then.
+func (c *pinClient) handleDeferredRelease(d *ast.DeferStmt, s *pinState) {
+	cover := func(call *ast.CallExpr) {
+		if recv, name := pinMethod(c.pass.Info, call); name == "release" {
+			s.deferred[recv] = true
+			if r := s.pins[recv]; r != nil && r.state == pinLive {
+				r.state = pinCovered
+			}
+		}
+	}
+	cover(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				cover(call)
+			}
+			return true
+		})
+	}
+}
+
+func (c *pinClient) use(expr ast.Expr, st flowState) {}
+
+// refine models the ok result of a conditional acquisition: on the true
+// branch the pin is definitely held; on the false branch the acquisition
+// failed and there is nothing to release.
+func (c *pinClient) refine(cond ast.Expr, negated bool, st flowState) {
+	s := st.(*pinState)
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.Ident:
+		o := c.pass.Info.Uses[e]
+		if o == nil {
+			return
+		}
+		recv, ok := c.okVars[o]
+		if !ok {
+			return
+		}
+		if r := s.pins[recv]; r != nil && r.okObj == o && negated {
+			delete(s.pins, recv) // acquire failed: no pin on this branch
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			c.refine(e.X, !negated, st)
+		}
+	case *ast.BinaryExpr:
+		// `a && b` true refines both; `a || b` false refines both.
+		if (e.Op == token.LAND && !negated) || (e.Op == token.LOR && negated) {
+			c.refine(e.X, negated, st)
+			c.refine(e.Y, negated, st)
+		}
+	}
+}
+
+func (c *pinClient) atExit(ret *ast.ReturnStmt, st flowState) {
+	s := st.(*pinState)
+	for recv, r := range s.pins {
+		if r.state != pinLive {
+			continue
+		}
+		pos := r.pos
+		if ret != nil {
+			pos = ret.Pos()
+		}
+		c.pass.Report(pos, "pin taken by %s.%s is not released on this path (missing %s.release)", recv, r.what, recv)
+		r.state = pinCovered
+	}
+}

@@ -1,0 +1,660 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolSafe proves the sync.Pool ownership discipline the zero-alloc hot
+// path depends on: a value taken from a pool (directly via Pool.Get or
+// through a same-package getter wrapper such as getBuf/getScratch) must be
+// returned with Put — directly or through a putter wrapper — on every path
+// out of the acquiring function, must never be used after it has been Put,
+// and must not be retained in a struct field or escaping closure. Returning
+// the value transfers ownership to the caller (that is what the getter
+// wrappers themselves do), and a retention that is deliberate — a solver
+// that keeps its pooled scratch until release() — must say so with
+//
+//	// hetsynth:pool-escape <reason>
+//
+// on the retaining line or the line above. The analysis is a forward
+// dataflow walk (see flow.go): loop bodies are walked once and nested
+// function literals are separate scopes, so a Put inside a maybe-executed
+// branch downgrades the value to "may not be returned" rather than proving
+// it safe.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "sync.Pool values must be Put on every path, never used after Put, and never retained without a pool-escape annotation",
+	Run:  runPoolSafe,
+}
+
+// Pool-resource states. covered means the obligation is discharged for the
+// rest of the function: a deferred Put runs at every exit, and an annotated
+// escape or an ownership-transferring return ends local responsibility.
+const (
+	poolLive uint8 = iota
+	poolReleased
+	poolMaybe
+	poolCovered
+)
+
+type poolRes struct {
+	state uint8
+	name  string
+	pos   token.Pos // acquisition site
+}
+
+type poolState struct {
+	res map[*types.Var]*poolRes
+}
+
+func (s *poolState) get(v *types.Var) *poolRes { return s.res[v] }
+
+func runPoolSafe(pass *Pass) {
+	c := &poolClient{
+		pass:    pass,
+		getters: map[*types.Func]bool{},
+		putters: map[*types.Func]int{},
+	}
+	c.collectWrappers()
+	for _, body := range functionBodies(pass) {
+		c.analyze(body)
+	}
+}
+
+// functionBodies returns every function body in the package — declarations
+// and function literals — each analyzed as its own scope.
+func functionBodies(pass *Pass) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, fn.Body)
+				}
+			case *ast.FuncLit:
+				out = append(out, fn.Body)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type poolClient struct {
+	pass    *Pass
+	getters map[*types.Func]bool // same-package wrappers that hand out a pooled value
+	putters map[*types.Func]int  // same-package wrappers that recycle param #i
+}
+
+// isPoolMethod reports whether call invokes the named method on a
+// sync.Pool receiver.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Name() != name || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedType(sig.Recv().Type(), "sync", "Pool")
+}
+
+// exprCore unwraps parens, type assertions and single-argument conversions
+// down to the expression that produces the value.
+func exprCore(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// A conversion is a call whose "function" is a type.
+			if len(x.Args) == 1 {
+				if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+					e = x.Args[0]
+					continue
+				}
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// isPoolGet reports whether e's core is a sync.Pool Get call or a call to a
+// same-package getter wrapper.
+func (c *poolClient) isPoolGet(e ast.Expr) bool {
+	call, ok := exprCore(c.pass.Info, e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isPoolMethod(c.pass.Info, call, "Get") {
+		return true
+	}
+	callee := calleeFunc(c.pass.Info, call)
+	return callee != nil && c.getters[callee]
+}
+
+// putTarget resolves a call that recycles a pooled value — Pool.Put or a
+// putter wrapper — to the variable being recycled, or nil.
+func (c *poolClient) putTarget(call *ast.CallExpr) *types.Var {
+	arg := -1
+	if isPoolMethod(c.pass.Info, call, "Put") {
+		arg = 0
+	} else if callee := calleeFunc(c.pass.Info, call); callee != nil {
+		if i, ok := c.putters[callee]; ok {
+			arg = i
+		}
+	}
+	if arg < 0 || arg >= len(call.Args) {
+		return nil
+	}
+	v, _ := baseObject(c.pass.Info, exprCore(c.pass.Info, call.Args[arg])).(*types.Var)
+	return v
+}
+
+// collectWrappers finds the package's getter and putter wrappers, so the
+// analysis treats getBuf()/putBuf(b) exactly like bufPool.Get()/Put(b).
+func (c *poolClient) collectWrappers() {
+	for _, f := range c.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if c.returnsPoolGet(fd) {
+				c.getters[fn] = true
+			}
+			if i := c.recyclesParam(fd); i >= 0 {
+				c.putters[fn] = i
+			}
+		}
+	}
+}
+
+// returnsPoolGet reports whether fd returns a value that came from a
+// sync.Pool Get in its own body (directly or via one local variable).
+func (c *poolClient) returnsPoolGet(fd *ast.FuncDecl) bool {
+	fromGet := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			call, ok := exprCore(c.pass.Info, as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isPoolMethod(c.pass.Info, call, "Get") {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if o := c.pass.Info.Defs[id]; o != nil {
+					fromGet[o] = true
+				} else if o := c.pass.Info.Uses[id]; o != nil {
+					fromGet[o] = true
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			core := exprCore(c.pass.Info, r)
+			if call, ok := core.(*ast.CallExpr); ok && isPoolMethod(c.pass.Info, call, "Get") {
+				found = true
+			}
+			if id, ok := core.(*ast.Ident); ok && fromGet[c.pass.Info.Uses[id]] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// recyclesParam returns the index of the parameter fd passes to a sync.Pool
+// Put, or -1.
+func (c *poolClient) recyclesParam(fd *ast.FuncDecl) int {
+	if fd.Type.Params == nil {
+		return -1
+	}
+	var params []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			params = append(params, c.pass.Info.Defs[id])
+		}
+	}
+	idx := -1
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolMethod(c.pass.Info, call, "Put") || len(call.Args) != 1 {
+			return true
+		}
+		o, _ := baseObject(c.pass.Info, exprCore(c.pass.Info, call.Args[0])).(types.Object)
+		for i, p := range params {
+			if p != nil && o == p {
+				idx = i
+			}
+		}
+		return true
+	})
+	return idx
+}
+
+func (c *poolClient) analyze(body *ast.BlockStmt) {
+	walkFlow(body, &poolState{res: map[*types.Var]*poolRes{}}, c)
+}
+
+func (c *poolClient) clone(st flowState) flowState {
+	s := st.(*poolState)
+	out := &poolState{res: make(map[*types.Var]*poolRes, len(s.res))}
+	for v, r := range s.res {
+		cp := *r
+		out.res[v] = &cp
+	}
+	return out
+}
+
+func (c *poolClient) join(a, b flowState) flowState {
+	sa, sb := a.(*poolState), b.(*poolState)
+	for v, rb := range sb.res {
+		ra, ok := sa.res[v]
+		if !ok {
+			// Acquired on only one branch: the obligation travels with it.
+			sa.res[v] = rb
+			continue
+		}
+		ra.state = joinPool(ra.state, rb.state)
+	}
+	return sa
+}
+
+// joinPool is the must-release lattice: agreeing branches keep their state;
+// a deferred/transferred Put paired with an explicit one stays discharged;
+// everything else degrades to "maybe released", which is reported.
+func joinPool(a, b uint8) uint8 {
+	if a == b {
+		return a
+	}
+	if (a == poolCovered && b == poolReleased) || (a == poolReleased && b == poolCovered) {
+		return poolCovered
+	}
+	return poolMaybe
+}
+
+func (c *poolClient) refine(ast.Expr, bool, flowState) {}
+
+func (c *poolClient) use(expr ast.Expr, st flowState) {
+	c.scanUses(expr, st.(*poolState), nil)
+}
+
+func (c *poolClient) transfer(stmt ast.Stmt, st flowState) {
+	s := st.(*poolState)
+	consumed := map[ast.Node]bool{} // get/put calls and idents already handled
+	switch n := stmt.(type) {
+	case *ast.DeferStmt:
+		c.handleDefer(n, s, consumed)
+	case *ast.GoStmt:
+		c.handleClosures(n, s, consumed)
+	case *ast.AssignStmt:
+		c.handleAssign(n, s, consumed)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.handleValueSpec(vs, s, consumed)
+				}
+			}
+		}
+	}
+	c.handlePuts(stmt, s, consumed)
+	c.handleEscapes(stmt, s, consumed)
+	c.scanUses(stmt, s, consumed)
+}
+
+// handleAssign registers acquisitions (`v := getBuf()`) and flags stores of
+// a live pooled value into a field or package variable.
+func (c *poolClient) handleAssign(as *ast.AssignStmt, s *poolState, consumed map[ast.Node]bool) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			rhs := as.Rhs[i]
+			if c.isPoolGet(rhs) {
+				call := exprCore(c.pass.Info, rhs).(*ast.CallExpr)
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					consumed[call] = true
+					if id.Name == "_" {
+						c.pass.Report(rhs.Pos(), "sync.Pool value is discarded and can never be returned to the pool")
+						continue
+					}
+					v, _ := identVar(c.pass.Info, id).(*types.Var)
+					if v != nil {
+						s.res[v] = &poolRes{state: poolLive, name: id.Name, pos: rhs.Pos()}
+					}
+					continue
+				}
+				// Assigned straight into a field, map or slice element:
+				// retained beyond the function's control.
+				consumed[call] = true
+				c.reportEscape(rhs.Pos(), "sync.Pool value is stored outside the acquiring function")
+			}
+		}
+	}
+	// Storing a live pooled value into a field or package variable.
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Lhs) == len(as.Rhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		} else {
+			continue
+		}
+		if !c.escapingLHS(lhs) {
+			continue
+		}
+		for v, r := range c.storedVars(rhs, s) {
+			if r.state != poolCovered {
+				c.reportEscape(rhs.Pos(), "pooled value %s is retained in a field or package variable", v.Name())
+				r.state = poolCovered
+			}
+		}
+	}
+}
+
+// storedVars collects the tracked variables whose POINTER rhs stores — a
+// bare mention or an append argument — as opposed to a read or write
+// through the pointer (`a.pts`, `b[i]`), which retains nothing.
+func (c *poolClient) storedVars(rhs ast.Expr, s *poolState) map[*types.Var]*poolRes {
+	// Idents serving as the base of a selector/index/slice are
+	// dereferences, not stores of the pointer itself.
+	deref := map[*ast.Ident]bool{}
+	markBase := func(x ast.Expr) {
+		if id, ok := exprCore(c.pass.Info, x).(*ast.Ident); ok {
+			deref[id] = true
+		}
+	}
+	walkShallow(rhs, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			markBase(n.X)
+		case *ast.IndexExpr:
+			markBase(n.X)
+		case *ast.SliceExpr:
+			markBase(n.X)
+		}
+	})
+	out := map[*types.Var]*poolRes{}
+	walkShallow(rhs, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || deref[id] {
+			return
+		}
+		if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+			if r := s.get(v); r != nil {
+				out[v] = r
+			}
+		}
+	})
+	return out
+}
+
+func (c *poolClient) handleValueSpec(vs *ast.ValueSpec, s *poolState, consumed map[ast.Node]bool) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, id := range vs.Names {
+		if c.isPoolGet(vs.Values[i]) {
+			call := exprCore(c.pass.Info, vs.Values[i]).(*ast.CallExpr)
+			consumed[call] = true
+			if v, ok := c.pass.Info.Defs[id].(*types.Var); ok {
+				s.res[v] = &poolRes{state: poolLive, name: id.Name, pos: vs.Values[i].Pos()}
+			}
+		}
+	}
+}
+
+// handleDefer discharges obligations recycled by a deferred Put — directly
+// (`defer putBuf(b)`) or inside a deferred closure.
+func (c *poolClient) handleDefer(d *ast.DeferStmt, s *poolState, consumed map[ast.Node]bool) {
+	mark := func(call *ast.CallExpr) {
+		if v := c.putTarget(call); v != nil {
+			if r := s.get(v); r != nil {
+				r.state = poolCovered
+				consumed[call] = true
+			}
+		}
+	}
+	mark(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		consumed[lit] = true // a deferred closure runs in-function; capture is not an escape
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				mark(call)
+			}
+			return true
+		})
+	}
+}
+
+// handlePuts marks explicit (non-deferred) recycles on this path.
+func (c *poolClient) handlePuts(stmt ast.Stmt, s *poolState, consumed map[ast.Node]bool) {
+	if _, isDefer := stmt.(*ast.DeferStmt); isDefer {
+		return
+	}
+	walkShallow(stmt, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || consumed[call] {
+			return
+		}
+		v := c.putTarget(call)
+		if v == nil {
+			return
+		}
+		if r := s.get(v); r != nil {
+			if r.state == poolReleased {
+				c.pass.Report(call.Pos(), "%s is returned to its sync.Pool twice on this path", r.name)
+			}
+			if r.state != poolCovered {
+				r.state = poolReleased
+			}
+			consumed[call] = true
+			consumed[exprCore(c.pass.Info, call.Args[putArgIndex(c, call)])] = true
+		}
+	})
+}
+
+func putArgIndex(c *poolClient, call *ast.CallExpr) int {
+	if isPoolMethod(c.pass.Info, call, "Put") {
+		return 0
+	}
+	if callee := calleeFunc(c.pass.Info, call); callee != nil {
+		if i, ok := c.putters[callee]; ok {
+			return i
+		}
+	}
+	return 0
+}
+
+// handleEscapes flags pool gets that never bind to a local (composite
+// literal fields, call arguments, appends into fields) and closures that
+// capture a live pooled value.
+func (c *poolClient) handleEscapes(stmt ast.Stmt, s *poolState, consumed map[ast.Node]bool) {
+	walkShallow(stmt, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && !consumed[call] {
+			if c.isPoolGetCall(call) {
+				consumed[call] = true
+				c.reportEscape(call.Pos(), "sync.Pool value is retained outside the acquiring function (field, argument, or composite literal)")
+			}
+		}
+	})
+	// Closures other than deferred ones: capturing a live pooled value means
+	// the value may be used after the function (and its Put) has returned.
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || consumed[lit] {
+			return true
+		}
+		consumed[lit] = true
+		for v, r := range c.trackedIn(lit.Body, s) {
+			if r.state != poolCovered {
+				c.reportEscape(lit.Pos(), "pooled value %s is captured by a closure that may outlive it", v.Name())
+				r.state = poolCovered
+			}
+		}
+		return false
+	})
+}
+
+// handleClosures treats `go func(){...}()` bodies as escapes for any live
+// pooled value they capture.
+func (c *poolClient) handleClosures(g *ast.GoStmt, s *poolState, consumed map[ast.Node]bool) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		consumed[lit] = true
+		for v, r := range c.trackedIn(lit.Body, s) {
+			if r.state != poolCovered {
+				c.reportEscape(lit.Pos(), "pooled value %s is captured by a goroutine", v.Name())
+				r.state = poolCovered
+			}
+		}
+	}
+}
+
+func (c *poolClient) isPoolGetCall(call *ast.CallExpr) bool {
+	if isPoolMethod(c.pass.Info, call, "Get") {
+		return true
+	}
+	callee := calleeFunc(c.pass.Info, call)
+	return callee != nil && c.getters[callee]
+}
+
+// scanUses reports uses of a value after it has been returned to its pool.
+func (c *poolClient) scanUses(node ast.Node, s *poolState, consumed map[ast.Node]bool) {
+	walkShallow(node, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || (consumed != nil && consumed[id]) {
+			return
+		}
+		v, _ := c.pass.Info.Uses[id].(*types.Var)
+		if v == nil {
+			return
+		}
+		if r := s.get(v); r != nil && r.state == poolReleased {
+			c.pass.Report(id.Pos(), "%s is used after being returned to its sync.Pool", r.name)
+			r.state = poolCovered // one report per path is enough
+		}
+	})
+}
+
+func (c *poolClient) atExit(ret *ast.ReturnStmt, st flowState) {
+	s := st.(*poolState)
+	transferred := map[*types.Var]bool{}
+	if ret != nil {
+		for _, r := range ret.Results {
+			walkShallow(r, func(n ast.Node) {
+				if id, ok := n.(*ast.Ident); ok {
+					if v, ok := c.pass.Info.Uses[id].(*types.Var); ok && s.get(v) != nil {
+						transferred[v] = true
+					}
+				}
+			})
+		}
+	}
+	for v, r := range s.res {
+		if transferred[v] {
+			if r.state == poolReleased {
+				c.pass.Report(ret.Pos(), "%s is returned to the caller after being Put back in its sync.Pool", r.name)
+			}
+			continue // ownership moves to the caller (the getter-wrapper pattern)
+		}
+		pos := r.pos
+		if ret != nil {
+			pos = ret.Pos()
+		}
+		switch r.state {
+		case poolLive:
+			c.pass.Report(pos, "%s taken from a sync.Pool is not returned with Put on this path", r.name)
+			r.state = poolCovered
+		case poolMaybe:
+			c.pass.Report(pos, "%s taken from a sync.Pool may not be returned with Put on every path to this exit", r.name)
+			r.state = poolCovered
+		}
+	}
+}
+
+// trackedIn collects the live tracked variables referenced anywhere in n
+// (including nested literals — capture is capture).
+func (c *poolClient) trackedIn(n ast.Node, s *poolState) map[*types.Var]*poolRes {
+	out := map[*types.Var]*poolRes{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+				if r := s.get(v); r != nil {
+					out[v] = r
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reportEscape emits an escape finding; the site can be justified with the
+// dedicated `// hetsynth:pool-escape <reason>` annotation (see lint.go).
+func (c *poolClient) reportEscape(pos token.Pos, format string, args ...any) {
+	c.pass.Report(pos, format+"; Put it on every path or annotate with // hetsynth:pool-escape <reason>", args...)
+}
+
+// escapingLHS reports whether assigning to lhs stores the value beyond the
+// function: a struct field, a package-level variable, or an element of
+// either.
+func (c *poolClient) escapingLHS(lhs ast.Expr) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		v, ok := c.pass.Info.Uses[x.Sel].(*types.Var)
+		return ok && v.IsField()
+	case *ast.Ident:
+		v, ok := c.pass.Info.Uses[x].(*types.Var)
+		return ok && v.Parent() == c.pass.Pkg.Scope()
+	case *ast.IndexExpr:
+		return c.escapingLHS(x.X)
+	case *ast.StarExpr:
+		return c.escapingLHS(x.X)
+	}
+	return false
+}
+
+// identVar resolves an identifier to its object, defining or using.
+func identVar(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// walkShallow visits n's subtree without descending into nested function
+// literals — those are separate analysis scopes.
+func walkShallow(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}

@@ -3,11 +3,27 @@ package lint
 import "testing"
 
 // TestSuiteCleanOnRepo is the meta-check behind `make lint`: the full
-// analyzer suite, run over the repository itself, must report nothing. Any
-// new finding either reveals a real invariant violation to fix or needs an
-// explicit justification comment at the site.
+// analyzer suite — including the poolsafe/pinpair/arenaescape/atomicfield
+// dataflow generation — run over the repository itself, must report
+// nothing. Any new finding either reveals a real invariant violation to fix
+// or needs an explicit justification comment at the site. The escapebudget
+// gate has no per-package Run and is exercised separately by
+// TestEscapeBudgetCleanOnRepo.
 func TestSuiteCleanOnRepo(t *testing.T) {
-	diags, err := Run("../..", []string{"./..."}, All())
+	suite := All()
+	want := []string{
+		"ctxpropagate", "guardedby", "goroutinelife", "apidoc", "retval",
+		"poolsafe", "pinpair", "arenaescape", "atomicfield", "escapebudget",
+	}
+	if len(suite) != len(want) {
+		t.Fatalf("All() = %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Fatalf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+	diags, err := Run("../..", []string{"./..."}, suite)
 	if err != nil {
 		t.Fatalf("running suite on repo: %v", err)
 	}

@@ -1,0 +1,66 @@
+// Package arenaescape is the arenaescape fixture: slices over curveArena
+// points must pin capacity with full-slice expressions, and arena views
+// must not be stored beyond the solver that owns the arena.
+package arenaescape
+
+type curvePoint struct{ t, c int }
+
+type curveArena struct{ pts []curvePoint }
+
+type solver struct {
+	arenas []*curveArena
+	keep   []curvePoint
+}
+
+var leaked []curvePoint
+
+// curveOf is a view producer: it returns arena-backed points (full-sliced,
+// so the view's capacity is pinned).
+func (s *solver) curveOf(off, n, ar int) []curvePoint {
+	pts := s.arenas[ar].pts
+	return pts[off : off+n : off+n]
+}
+
+// reset rewrites the pts field itself — arena management, exempt from the
+// full-slice rule.
+func (s *solver) reset(ar int) {
+	a := s.arenas[ar]
+	a.pts = a.pts[:0]
+}
+
+// copyOut materializes a curve as an owned slice; copying is the sanctioned
+// way to keep points past the solver.
+func (s *solver) copyOut(off, n, ar int) []curvePoint {
+	pts := s.arenas[ar].pts
+	out := make([]curvePoint, n)
+	copy(out, pts[off:off+n:off+n])
+	return out
+}
+
+func (s *solver) twoIndex(off, n, ar int) {
+	pts := s.arenas[ar].pts
+	_ = pts[off : off+n] // want `full-slice expression`
+}
+
+func (s *solver) storeField(off, n, ar int) {
+	s.keep = s.curveOf(off, n, ar) // want `stored beyond the solver`
+}
+
+func (s *solver) storeFieldAlias(off, n, ar int) {
+	v := s.curveOf(off, n, ar)
+	s.keep = v // want `stored beyond the solver`
+}
+
+func (s *solver) storeGlobal(ar int) {
+	leaked = s.arenas[ar].pts[0:1:1] // want `stored beyond the solver`
+}
+
+func (s *solver) send(ch chan []curvePoint, ar int) {
+	ch <- s.arenas[ar].pts[0:1:1] // want `sent on a channel`
+}
+
+// View leaks a view across the package boundary, where no caller can know
+// the slice dies with the solver.
+func (s *solver) View(ar int) []curvePoint {
+	return s.arenas[ar].pts[0:1:1] // want `exported function returns an arena-backed view`
+}

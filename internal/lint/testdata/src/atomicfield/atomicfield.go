@@ -1,0 +1,53 @@
+// Package atomicfield is the atomicfield fixture: a struct field accessed
+// via call-style sync/atomic anywhere must never be read or written plainly
+// elsewhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) race() int64 {
+	return c.hits // want `plain access races`
+}
+
+func (c *counters) raceWrite() {
+	c.hits = 0 // want `plain access races`
+}
+
+// total is never touched atomically; plain access is fine.
+func (c *counters) plainOnly() int64 {
+	c.total++
+	return c.total
+}
+
+// typed atomics are immune by construction: their value can only be touched
+// through methods.
+type typed struct{ n atomic.Int64 }
+
+func (t *typed) ok() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// swap and CAS count as atomic accesses too.
+type state struct{ flag uint32 }
+
+func (s *state) set() bool {
+	return atomic.CompareAndSwapUint32(&s.flag, 0, 1)
+}
+
+func (s *state) peek() uint32 {
+	return s.flag // want `plain access races`
+}

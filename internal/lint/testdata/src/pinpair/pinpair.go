@@ -1,0 +1,90 @@
+// Package pinpair is the pinpair fixture: a successful acquire (ok true)
+// and every putAcquired must be paired with release on every path out of
+// the function, including early error returns.
+package pinpair
+
+import "errors"
+
+var errFail = errors.New("fail")
+
+type cache struct{ m map[string]any }
+
+// The protocol's own implementation hands pins to its callers by contract
+// and is exempt from the caller-side rules.
+func (c *cache) acquire(key string) (any, bool) { v, ok := c.m[key]; return v, ok }
+func (c *cache) putAcquired(key string, v any)  { c.m[key] = v }
+func (c *cache) release(key string)             { delete(c.m, key) }
+
+func good(c *cache, k string) {
+	if v, ok := c.acquire(k); ok {
+		_ = v
+		c.release(k)
+	}
+}
+
+func goodFlag(c *cache, k string) {
+	pinned := false
+	if _, ok := c.acquire(k); ok {
+		pinned = true
+	}
+	if pinned {
+		c.release(k)
+	}
+}
+
+func goodDefer(c *cache, keys []string) {
+	held := ""
+	defer func() {
+		if held != "" {
+			c.release(held)
+		}
+	}()
+	for _, k := range keys {
+		if _, ok := c.acquire(k); ok {
+			held = k
+		}
+	}
+}
+
+func goodPutAcquired(c *cache, k string) {
+	c.putAcquired(k, 1)
+	c.release(k)
+}
+
+func goodFailedAcquire(c *cache, k string) {
+	v, ok := c.acquire(k)
+	if !ok {
+		return // acquire failed: nothing to release
+	}
+	_ = v
+	c.release(k)
+}
+
+func missingRelease(c *cache, k string) {
+	if v, ok := c.acquire(k); ok { // want `not released on this path`
+		_ = v
+	}
+}
+
+func earlyReturn(c *cache, k string, fail bool) error {
+	v, ok := c.acquire(k)
+	if !ok {
+		return nil
+	}
+	_ = v
+	if fail {
+		return errFail // want `not released on this path`
+	}
+	c.release(k)
+	return nil
+}
+
+func putAcquiredLeak(c *cache, k string) {
+	c.putAcquired(k, 1) // want `not released on this path`
+}
+
+func wrongCache(a, b *cache, k string) {
+	if _, ok := a.acquire(k); ok { // want `missing a\.release`
+		b.release(k)
+	}
+}

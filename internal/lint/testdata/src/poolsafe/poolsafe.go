@@ -1,0 +1,141 @@
+// Package poolsafe is the poolsafe fixture: sync.Pool values must be Put on
+// every path out of the acquiring function, never used after Put, and never
+// retained in a field or closure without a pool-escape annotation.
+package poolsafe
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// getBuf is a getter wrapper: returning the pooled value transfers
+// ownership to the caller, so the wrapper itself is clean.
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) { bufPool.Put(b) }
+
+func good() {
+	b := getBuf()
+	b.WriteString("x")
+	putBuf(b)
+}
+
+func goodDefer() error {
+	b := getBuf()
+	defer putBuf(b)
+	b.WriteString("x")
+	return nil
+}
+
+func goodDirect() {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	bufPool.Put(b)
+}
+
+func goodLoop() {
+	for i := 0; i < 3; i++ {
+		b := getBuf()
+		putBuf(b)
+	}
+}
+
+func goodSwitch(n int) {
+	b := getBuf()
+	switch n {
+	case 1:
+		putBuf(b)
+	default:
+		putBuf(b)
+	}
+}
+
+func missingPut() {
+	b := getBuf() // want `not returned with Put on this path`
+	b.WriteString("x")
+}
+
+func earlyReturn(fail bool) error {
+	b := getBuf()
+	if fail {
+		return errors.New("x") // want `not returned with Put on this path`
+	}
+	putBuf(b)
+	return nil
+}
+
+func maybePut(cond bool) {
+	b := getBuf() // want `may not be returned with Put on every path`
+	if cond {
+		putBuf(b)
+	}
+}
+
+func useAfterPut() {
+	b := getBuf()
+	putBuf(b)
+	b.WriteString("x") // want `used after being returned to its sync.Pool`
+}
+
+func doublePut() {
+	b := getBuf()
+	putBuf(b)
+	putBuf(b) // want `returned to its sync.Pool twice`
+}
+
+func discarded() {
+	_ = getBuf() // want `discarded`
+}
+
+type holder struct{ buf *bytes.Buffer }
+
+var global *bytes.Buffer
+
+func escapeField(h *holder) {
+	h.buf = getBuf() // want `stored outside the acquiring function`
+}
+
+func escapeVar() {
+	b := getBuf()
+	global = b // want `retained in a field or package variable`
+}
+
+func escapeClosure() {
+	b := getBuf()
+	f := func() { b.Reset() } // want `captured by a closure`
+	f()
+}
+
+func escapeGo() {
+	b := getBuf()
+	go func() { putBuf(b) }() // want `captured by a goroutine`
+}
+
+// newHolder retains its pooled buffer deliberately; the annotation takes
+// responsibility for recycling it elsewhere.
+func newHolder() *holder {
+	h := &holder{
+		// hetsynth:pool-escape held until the holder is closed
+		buf: getBuf(),
+	}
+	return h
+}
+
+// throughPointer writes through the pooled pointer's fields — that is use,
+// not retention, and must stay clean.
+type slab struct{ b []byte }
+
+var slabPool = sync.Pool{New: func() any { return new(slab) }}
+
+func getSlab() *slab {
+	s := slabPool.Get().(*slab)
+	s.b = s.b[:0]
+	return s
+}

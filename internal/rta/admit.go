@@ -431,6 +431,8 @@ func newChannel(k int) *channelState {
 // len(channels)) that can take task ti at operating point d: enough spare
 // FUs for any newly needed types, and the whole channel — existing members
 // included — still passes its RTA. Returns -1 when none fits.
+//
+// hetsynth:hotpath
 func tryLight(channels []*channelState, remaining Config, ti int, t Task, d *demand, k int) int {
 	m := &member{task: ti, period: t.Period, dl: t.RelDeadline(), c: d.total, blk: d.maxNode}
 	for ci, ch := range channels {

@@ -47,6 +47,8 @@ func (c *lruCache) get(key string) (any, bool) {
 // getBytes is get for a key held as raw bytes. The lookup converts the key
 // in-place via the compiler's map-index optimization, so a hot-path probe
 // allocates nothing.
+//
+// hetsynth:hotpath
 func (c *lruCache) getBytes(key []byte) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -153,6 +155,20 @@ func (c *lruCache) len() int {
 	return c.ll.Len()
 }
 
+// pinned reports the total pin count held across this cache's entries. At
+// any quiet point — no request in flight, no batch group running — every
+// acquire/putAcquired has been balanced by a release, so it must be zero;
+// TestPinBalance asserts exactly that.
+func (c *lruCache) pinned() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		n += el.Value.(*lruEntry).pins
+	}
+	return n
+}
+
 // shardedCache spreads an LRU over a power-of-two number of lruCache
 // shards selected by a hash of the key, so concurrent readers on distinct
 // keys (the all-cache-hit hot path at high client fan-out) never contend on
@@ -189,6 +205,7 @@ func fnv1a(key string) uint32 {
 	return h
 }
 
+// hetsynth:hotpath
 func fnv1aBytes(key []byte) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
@@ -203,6 +220,8 @@ func (c *shardedCache) shard(key string) *lruCache { return c.shards[fnv1a(key)&
 func (c *shardedCache) get(key string) (any, bool) { return c.shard(key).get(key) }
 
 // getBytes is get for a key held as raw bytes; the probe allocates nothing.
+//
+// hetsynth:hotpath
 func (c *shardedCache) getBytes(key []byte) (any, bool) {
 	return c.shards[fnv1aBytes(key)&c.mask].getBytes(key)
 }
@@ -218,6 +237,15 @@ func (c *shardedCache) putAcquired(key string, val any) { c.shard(key).putAcquir
 
 // release drops one pin from the key's entry.
 func (c *shardedCache) release(key string) { c.shard(key).release(key) }
+
+// pinnedByShard reports each shard's total pin count, in shard order.
+func (c *shardedCache) pinnedByShard() []int {
+	out := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.pinned()
+	}
+	return out
+}
 
 // len reports the total number of cached entries across all shards.
 func (c *shardedCache) len() int {
