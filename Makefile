@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet lint escape-gate vuln bench bench2 bench3 bench4 bench5 bench-compare serve-smoke serve-overload serve-admit fuzz cover-gate
+.PHONY: build test check race vet lint escape-gate vuln bench bench2 bench3 bench4 bench5 bench6 bench-compare serve-smoke serve-overload serve-admit serve-session fuzz cover-gate
 
 build:
 	$(GO) build ./...
@@ -111,6 +111,14 @@ bench4:
 bench5:
 	$(GO) run ./cmd/benchjson -suite server -count 2 -out BENCH_5.json -compare BENCH_4.json
 
+# bench6 re-runs the server suite — now including the stateful-session
+# benchmarks (BenchmarkHTTPPatchSolve, the single-row PATCH through the live
+# incremental solver, against BenchmarkHTTPSolveUncachedTree, the identical
+# edit as a from-scratch solve) — and records BENCH_6.json with a delta table
+# against the pre-session BENCH_5.json baseline.
+bench6:
+	$(GO) run ./cmd/benchjson -suite server -count 2 -out BENCH_6.json -compare BENCH_5.json
+
 # bench-compare is the regression gate CI runs as a smoke: a short-benchtime
 # server-suite run diffed against the committed BENCH_5.json, failing when a
 # gated benchmark — the cached hit path (both codecs), the uncached solve
@@ -124,8 +132,8 @@ BENCHTIME ?= 200ms
 BENCHCOUNT ?= 3
 bench-compare:
 	$(GO) run ./cmd/benchjson -suite server -out bin/bench-compare.json \
-		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) -compare BENCH_5.json \
-		-gate 'BenchmarkHTTPSolveCached|BenchmarkHTTPSolveUncached|BenchmarkDirectSolve|BenchmarkHTTPAdmit'
+		-benchtime $(BENCHTIME) -count $(BENCHCOUNT) -compare BENCH_6.json \
+		-gate 'BenchmarkHTTPSolveCached|BenchmarkHTTPSolveUncached|BenchmarkDirectSolve|BenchmarkHTTPAdmit|BenchmarkHTTPPatchSolve'
 
 # serve-smoke boots a real hetsynthd on a random port, solves bundled
 # benchmarks over HTTP (asserting the second identical request is a cache
@@ -152,13 +160,22 @@ serve-admit:
 	$(GO) build -o bin/hetsynthd ./cmd/hetsynthd
 	$(GO) run ./cmd/servesmoke -bin bin/hetsynthd -admit
 
+# serve-session drives the stateful-session API end to end against a real
+# daemon: PUT an instance, a patch loop with client-side state mirroring and
+# digest cross-checks against re-PUTs of the materialized instance, SSE
+# incumbent/settled framing, and DELETE teardown.
+serve-session:
+	$(GO) build -o bin/hetsynthd ./cmd/hetsynthd
+	$(GO) run ./cmd/servesmoke -bin bin/hetsynthd -session
+
 # fuzz runs each native fuzzer for a short budget: the sparse-curve merge
 # algebra, the anytime ladder under randomized deadlines, the server's JSON
 # request decoder, the binary frame decoder (arbitrary bytes must yield 400s,
 # never panics), the JSON/binary differential (both codecs must resolve a
-# request to the same canonical digest), and the admission-request decoder
-# (arbitrary bytes → 400, accepted specs are valid and canonically keyed).
-# CI runs the same targets at 10s each.
+# request to the same canonical digest), the admission-request decoder
+# (arbitrary bytes → 400, accepted specs are valid and canonically keyed),
+# and the session patch endpoint (invalid deltas → 400 with state provably
+# untouched). CI runs the same targets at 10s each.
 fuzz:
 	$(GO) test ./internal/hap/ -run '^$$' -fuzz FuzzCurveMerge -fuzztime 30s
 	$(GO) test ./internal/hap/ -run '^$$' -fuzz FuzzSolveAnytime -fuzztime 30s
@@ -166,3 +183,4 @@ fuzz:
 	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzBinFrame -fuzztime 30s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzBinSolveDifferential -fuzztime 30s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzAdmit -fuzztime 30s
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzPatchInstance -fuzztime 30s

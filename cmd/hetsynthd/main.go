@@ -18,6 +18,11 @@
 //	GET    /v1/jobs        list tracked jobs
 //	GET    /v1/jobs/{id}   poll a job
 //	DELETE /v1/jobs/{id}   cancel a job
+//	PUT    /v1/instances/{id}        create/replace a stateful session
+//	PATCH  /v1/instances/{id}        apply typed deltas, re-solve dirty paths
+//	GET    /v1/instances/{id}        read the session's settled view
+//	DELETE /v1/instances/{id}        evict the session
+//	GET    /v1/instances/{id}/events SSE stream (state/incumbent/settled/evicted)
 //	GET    /v1/benchmarks  bundled benchmarks and FU catalogs
 //	GET    /healthz        liveness (503 while draining)
 //	GET    /metrics        queue depth, cache hit rate, latency histogram
@@ -61,12 +66,15 @@ func main() {
 		maxTO    = flag.Duration("max-timeout", 120*time.Second, "upper clamp on requested budgets")
 		logLevel = flag.String("log", "info", "log level (debug|info|warn|error)")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
+		sessTTL  = flag.Duration("session-ttl", 10*time.Minute, "idle lifetime of stateful sessions")
+		sessMax  = flag.Int("session-max", 64, "live session cap (LRU eviction past it)")
 	)
 	flag.Parse()
 	cfg := daemonConfig{
 		addr: *addr, workers: *workers, queue: *queue, cache: *cache,
 		shards: *shards, retain: *retain, timeout: *timeout, maxTO: *maxTO,
 		logLevel: *logLevel, pprofAddr: *pprofOn,
+		sessTTL: *sessTTL, sessMax: *sessMax,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hetsynthd:", err)
@@ -85,6 +93,8 @@ type daemonConfig struct {
 	maxTO     time.Duration
 	logLevel  string
 	pprofAddr string
+	sessTTL   time.Duration
+	sessMax   int
 }
 
 func run(cfg daemonConfig) error {
@@ -121,6 +131,8 @@ func run(cfg daemonConfig) error {
 		JobRetention:   cfg.retain,
 		DefaultTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTO,
+		SessionTTL:     cfg.sessTTL,
+		SessionMax:     cfg.sessMax,
 		Logger:         logger,
 	})
 	return s.Run(ctx, ln)

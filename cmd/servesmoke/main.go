@@ -24,6 +24,13 @@
 // Retry-After, keep every request's latency bounded, and degrade admitted
 // requests to finite-gap incumbents instead of stalling.
 //
+// With -session it runs the stateful-session scenario (`make serve-session`):
+// PUT creates a session on an inline instance, a patch loop mutates it while
+// the smoke mirrors the instance client-side and cross-checks each settled
+// digest against a from-scratch session on the materialized instance, an SSE
+// stream must deliver a settled frame per generation and an evicted frame at
+// DELETE, and a rejected patch must leave the session state untouched.
+//
 // Usage:
 //
 //	servesmoke -bin ./bin/hetsynthd [-wire json|bin|mixed] [-overload]
@@ -55,6 +62,7 @@ func main() {
 	wire := flag.String("wire", "json", `wire codec for solve traffic: "json", "bin", or "mixed" (both, cross-checked)`)
 	overload := flag.Bool("overload", false, "run the overload scenario instead of the cache/drain smoke")
 	admit := flag.Bool("admit", false, "run the admission-control scenario instead of the cache/drain smoke")
+	session := flag.Bool("session", false, "run the stateful-session scenario instead of the cache/drain smoke")
 	flag.Parse()
 	if *bin == "" {
 		fmt.Fprintln(os.Stderr, "servesmoke: -bin is required")
@@ -70,6 +78,9 @@ func main() {
 	}
 	if *admit {
 		run, name = func() error { return admitSmoke(*bin) }, "PASS (admit)"
+	}
+	if *session {
+		run, name = func() error { return sessionSmoke(*bin) }, "PASS (session)"
 	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)

@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// smokeInstance is the client-side mirror of the session's instance: the
+// smoke applies every patch to this struct as well as to the daemon, then
+// cross-checks that a from-scratch session on the mirrored instance settles
+// to the same canonical digest and the same bit-exact answer.
+type smokeInstance struct {
+	n, k     int
+	edges    [][3]int // from, to, delays
+	time     [][]int
+	cost     [][]int64
+	deadline int
+}
+
+func (m *smokeInstance) body() string {
+	var sb strings.Builder
+	sb.WriteString(`{"graph":{"nodes":[`)
+	for v := 0; v < m.n; v++ {
+		if v > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"name":"n%d","op":"op"}`, v)
+	}
+	sb.WriteString(`],"edges":[`)
+	for i, e := range m.edges {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if e[2] != 0 {
+			fmt.Fprintf(&sb, `{"from":"n%d","to":"n%d","delays":%d}`, e[0], e[1], e[2])
+		} else {
+			fmt.Fprintf(&sb, `{"from":"n%d","to":"n%d"}`, e[0], e[1])
+		}
+	}
+	sb.WriteString(`]},"table":{"time":`)
+	//hetsynth:ignore retval marshaling [][]int cannot fail.
+	tb, _ := json.Marshal(m.time)
+	sb.Write(tb)
+	sb.WriteString(`,"cost":`)
+	//hetsynth:ignore retval marshaling [][]int64 cannot fail.
+	cb, _ := json.Marshal(m.cost)
+	sb.Write(cb)
+	fmt.Fprintf(&sb, `},"deadline":%d}`, m.deadline)
+	return sb.String()
+}
+
+// doJSON issues one request with a JSON body and decodes the JSON response.
+func doJSON(method, url, body string) (int, map[string]any, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	var m map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return resp.StatusCode, nil, fmt.Errorf("bad response JSON (%s): %w", raw, err)
+		}
+	}
+	return resp.StatusCode, m, nil
+}
+
+// sseStream wraps an open text/event-stream response and parses one frame at
+// a time (event name + single data line).
+type sseStream struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+func openEvents(url string) (*sseStream, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		resp.Body.Close()
+		return nil, fmt.Errorf("events stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		return nil, fmt.Errorf("events Content-Type %q", ct)
+	}
+	return &sseStream{resp: resp, sc: bufio.NewScanner(resp.Body)}, nil
+}
+
+func (st *sseStream) close() { st.resp.Body.Close() }
+
+// frame reads the next SSE frame; io.EOF when the stream ends cleanly.
+func (st *sseStream) frame() (event string, data map[string]any, err error) {
+	for st.sc.Scan() {
+		line := st.sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &data); err != nil {
+				return "", nil, fmt.Errorf("bad frame data: %w", err)
+			}
+		case line == "":
+			if event != "" {
+				return event, data, nil
+			}
+		}
+	}
+	if err := st.sc.Err(); err != nil {
+		return "", nil, err
+	}
+	return "", nil, io.EOF
+}
+
+// settled drains frames until the settled frame for generation gen arrives,
+// tolerating interleaved incumbent frames from anytime solves.
+func (st *sseStream) settled(gen float64) (map[string]any, error) {
+	for {
+		ev, data, err := st.frame()
+		if err != nil {
+			return nil, fmt.Errorf("waiting for settled gen %v: %w", gen, err)
+		}
+		if ev == "settled" && data["gen"] == gen {
+			return data, nil
+		}
+		if ev == "evicted" {
+			return nil, fmt.Errorf("session evicted while waiting for settled gen %v: %v", gen, data)
+		}
+	}
+}
+
+// sessionSmoke drives the stateful-session API end to end against a real
+// daemon: create, patch with client-side mirroring and digest cross-checks,
+// SSE framing, rejection atomicity, and DELETE teardown.
+func sessionSmoke(bin string) error {
+	cmd, base, err := boot(bin)
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	// A 6-node chain with K=3 FU types and a loose deadline: small enough to
+	// re-solve from scratch on every cross-check, structured enough that
+	// set_row near the shallow end exercises the dirty-path DP.
+	inst := &smokeInstance{n: 6, k: 3, deadline: 30}
+	for v := 0; v < inst.n; v++ {
+		inst.time = append(inst.time, []int{1 + v%2, 2, 4})
+		inst.cost = append(inst.cost, []int64{9, 5, int64(1 + v%3)})
+		if v > 0 {
+			inst.edges = append(inst.edges, [3]int{v - 1, v, 0})
+		}
+	}
+
+	code, view, err := doJSON("PUT", base+"/v1/instances/smoke", inst.body())
+	if err != nil {
+		return fmt.Errorf("session PUT: %w", err)
+	}
+	if code != 201 || view["gen"] != float64(1) || view["digest"] == "" {
+		return fmt.Errorf("session PUT: status %d view %v", code, view)
+	}
+
+	events, err := openEvents(base + "/v1/instances/smoke/events")
+	if err != nil {
+		return err
+	}
+	defer events.close()
+	ev, state, err := events.frame()
+	if err != nil {
+		return fmt.Errorf("first frame: %w", err)
+	}
+	if ev != "state" || state["digest"] != view["digest"] {
+		return fmt.Errorf("first frame %q %v, want state frame matching digest %v", ev, state, view["digest"])
+	}
+
+	// crossCheck stands up a from-scratch session on the mirrored instance
+	// and requires it to agree with the patched session's settled view in
+	// canonical digest, feasibility, and bit-exact cost.
+	crossCheck := func(step string, got map[string]any) error {
+		tc, twin, err := doJSON("PUT", base+"/v1/instances/twin", inst.body())
+		if err != nil || (tc != 200 && tc != 201) {
+			return fmt.Errorf("%s: twin PUT status %d: %v (%v)", step, tc, twin, err)
+		}
+		if twin["digest"] != got["digest"] {
+			return fmt.Errorf("%s: session digest %v, from-scratch digest %v", step, got["digest"], twin["digest"])
+		}
+		if twin["infeasible"] != got["infeasible"] {
+			return fmt.Errorf("%s: infeasible disagree: session %v, twin %v", step, got["infeasible"], twin["infeasible"])
+		}
+		gr, _ := got["result"].(map[string]any)
+		tr, _ := twin["result"].(map[string]any)
+		if (gr == nil) != (tr == nil) {
+			return fmt.Errorf("%s: one side lacks a result: session %v, twin %v", step, got, twin)
+		}
+		if gr != nil && gr["cost"] != tr["cost"] {
+			return fmt.Errorf("%s: session cost %v != from-scratch cost %v", step, gr["cost"], tr["cost"])
+		}
+		return nil
+	}
+	if err := crossCheck("initial", view); err != nil {
+		return err
+	}
+
+	// The patch loop: every op mutates the daemon's session AND the mirror,
+	// then the settled SSE frame and the from-scratch twin must both agree.
+	type patchStep struct {
+		name  string
+		ops   string
+		apply func()
+	}
+	steps := []patchStep{
+		{"set_row shallow", `{"ops":[{"op":"set_row","node":0,"time":[2,1,3],"cost":[7,6,2]}]}`,
+			func() { inst.time[0] = []int{2, 1, 3}; inst.cost[0] = []int64{7, 6, 2} }},
+		{"add_edge", `{"ops":[{"op":"add_edge","from":1,"to":3}]}`,
+			func() { inst.edges = append(inst.edges, [3]int{1, 3, 0}) }},
+		{"set_deadline", `{"ops":[{"op":"set_deadline","deadline":25}]}`,
+			func() { inst.deadline = 25 }},
+		{"remove_edge", `{"ops":[{"op":"remove_edge","from":1,"to":3}]}`,
+			func() {
+				for i, e := range inst.edges {
+					if e[0] == 1 && e[1] == 3 {
+						inst.edges = append(inst.edges[:i], inst.edges[i+1:]...)
+						break
+					}
+				}
+			}},
+		{"multi-op", `{"ops":[{"op":"set_row","node":5,"time":[1,1,1],"cost":[3,2,1]},{"op":"set_deadline","deadline":28}]}`,
+			func() { inst.time[5] = []int{1, 1, 1}; inst.cost[5] = []int64{3, 2, 1}; inst.deadline = 28 }},
+	}
+	gen := float64(1)
+	for _, stp := range steps {
+		code, got, err := doJSON("PATCH", base+"/v1/instances/smoke", stp.ops)
+		if err != nil {
+			return fmt.Errorf("PATCH %s: %w", stp.name, err)
+		}
+		if code != 200 {
+			return fmt.Errorf("PATCH %s: status %d: %v", stp.name, code, got)
+		}
+		gen++
+		if got["gen"] != gen {
+			return fmt.Errorf("PATCH %s: gen %v, want %v", stp.name, got["gen"], gen)
+		}
+		stp.apply()
+		settled, err := events.settled(gen)
+		if err != nil {
+			return err
+		}
+		if settled["digest"] != got["digest"] {
+			return fmt.Errorf("PATCH %s: settled frame digest %v != view digest %v", stp.name, settled["digest"], got["digest"])
+		}
+		if err := crossCheck(stp.name, got); err != nil {
+			return err
+		}
+	}
+
+	// Rejection atomicity: an out-of-range op must 400 and leave the session
+	// at the same generation and digest.
+	code, rej, err := doJSON("PATCH", base+"/v1/instances/smoke", `{"ops":[{"op":"set_row","node":99,"time":[1,1,1],"cost":[1,1,1]}]}`)
+	if err != nil {
+		return fmt.Errorf("rejected PATCH: %w", err)
+	}
+	if code != 400 {
+		return fmt.Errorf("out-of-range patch: status %d %v, want 400", code, rej)
+	}
+	code, after, err := doJSON("GET", base+"/v1/instances/smoke", "")
+	if err != nil || code != 200 {
+		return fmt.Errorf("GET after rejection: status %d (%v)", code, err)
+	}
+	if after["gen"] != gen || after["digest"] == "" {
+		return fmt.Errorf("rejected patch moved the session: %v, want gen %v", after, gen)
+	}
+
+	// DELETE must push an evicted frame and end the stream.
+	if code, m, err := doJSON("DELETE", base+"/v1/instances/smoke", ""); err != nil || code != 200 {
+		return fmt.Errorf("DELETE: status %d %v (%v)", code, m, err)
+	}
+	for {
+		ev, data, err := events.frame()
+		if err == io.EOF {
+			return fmt.Errorf("stream ended without an evicted frame")
+		}
+		if err != nil {
+			return fmt.Errorf("reading toward evicted frame: %w", err)
+		}
+		if ev == "evicted" {
+			if data["reason"] != "deleted" {
+				return fmt.Errorf("evicted reason %v, want deleted", data["reason"])
+			}
+			break
+		}
+	}
+	if ev, data, err := events.frame(); err != io.EOF {
+		return fmt.Errorf("stream still open after evicted frame: %q %v (%v)", ev, data, err)
+	}
+	if code, _, err := doJSON("DELETE", base+"/v1/instances/twin", ""); err != nil || code != 200 {
+		return fmt.Errorf("twin DELETE: status %d (%v)", code, err)
+	}
+
+	// The session ledger on /metrics must reflect the run.
+	code, met, err := doJSON("GET", base+"/metrics", "")
+	if err != nil || code != 200 {
+		return fmt.Errorf("metrics: status %d (%v)", code, err)
+	}
+	if met["sessions_active"] != float64(0) {
+		return fmt.Errorf("sessions_active %v after deletes, want 0", met["sessions_active"])
+	}
+	if met["patches"].(float64) < float64(len(steps)) {
+		return fmt.Errorf("patches metric %v, want >= %d", met["patches"], len(steps))
+	}
+	if met["patches_rejected"].(float64) < 1 {
+		return fmt.Errorf("patches_rejected %v, want >= 1", met["patches_rejected"])
+	}
+	if met["sse_frames"].(float64) < float64(len(steps)) {
+		return fmt.Errorf("sse_frames %v, want >= %d", met["sse_frames"], len(steps))
+	}
+
+	return terminate(cmd)
+}

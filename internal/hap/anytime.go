@@ -37,6 +37,26 @@ type AnytimeOptions struct {
 	// state counts (and therefore timeout-path traces) are deterministic.
 	// The default fans the branch-and-bound out over worker goroutines.
 	Sequential bool
+	// Observer, when non-nil, is invoked from the solving goroutine each
+	// time the ladder's best feasible incumbent improves (and once, on the
+	// final solution, when a shape fast path answers exactly). Costs are
+	// strictly decreasing across calls by construction. The callback runs
+	// synchronously between ladder stages, so it must be fast and must not
+	// call back into the solver.
+	Observer func(IncumbentUpdate)
+}
+
+// IncumbentUpdate describes one improvement of the anytime ladder's best
+// feasible incumbent, as delivered to AnytimeOptions.Observer.
+type IncumbentUpdate struct {
+	Stage string // ladder rung that produced the incumbent
+	Cost  int64  // incumbent cost; strictly decreasing across updates
+	// LowerBound is the bound proven at the time of the update; later
+	// stages may tighten it further (the final result's bound is
+	// authoritative).
+	LowerBound int64
+	// Gap is (Cost − LowerBound) / max(LowerBound, 1) at update time.
+	Gap float64
 }
 
 // StageOutcome records one rung of the anytime ladder, in execution order.
@@ -124,10 +144,10 @@ func SolveAnytime(ctx context.Context, p Problem, opts AnytimeOptions) (AnytimeR
 	switch {
 	case p.Graph.IsSimplePath():
 		sol, err := PathAssign(p)
-		return exactLadderResult(sol, "path", err)
+		return exactLadderResult(sol, "path", err, opts.Observer)
 	case p.Graph.IsOutForest() || p.Graph.IsInForest():
 		sol, err := TreeAssign(p)
-		return exactLadderResult(sol, "tree", err)
+		return exactLadderResult(sol, "tree", err, opts.Observer)
 	}
 
 	r := AnytimeResult{LowerBound: lb}
@@ -146,6 +166,17 @@ func SolveAnytime(ctx context.Context, p Problem, opts AnytimeOptions) (AnytimeR
 				s := sol
 				best = &s
 				bestStage = stage
+				if opts.Observer != nil {
+					den := r.LowerBound
+					if den < 1 {
+						den = 1
+					}
+					gap := float64(sol.Cost-r.LowerBound) / float64(den)
+					if gap < 0 {
+						gap = 0
+					}
+					opts.Observer(IncumbentUpdate{Stage: stage, Cost: sol.Cost, LowerBound: r.LowerBound, Gap: gap})
+				}
 			}
 		}
 		if best != nil {
@@ -270,9 +301,12 @@ func bestGreedy(p Problem) (Solution, error) {
 
 // exactLadderResult wraps a shape-restricted optimal solve as a one-stage
 // anytime result (the DP is optimal, so the gap is zero by definition).
-func exactLadderResult(sol Solution, stage string, err error) (AnytimeResult, error) {
+func exactLadderResult(sol Solution, stage string, err error, obs func(IncumbentUpdate)) (AnytimeResult, error) {
 	if err != nil {
 		return AnytimeResult{}, err
+	}
+	if obs != nil {
+		obs(IncumbentUpdate{Stage: stage, Cost: sol.Cost, LowerBound: sol.Cost, Gap: 0})
 	}
 	return AnytimeResult{
 		Solution:   sol,

@@ -171,22 +171,32 @@ func newTreeSolverMode(p Problem, allowed [][]bool, reversed, sliceMode bool) (*
 				}
 			}
 		} else {
-			for k := 0; k < K; k++ {
-				dup := false
-				for j := 0; j < k; j++ {
-					if t.Time[v][j] == t.Time[v][k] && t.Cost[v][j] == t.Cost[v][k] {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					candArena = append(candArena, fu.TypeID(k))
-				}
-			}
+			candArena = appendCandTypes(candArena, t, v)
 		}
 		s.cand[v] = candArena[at:len(candArena):len(candArena)]
 	}
 	return s, nil
+}
+
+// appendCandTypes appends node v's candidate types to dst: every type of the
+// table row, with duplicate (time, cost) pairs collapsed onto the lowest
+// type id. Construction and incremental row edits both go through this one
+// rule, so a re-solved row can never diverge from a from-scratch build.
+func appendCandTypes(dst []fu.TypeID, t *fu.Table, v int) []fu.TypeID {
+	K := t.K()
+	for k := 0; k < K; k++ {
+		dup := false
+		for j := 0; j < k; j++ {
+			if t.Time[v][j] == t.Time[v][k] && t.Cost[v][j] == t.Cost[v][k] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, fu.TypeID(k))
+		}
+	}
+	return dst
 }
 
 // release recycles the solver's scratch buffers and curve arenas — the
@@ -284,19 +294,34 @@ func (s *treeSolver) compactArena(ar int32) {
 
 // pin restricts every listed node to the single type k and dirties the
 // curves that depend on it: the node itself and its ancestors up to the
-// root. The climb stops at the first already-dirty node, whose own climb
-// has marked the rest of the path.
+// root.
 func (s *treeSolver) pin(nodes []dfg.NodeID, k fu.TypeID) {
 	for _, w := range nodes {
 		s.cand[w] = []fu.TypeID{k}
-		for v := int32(w); v >= 0; v = s.parent[v] {
-			if s.dirty[v] {
-				break
-			}
-			s.dirty[v] = true
-			s.ndirty++
-		}
+		s.markDirty(w)
 	}
+}
+
+// markDirty invalidates node w's curve and every curve that depends on it:
+// the ancestors up to the root. The climb stops at the first already-dirty
+// node, whose own climb has marked the rest of the path, so a batch of
+// invalidations costs Σ fresh path lengths, not Σ full path lengths.
+func (s *treeSolver) markDirty(w dfg.NodeID) {
+	for v := int32(w); v >= 0; v = s.parent[v] {
+		if s.dirty[v] {
+			break
+		}
+		s.dirty[v] = true
+		s.ndirty++
+	}
+}
+
+// markAllDirty invalidates every curve; the next recompute is a full DP.
+func (s *treeSolver) markAllDirty() {
+	for v := range s.dirty {
+		s.dirty[v] = true
+	}
+	s.ndirty = len(s.dirty)
 }
 
 // computeCurve builds node v's Pareto curve from its children's curves. The

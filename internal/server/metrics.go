@@ -49,6 +49,17 @@ type metrics struct {
 	degraded  atomic.Int64 // solver executions that returned a timeout-quality incumbent
 	exactRes  atomic.Int64 // solver executions that returned a proven-optimal result
 
+	// Stateful sessions (/v1/instances). patches counts accepted delta
+	// batches; patchesRejected the 400s (also counted under badRequests when
+	// the body itself was malformed). sseDropped counts frames shed by slow
+	// subscribers' drop-oldest mailboxes.
+	sessionsCreated atomic.Int64
+	sessionsEvicted atomic.Int64
+	patches         atomic.Int64
+	patchesRejected atomic.Int64
+	sseFrames       atomic.Int64
+	sseDropped      atomic.Int64
+
 	jobsSubmitted atomic.Int64
 	jobsCanceled  atomic.Int64 // DELETE /v1/jobs/{id} cancel requests
 	// Terminal job states; after a drain,
@@ -123,6 +134,14 @@ type MetricsSnapshot struct {
 	Degraded  int64 `json:"degraded"`
 	ExactRes  int64 `json:"exact_results"`
 
+	SessionsActive  int   `json:"sessions_active"`
+	SessionsCreated int64 `json:"sessions_created"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
+	Patches         int64 `json:"patches"`
+	PatchesRejected int64 `json:"patches_rejected"`
+	SSEFrames       int64 `json:"sse_frames"`
+	SSEDropped      int64 `json:"sse_dropped"`
+
 	JobsSubmitted     int64 `json:"jobs_submitted"`
 	JobsCanceled      int64 `json:"jobs_canceled"`
 	JobsDone          int64 `json:"jobs_done"`
@@ -144,7 +163,7 @@ type bucketSample struct {
 }
 
 // snapshot renders the current counters.
-func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
+func (m *metrics) snapshot(cacheEntries, sessionsActive int) MetricsSnapshot {
 	s := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		QueueDepth:    m.queueDepth.Load(),
@@ -171,6 +190,14 @@ func (m *metrics) snapshot(cacheEntries int) MetricsSnapshot {
 		Abandoned:     m.abandoned.Load(),
 		Degraded:      m.degraded.Load(),
 		ExactRes:      m.exactRes.Load(),
+
+		SessionsActive:  sessionsActive,
+		SessionsCreated: m.sessionsCreated.Load(),
+		SessionsEvicted: m.sessionsEvicted.Load(),
+		Patches:         m.patches.Load(),
+		PatchesRejected: m.patchesRejected.Load(),
+		SSEFrames:       m.sseFrames.Load(),
+		SSEDropped:      m.sseDropped.Load(),
 
 		JobsSubmitted:     m.jobsSubmitted.Load(),
 		JobsCanceled:      m.jobsCanceled.Load(),

@@ -55,6 +55,34 @@ func TestPinBalance(t *testing.T) {
 		t.Fatalf("batch solve: status %d: %v", code, m)
 	}
 
+	// Session path: a session on a frontier-warmed tree instance pins the
+	// cached curve for its lifetime; a row patch moves the session off the
+	// warmed digest (releasing the pin), and eviction — explicit or at
+	// shutdown — must put every refcount back.
+	code, m = postJSON(t, ts, "PUT", "/v1/instances/pins", `{"bench":"volterra","seed":1,"deadline":40}`)
+	if code != 201 {
+		t.Fatalf("session PUT: status %d: %v", code, m)
+	}
+	pinned := 0
+	for _, p := range s.cache.pinnedByShard() {
+		pinned += p
+	}
+	if pinned == 0 {
+		t.Fatal("session on a warmed frontier instance holds no pin")
+	}
+	code, m = postJSON(t, ts, "PATCH", "/v1/instances/pins",
+		`{"ops":[{"op":"set_row","node":0,"time":[1,2,3],"cost":[9,5,1]}]}`)
+	if code != 200 {
+		t.Fatalf("session PATCH: status %d: %v", code, m)
+	}
+	if code, _ = postJSON(t, ts, "DELETE", "/v1/instances/pins", ""); code != 200 {
+		t.Fatalf("session DELETE: status %d", code)
+	}
+	// A second session left live rides shutdown's eviction path instead.
+	if code, m = postJSON(t, ts, "PUT", "/v1/instances/pins2", `{"bench":"volterra","seed":1,"deadline":40}`); code != 201 {
+		t.Fatalf("second session PUT: status %d: %v", code, m)
+	}
+
 	ts.Close()
 	s.Close()
 

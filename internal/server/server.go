@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +46,10 @@ type Config struct {
 
 	DefaultTimeout time.Duration // per-solve budget when the request sets none; default 30s
 	MaxTimeout     time.Duration // upper clamp on requested budgets; default 120s
+
+	SessionTTL         time.Duration // idle lifetime of a stateful session; default 10m
+	SessionMax         int           // live session cap (LRU-evicted beyond it); default 64
+	SessionEventBuffer int           // per-subscriber SSE mailbox depth; default 32
 
 	Logger *slog.Logger // default: discard
 }
@@ -71,6 +76,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 120 * time.Second
 	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	if c.SessionMax < 1 {
+		c.SessionMax = 64
+	}
+	if c.SessionEventBuffer < 1 {
+		c.SessionEventBuffer = 32
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -94,6 +108,11 @@ type Server struct {
 	flights  *flightGroup
 	pool     *pool
 	jobs     *jobStore
+
+	// sessions holds the stateful instances of PUT /v1/instances/{id}; sessWG
+	// joins the TTL janitor goroutine at shutdown.
+	sessions *sessionStore
+	sessWG   sync.WaitGroup
 
 	// baseCtx parents every solver execution, so solves survive client
 	// disconnects (the result still lands in the cache) and are only torn
@@ -123,9 +142,15 @@ func New(cfg Config) *Server {
 		rawCache: newShardedCache(cfg.CacheSize, cfg.CacheShards),
 		flights:  newFlightGroup(),
 		jobs:     newJobStore(cfg.JobRetention),
+		sessions: newSessionStore(),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.met)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.sessWG.Add(1)
+	go func() {
+		defer s.sessWG.Done()
+		s.sessionJanitor()
+	}()
 	return s
 }
 
@@ -140,6 +165,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("PUT /v1/instances/{id}", s.handleSessionPut)
+	mux.HandleFunc("PATCH /v1/instances/{id}", s.handleSessionPatch)
+	mux.HandleFunc("GET /v1/instances/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/instances/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/instances/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -160,6 +190,10 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	}
 	s.log.InfoContext(ctx, "draining", "queue_depth", s.met.queueDepth.Load(), "in_flight", s.met.inFlight.Load())
 	s.draining.Store(true)
+	// Evict sessions before Shutdown: eviction closes every SSE stream, so
+	// Shutdown's wait for in-flight handlers is not parked behind open
+	// event streams.
+	s.evictAllSessions("shutdown")
 	// Shutdown stops new connections and waits for in-flight handlers; the
 	// handlers in turn wait for their pool tasks, so the pool must still be
 	// alive here. Drain the pool after, then tear down solver contexts.
@@ -168,6 +202,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	err := srv.Shutdown(shutCtx)
 	s.pool.drain()
 	s.baseCancel()
+	s.sessWG.Wait()
 	s.log.InfoContext(ctx, "drained")
 	return err
 }
@@ -175,15 +210,17 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 // Close drains the server without a listener (tests, embedded use).
 func (s *Server) Close() {
 	s.draining.Store(true)
+	s.evictAllSessions("shutdown")
 	s.pool.drain()
 	s.baseCancel()
+	s.sessWG.Wait()
 }
 
 // Draining reports whether shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Metrics returns a point-in-time snapshot of the operational counters.
-func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.cache.len()) }
+func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.cache.len(), s.sessions.len()) }
 
 // ---- solve pipeline ----
 
@@ -806,7 +843,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.snapshot(s.cache.len()))
+	writeJSON(w, http.StatusOK, s.met.snapshot(s.cache.len(), s.sessions.len()))
 }
 
 // ---- response plumbing ----
@@ -910,6 +947,18 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	sw.bytes += n
 	return n, err
 }
+
+// Flush forwards to the wrapped writer so the SSE handler's streaming
+// contract survives the logging wrapper; the embedded interface alone would
+// hide the underlying Flusher from type assertions.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.NewResponseController.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // logged wraps a handler with structured request logging. Servers built
 // without a Logger skip the wrapper entirely: the hot path then writes

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// benchTreeN is the instance size for the session benchmarks: a balanced
+// binary out-tree of 2047 nodes (11 full levels) with K=4 FU types.
+const benchTreeN = 2047
+
+// benchTreeBody renders the 2047-node tree instance as a solve-request body
+// (shared by the session PUT and the from-scratch comparison), with node
+// `vary`'s row set by salt — varying the salt makes a fresh instance digest.
+func benchTreeBody(vary, salt int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"graph":{"nodes":[`)
+	for v := 0; v < benchTreeN; v++ {
+		if v > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"name":"n%d","op":"op"}`, v)
+	}
+	sb.WriteString(`],"edges":[`)
+	first := true
+	for v := 0; v < benchTreeN; v++ {
+		for _, c := range []int{2*v + 1, 2*v + 2} {
+			if c >= benchTreeN {
+				continue
+			}
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&sb, `{"from":"n%d","to":"n%d"}`, v, c)
+		}
+	}
+	sb.WriteString(`]},"table":{"time":[`)
+	for v := 0; v < benchTreeN; v++ {
+		if v > 0 {
+			sb.WriteByte(',')
+		}
+		t1, t2 := 1+(v%3), 2+(v%2)
+		if v == vary {
+			t1 = 1 + salt%3
+		}
+		fmt.Fprintf(&sb, `[%d,%d,%d,%d]`, t1, t2, 6, 12)
+	}
+	sb.WriteString(`],"cost":[`)
+	for v := 0; v < benchTreeN; v++ {
+		if v > 0 {
+			sb.WriteByte(',')
+		}
+		c1 := int64(20 + v%7)
+		if v == vary {
+			c1 = int64(20 + salt%13)
+		}
+		fmt.Fprintf(&sb, `[%d,%d,%d,%d]`, c1, 9+v%5, 4, 1)
+	}
+	sb.WriteString(`]},"deadline":45}`)
+	return sb.String()
+}
+
+func benchDo(b *testing.B, client *http.Client, method, url, body string) {
+	b.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 && resp.StatusCode != 201 {
+		var m map[string]any
+		//hetsynth:ignore retval decode only feeds the failure message.
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		b.Fatalf("%s %s: status %d: %v", method, url, resp.StatusCode, m)
+	}
+	//hetsynth:ignore retval draining the body to reuse the connection.
+	_, _ = io.Copy(io.Discard, resp.Body)
+}
+
+// BenchmarkHTTPPatchSolve measures the session tentpole's headline: a
+// single-row PATCH on a live 2047-node tree session, re-solved through the
+// incremental solver's dirty-path DP (recompute O(path), re-digest in
+// place). Compare against BenchmarkHTTPSolveUncachedTree — the identical
+// edit expressed as a fresh full solve — for the session speedup.
+func BenchmarkHTTPPatchSolve(b *testing.B) {
+	ts, stop := newBenchServer()
+	defer stop()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	benchDo(b, client, "PUT", ts.URL+"/v1/instances/bench", benchTreeBody(0, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"ops":[{"op":"set_row","node":0,"time":[%d,2,3,4],"cost":[%d,9,4,1]}]}`,
+			1+i%3, 20+i%13)
+		benchDo(b, client, "PATCH", ts.URL+"/v1/instances/bench", body)
+	}
+}
+
+// BenchmarkHTTPSolveUncachedTree is the from-scratch baseline for
+// BenchmarkHTTPPatchSolve: every iteration submits the same 2047-node tree
+// with one row changed, so each request is a fresh digest and runs the full
+// frontier DP (decode, canonicalize, solve, cache).
+func BenchmarkHTTPSolveUncachedTree(b *testing.B) {
+	ts, stop := newBenchServer()
+	defer stop()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDo(b, client, "POST", ts.URL+"/v1/solve", benchTreeBody(0, i))
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fuzzSessionBody is a tiny 3-node chain instance; every fuzz iteration gets
+// its own session built from it.
+const fuzzSessionBody = `{"graph":{"nodes":[{"name":"a","op":"op"},{"name":"b","op":"op"},{"name":"c","op":"op"}],` +
+	`"edges":[{"from":"a","to":"b"},{"from":"b","to":"c"}]},` +
+	`"table":{"time":[[1,2],[1,2],[1,2]],"cost":[[5,1],[5,1],[5,1]]},"deadline":6}`
+
+// FuzzPatchInstance throws arbitrary PATCH bodies at a live session. The
+// contract under attack: an invalid delta — dangling node ids,
+// cycle-creating edges, negative times, garbage JSON — yields exactly a 400
+// and leaves the session state untouched (same generation, same digest, and
+// a re-solve reproduces the same answer), while an accepted patch leaves the
+// session self-consistent. Nothing may panic, and no status outside
+// {200, 400} may escape.
+func FuzzPatchInstance(f *testing.F) {
+	f.Add(`{"ops":[]}`)
+	f.Add(`{"ops":[{"op":"set_row","node":1,"time":[2,3],"cost":[4,2]}]}`)
+	f.Add(`{"ops":[{"op":"set_row","node":99,"time":[1,1],"cost":[1,1]}]}`)
+	f.Add(`{"ops":[{"op":"set_row","node":0,"time":[-1,2],"cost":[1,1]}]}`)
+	f.Add(`{"ops":[{"op":"add_edge","from":2,"to":0,"delays":0}]}`)
+	f.Add(`{"ops":[{"op":"add_edge","from":0,"to":7}]}`)
+	f.Add(`{"ops":[{"op":"remove_edge","from":0,"to":1}]}`)
+	f.Add(`{"ops":[{"op":"remove_edge","from":2,"to":1}]}`)
+	f.Add(`{"ops":[{"op":"set_deadline","deadline":-3}]}`)
+	f.Add(`{"ops":[{"op":"set_deadline","deadline":1}]}`)
+	f.Add(`{"ops":[{"op":"add_edge","from":1,"to":1,"delays":0}]}`)
+	f.Add(`{"ops":[{"op":"set_row","node":0,"time":[1,1],"cost":[1,1]},{"op":"nonsense"}]}`)
+	f.Add(`{"ops":[`)
+	f.Add(`{"ops":[],"timeout_ms":-5}`)
+	f.Add(`{"ops":[]}{"x":1}`)
+
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	f.Cleanup(func() { ts.Close(); s.Close() })
+	var seq atomic.Int64
+
+	f.Fuzz(func(t *testing.T, body string) {
+		id := fmt.Sprintf("fz%d", seq.Add(1))
+		code, base := postJSON(t, ts, "PUT", "/v1/instances/"+id, fuzzSessionBody)
+		if code != 201 {
+			t.Fatalf("PUT: status %d: %v", code, base)
+		}
+		baseRes := base["result"].(map[string]any)
+
+		code, resp := postJSON(t, ts, "PATCH", "/v1/instances/"+id, body)
+		switch code {
+		case 200:
+			// Accepted: the committed view must be self-consistent — a GET
+			// reads back the same state the patch returned.
+			gcode, got := postJSON(t, ts, "GET", "/v1/instances/"+id, "")
+			if gcode != 200 || got["gen"] != resp["gen"] || got["digest"] != resp["digest"] {
+				t.Fatalf("accepted patch not readable back: %v vs %v", resp, got)
+			}
+		case 400:
+			// Rejected: nothing moved. Same generation and digest, and an
+			// empty re-solve patch reproduces the original answer exactly.
+			gcode, got := postJSON(t, ts, "GET", "/v1/instances/"+id, "")
+			if gcode != 200 {
+				t.Fatalf("GET after rejection: status %d", gcode)
+			}
+			if got["gen"] != base["gen"] || got["digest"] != base["digest"] {
+				t.Fatalf("rejected patch mutated state: gen %v→%v digest %v→%v (body %q)",
+					base["gen"], got["gen"], base["digest"], got["digest"], body)
+			}
+			rcode, re := postJSON(t, ts, "PATCH", "/v1/instances/"+id, `{"ops":[]}`)
+			if rcode != 200 {
+				t.Fatalf("re-solve after rejection: status %d: %v", rcode, re)
+			}
+			if re["digest"] != base["digest"] {
+				t.Fatalf("re-solve digest drifted after rejection: %v vs %v", re["digest"], base["digest"])
+			}
+			reRes := re["result"].(map[string]any)
+			if reRes["cost"] != baseRes["cost"] {
+				t.Fatalf("re-solve cost drifted after rejection: %v vs %v (body %q)", reRes["cost"], baseRes["cost"], body)
+			}
+		default:
+			t.Fatalf("PATCH returned status %d (body %q): %v", code, body, resp)
+		}
+		if dcode, _ := postJSON(t, ts, "DELETE", "/v1/instances/"+id, ""); dcode != 200 {
+			t.Fatalf("DELETE: status %d", dcode)
+		}
+	})
+}

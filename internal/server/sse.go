@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// sseFrame is one server-sent event headed for a subscriber.
+type sseFrame struct {
+	event string
+	data  []byte
+}
+
+// sseSub is one SSE subscriber's bounded mailbox. ch buffers frames between
+// the solving goroutine and the HTTP writer; done closes when the session is
+// evicted, terminating the stream.
+type sseSub struct {
+	ch   chan sseFrame
+	done chan struct{}
+}
+
+// offer enqueues f without ever blocking the producer: when the mailbox is
+// full the oldest buffered frame is dropped to make room (newest state wins —
+// an SSE consumer that fell behind cares about the latest incumbent, not the
+// history it missed). Returns how many frames were dropped to make room.
+func (sub *sseSub) offer(f sseFrame) int {
+	dropped := 0
+	for {
+		select {
+		case sub.ch <- f:
+			return dropped
+		default:
+		}
+		select {
+		case <-sub.ch:
+			dropped++
+		default:
+		}
+	}
+}
+
+// sseIncumbent is the payload of an "incumbent" frame: one improvement of
+// the session's best feasible solution during a (re-)solve.
+type sseIncumbent struct {
+	Gen        int64   `json:"gen"`
+	Stage      string  `json:"stage"`
+	Cost       int64   `json:"cost"`
+	LowerBound int64   `json:"lower_bound"`
+	Gap        float64 `json:"gap"`
+}
+
+// sseSettled is the payload of a "settled" frame: the terminal outcome of
+// one committed session generation.
+type sseSettled struct {
+	Gen        int64   `json:"gen"`
+	Digest     string  `json:"digest"`
+	Quality    string  `json:"quality,omitempty"`
+	Cost       int64   `json:"cost"`
+	Gap        float64 `json:"gap"`
+	Infeasible bool    `json:"infeasible"`
+	Source     string  `json:"source"`
+	Recomputed int     `json:"recomputed"`
+}
+
+// sseEvicted is the payload of the final "evicted" frame before the stream
+// closes.
+type sseEvicted struct {
+	Reason string `json:"reason"`
+}
+
+// pushFrame marshals v once and offers the frame to every current
+// subscriber of ss. It is called from solving goroutines (observer
+// callbacks, commit), so it must never block: each mailbox applies
+// drop-oldest on overflow.
+func (s *Server) pushFrame(ss *session, event string, v any) {
+	ss.mu.Lock()
+	subs := append([]*sseSub(nil), ss.subs...)
+	ss.mu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	f := sseFrame{event: event, data: data}
+	dropped := 0
+	for _, sub := range subs {
+		dropped += sub.offer(f)
+	}
+	s.met.sseFrames.Add(int64(len(subs)))
+	if dropped > 0 {
+		s.met.sseDropped.Add(int64(dropped))
+	}
+}
+
+// subscribe attaches a new mailbox to the session; it fails once eviction
+// has begun (the stream would never receive a terminal frame).
+func (ss *session) subscribe(buffer int) (*sseSub, bool) {
+	sub := &sseSub{ch: make(chan sseFrame, buffer), done: make(chan struct{})}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.evicted {
+		return nil, false
+	}
+	ss.subs = append(ss.subs, sub)
+	return sub, true
+}
+
+// unsubscribe detaches sub; a no-op when eviction already captured the list.
+func (ss *session) unsubscribe(sub *sseSub) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for i, x := range ss.subs {
+		if x == sub {
+			ss.subs = append(ss.subs[:i], ss.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// writeSSE emits one server-sent event.
+func writeSSE(w http.ResponseWriter, event string, data []byte) {
+	//hetsynth:ignore retval a failed write means the client is gone; the
+	// stream loop notices via the request context and terminates.
+	_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// handleSessionEvents streams the session's solve progress as server-sent
+// events: an initial "state" frame with the current view, an "incumbent"
+// frame per anytime-ladder improvement during re-solves, a "settled" frame
+// per committed generation, and a terminal "evicted" frame when the session
+// ends. A consumer that falls behind its bounded mailbox loses oldest
+// frames first and never slows a solve down.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, &apiError{Status: 503, Msg: "server is draining"})
+		return
+	}
+	ss, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, &apiError{Status: 404, Msg: "no such instance session"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &apiError{Status: 500, Msg: "streaming unsupported by this connection"})
+		return
+	}
+	sub, ok := ss.subscribe(s.cfg.SessionEventBuffer)
+	if !ok {
+		writeErr(w, &apiError{Status: 404, Msg: "instance session evicted"})
+		return
+	}
+	defer ss.unsubscribe(sub)
+	ss.touch()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if data, err := json.Marshal(ss.currentView()); err == nil {
+		writeSSE(w, "state", data)
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case f := <-sub.ch:
+			writeSSE(w, f.event, f.data)
+			fl.Flush()
+		case <-sub.done:
+			// Session evicted: drain whatever was buffered ahead of the close
+			// (the terminal "evicted" frame is offered before done closes).
+			for {
+				select {
+				case f := <-sub.ch:
+					writeSSE(w, f.event, f.data)
+				default:
+					fl.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
