@@ -64,12 +64,18 @@ type Report struct {
 }
 
 // suites maps a suite name to its (pkg, bench regexp, default output). The
-// server suite covers both wire codecs (BenchmarkHTTP*Bin are the binary
-// twins) plus the BenchmarkDirect in-process dispatch benchmarks, which
-// measure the handler without the ~20µs net/http loopback floor.
+// pkg field is a whitespace-separated package-pattern list (split with
+// strings.Fields), so one suite can span packages. The server suite covers
+// both wire codecs (BenchmarkHTTP*Bin are the binary twins), the
+// BenchmarkDirect in-process dispatch benchmarks, which measure the handler
+// without the ~20µs net/http loopback floor, and — since the cluster PR —
+// the internal/cluster benchmarks: ring lookups, affinity-key extraction
+// on both codecs, and the end-to-end router forwarding path.
 var suites = map[string][3]string{
-	"core":   {".", ".", "BENCH_1.json"},
-	"server": {"./internal/server/", "BenchmarkHTTP|BenchmarkDirect", "BENCH_2.json"},
+	"core": {".", ".", "BENCH_1.json"},
+	"server": {"./internal/server/ ./internal/cluster/",
+		"BenchmarkHTTP|BenchmarkDirect|BenchmarkRouter|BenchmarkRing|BenchmarkAffinityKey",
+		"BENCH_2.json"},
 }
 
 func main() {
@@ -125,7 +131,7 @@ func main() {
 		if *count > 1 {
 			args = append(args, "-count", strconv.Itoa(*count))
 		}
-		args = append(args, *pkg)
+		args = append(args, strings.Fields(*pkg)...)
 		cmd := exec.Command("go", args...)
 		var buf bytes.Buffer
 		cmd.Stdout = &buf

@@ -1,0 +1,114 @@
+// Command hetsynthrouter is the cluster front door: a cache-affinity
+// reverse proxy that consistent-hashes each solve's canonical instance
+// digest (package canon) onto a ring of hetsynthd nodes, so same-graph
+// traffic always lands on the node already holding the pinned
+// FrontierSolver and raw-response entries (see internal/cluster and
+// DESIGN.md §14).
+//
+// The router proxies both wire codecs verbatim — the binary frame's
+// instance bytes are digested in place without decoding — and probes each
+// peer's GET /v1/peerz for health. A 429/Retry-After from a node (or a
+// draining heartbeat) halves its virtual-node weight so part of its
+// keyspace spills to ring successors; a dead node weighs zero and its keys
+// fail over entirely; recovery ramps weights back over a few probe
+// intervals.
+//
+// The router's own endpoints: GET /healthz (ok while any peer is live) and
+// GET /metrics (forwarded, affinity_hits, failovers, peer_sheds, per-peer
+// state). Everything else mirrors the hetsynthd API and is forwarded.
+//
+// Usage:
+//
+//	hetsynthrouter -addr :8080 -peers http://10.0.0.1:8081,http://10.0.0.2:8081
+//	hetsynthrouter -addr 127.0.0.1:0 -peers ...   # free port, printed on stdout
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hetsynth/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		peers    = flag.String("peers", "", "comma-separated backend base URLs (required)")
+		vnodes   = flag.Int("vnodes", 128, "virtual nodes per peer on the hash ring")
+		probe    = flag.Duration("probe", 250*time.Millisecond, "peer health probe interval")
+		probeTO  = flag.Duration("probe-timeout", 2*time.Second, "per-probe HTTP timeout")
+		idle     = flag.Int("idle-per-host", 64, "pooled connections kept per peer")
+		logLevel = flag.String("log", "info", "log level (debug|info|warn|error)")
+	)
+	flag.Parse()
+	if err := run(*addr, *peers, *vnodes, *probe, *probeTO, *idle, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "hetsynthrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, peers string, vnodes int, probe, probeTO time.Duration, idle int, logLevel string) error {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(logLevel)); err != nil {
+		return fmt.Errorf("bad -log level %q: %w", logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var urls []string
+	for _, u := range strings.Split(peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-peers is required (comma-separated backend base URLs)")
+	}
+
+	rt, err := cluster.New(cluster.Config{
+		Peers:          urls,
+		VNodes:         vnodes,
+		ProbeInterval:  probe,
+		ProbeTimeout:   probeTO,
+		MaxIdlePerHost: idle,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout as the first line, so wrappers
+	// (e.g. the serve-smoke driver) can use "-addr 127.0.0.1:0" and parse
+	// the port the kernel handed out.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	logger.Info("hetsynthrouter starting", "addr", ln.Addr().String(), "peers", len(urls), "vnodes", vnodes)
+
+	ctx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSig()
+
+	srv := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("hetsynthrouter draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// The cluster scenario (`make serve-cluster`) demonstrates the point of
+// cache-affinity scale-out on a box with any number of CPUs: cache
+// *capacity*, not parallelism. The working set is sized to overflow one
+// node's LRU (every tier of it, result/frontier/raw-replay), so a single
+// node thrashes — sequential cyclic access over a set larger than an LRU is
+// its worst case, every request misses — while three affinity-routed nodes
+// partition the same set into shards that each fit, turning the same traffic
+// into raw-replay hits.
+const (
+	// clusterWorkingSet is the number of distinct instances cycled through.
+	// Must exceed clusterNodeCache (single node thrashes) while workingSet/3
+	// bodies stay comfortably under it (each cluster shard fits, even at the
+	// ring's worst-case ~1.5× skew).
+	clusterWorkingSet = 150
+	// clusterNodeCache is the -cache flag for every node in both setups.
+	clusterNodeCache = 120
+	// clusterConcurrency is the in-flight request cap for the timed passes;
+	// the shared HTTP client's per-host idle pool is sized to match.
+	clusterConcurrency = 8
+	// clusterPasses is how many full cycles over the working set each timed
+	// measurement runs.
+	clusterPasses = 2
+)
+
+// clusterBody is the i-th working-set instance: distinct seeds defeat every
+// cache across instances; types 8 and the huge slack push the DP horizon to
+// its max-makespan clamp, so an uncached solve costs real milliseconds while
+// a cached replay is sub-millisecond — the gap the capacity experiment
+// amplifies.
+func clusterBody(i int) string {
+	return fmt.Sprintf(`{"bench":"elliptic","seed":%d,"types":8,"slack":1500}`, i+1)
+}
+
+// bootNode starts one hetsynthd sized for the capacity experiment.
+func bootNode(bin string) (*exec.Cmd, string, error) {
+	return boot(bin, "-workers", "1", "-queue", "64",
+		"-cache", fmt.Sprint(clusterNodeCache), "-cache-shards", "1")
+}
+
+// runPass pushes one or more full cycles over the working set through base
+// at clusterConcurrency in cyclic order, and returns the wall time plus the
+// count of 429-deferred requests. Any status other than 200/429 fails the
+// pass; a 429 must carry Retry-After.
+func runPass(base string, passes int) (time.Duration, int, error) {
+	total := passes * clusterWorkingSet
+	var (
+		next     atomic.Int64
+		deferred atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for w := 0; w < clusterConcurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				body := clusterBody(i % clusterWorkingSet)
+				resp, err := smokeClient.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+				if err != nil {
+					fail(fmt.Errorf("request %d: %w", i, err))
+					return
+				}
+				_, cerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if cerr != nil {
+					fail(fmt.Errorf("request %d: reading body: %w", i, cerr))
+					return
+				}
+				switch resp.StatusCode {
+				case 200:
+				case 429:
+					if resp.Header.Get("Retry-After") == "" {
+						fail(fmt.Errorf("request %d: 429 without Retry-After", i))
+						return
+					}
+					deferred.Add(1)
+				default:
+					fail(fmt.Errorf("request %d: status %d", i, resp.StatusCode))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), int(deferred.Load()), firstErr
+}
+
+// getJSON fetches and decodes one JSON endpoint.
+func getJSON(url string, out any) error {
+	resp, err := smokeClient.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// clusterSmoke runs the full cluster acceptance story:
+//
+//  1. Baseline: one node whose caches are smaller than the working set,
+//     measured over cyclic passes — the thrash case.
+//  2. Cluster: three identical nodes behind hetsynthrouter, same traffic —
+//     affinity partitions the set so each shard fits; throughput must be at
+//     least minSpeedup× the baseline and the router's affinity rate >= 90%.
+//  3. Failover: SIGKILL one node mid-traffic; every request must still
+//     settle as 200 or a 429/Retry-After deferral, never a failure, and the
+//     router must record the failovers.
+func clusterSmoke(nodeBin, routerBin string, minSpeedup float64) error {
+	// ---- Phase 1: single-node baseline (cache capacity < working set) ----
+	single, singleBase, err := bootNode(nodeBin)
+	if err != nil {
+		return fmt.Errorf("booting baseline node: %w", err)
+	}
+	defer single.Process.Kill()
+
+	if _, _, err := runPass(singleBase, 1); err != nil {
+		return fmt.Errorf("baseline warm pass: %w", err)
+	}
+	singleDur, singleDeferred, err := runPass(singleBase, clusterPasses)
+	if err != nil {
+		return fmt.Errorf("baseline timed pass: %w", err)
+	}
+	if singleDeferred > 0 {
+		return fmt.Errorf("baseline shed %d requests; queue should absorb concurrency %d", singleDeferred, clusterConcurrency)
+	}
+	var singleMet map[string]any
+	if err := getJSON(singleBase+"/metrics", &singleMet); err != nil {
+		return err
+	}
+	if err := terminate(single); err != nil {
+		return fmt.Errorf("baseline node: %w", err)
+	}
+
+	// The working set must actually have thrashed the baseline: with cyclic
+	// access over a set larger than the LRU, (nearly) every timed request
+	// re-solves. If most were cache hits the experiment is mis-sized and the
+	// speedup below would be measuring nothing.
+	solves, _ := singleMet["solves"].(float64)
+	if solves < float64(clusterWorkingSet)*(clusterPasses+0.5) {
+		return fmt.Errorf("baseline solved only %.0f times over %d requests; working set is not thrashing the cache",
+			solves, (clusterPasses+1)*clusterWorkingSet)
+	}
+
+	// ---- Phase 2: 3-node cluster behind the router ----
+	var (
+		nodes []*exec.Cmd
+		peers []string
+	)
+	for i := 0; i < 3; i++ {
+		n, base, err := bootNode(nodeBin)
+		if err != nil {
+			return fmt.Errorf("booting cluster node %d: %w", i, err)
+		}
+		defer n.Process.Kill()
+		nodes = append(nodes, n)
+		peers = append(peers, base)
+	}
+	// The probe interval is deliberately long: phase 3 wants the *request
+	// path* (transport failure -> markDead -> ring successor) to discover the
+	// kill, not the prober racing ahead of it.
+	router, routerBase, err := boot(routerBin, "-peers", strings.Join(peers, ","), "-probe", "2s")
+	if err != nil {
+		return fmt.Errorf("booting router: %w", err)
+	}
+	defer router.Process.Kill()
+
+	if _, _, err := runPass(routerBase, 1); err != nil {
+		return fmt.Errorf("cluster warm pass: %w", err)
+	}
+	clusterDur, clusterDeferred, err := runPass(routerBase, clusterPasses)
+	if err != nil {
+		return fmt.Errorf("cluster timed pass: %w", err)
+	}
+	if clusterDeferred > 0 {
+		return fmt.Errorf("healthy cluster shed %d requests", clusterDeferred)
+	}
+
+	var rmet struct {
+		Forwarded    int64   `json:"forwarded"`
+		AffinityHits int64   `json:"affinity_hits"`
+		AffinityRate float64 `json:"affinity_rate"`
+		Failovers    int64   `json:"failovers"`
+		PeerSheds    int64   `json:"peer_sheds"`
+		KeyFallbacks int64   `json:"key_fallbacks"`
+	}
+	if err := getJSON(routerBase+"/metrics", &rmet); err != nil {
+		return err
+	}
+	if rmet.AffinityRate < 0.90 {
+		return fmt.Errorf("router affinity rate %.3f, want >= 0.90 (hits %d / forwarded %d)",
+			rmet.AffinityRate, rmet.AffinityHits, rmet.Forwarded)
+	}
+	if rmet.KeyFallbacks > 0 {
+		return fmt.Errorf("router fell back to raw-byte keys %d times on well-formed bodies", rmet.KeyFallbacks)
+	}
+
+	speedup := float64(singleDur) / float64(clusterDur)
+	fmt.Printf("servesmoke: cluster capacity effect: single %v, cluster %v over %d requests -> %.2fx (affinity %.1f%%)\n",
+		singleDur.Round(time.Millisecond), clusterDur.Round(time.Millisecond),
+		clusterPasses*clusterWorkingSet, speedup, 100*rmet.AffinityRate)
+	if speedup < minSpeedup {
+		return fmt.Errorf("cluster speedup %.2fx below the %.2fx floor", speedup, minSpeedup)
+	}
+
+	// ---- Phase 3: kill one node, then drive traffic into the hole ----
+	// SIGKILL lands before the pass so the router still believes the peer is
+	// alive (the probe interval is far longer than the pass): every request
+	// homed on the dead node must fail over through the request path with no
+	// client-visible error.
+	killed := nodes[1]
+	if err := killed.Process.Signal(syscall.SIGKILL); err != nil {
+		return fmt.Errorf("killing node: %w", err)
+	}
+	//hetsynth:ignore retval the SIGKILLed child's non-zero exit is the point;
+	// Wait only reaps the zombie.
+	_ = killed.Wait()
+	if _, _, err := runPass(routerBase, 1); err != nil {
+		return fmt.Errorf("failover pass: %w", err)
+	}
+
+	if err := getJSON(routerBase+"/metrics", &rmet); err != nil {
+		return err
+	}
+	if rmet.Failovers < 1 {
+		return fmt.Errorf("killed a node mid-traffic but the router recorded %d failovers", rmet.Failovers)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		LivePeers int    `json:"live_peers"`
+	}
+	if err := getJSON(routerBase+"/healthz", &health); err != nil {
+		return err
+	}
+	if health.Status != "ok" || health.LivePeers != 2 {
+		return fmt.Errorf("router health after failover: %+v, want ok with 2 live peers", health)
+	}
+
+	// A final full pass on the degraded cluster must also settle cleanly —
+	// the dead node's keyspace now lives on its ring successors.
+	if _, _, err := runPass(routerBase, 1); err != nil {
+		return fmt.Errorf("post-failover pass: %w", err)
+	}
+
+	if err := terminate(router); err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	for i, n := range nodes {
+		if i == 1 {
+			continue
+		}
+		if err := terminate(n); err != nil {
+			return fmt.Errorf("cluster node %d: %w", i, err)
+		}
+	}
+	return nil
+}

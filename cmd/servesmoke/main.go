@@ -63,6 +63,9 @@ func main() {
 	overload := flag.Bool("overload", false, "run the overload scenario instead of the cache/drain smoke")
 	admit := flag.Bool("admit", false, "run the admission-control scenario instead of the cache/drain smoke")
 	session := flag.Bool("session", false, "run the stateful-session scenario instead of the cache/drain smoke")
+	cluster := flag.Bool("cluster", false, "run the cluster scale-out scenario (needs -router-bin)")
+	routerBin := flag.String("router-bin", "", "path to the hetsynthrouter binary (cluster scenario)")
+	minSpeedup := flag.Float64("min-speedup", 2.5, "cluster scenario: required cluster/single throughput ratio")
 	flag.Parse()
 	if *bin == "" {
 		fmt.Fprintln(os.Stderr, "servesmoke: -bin is required")
@@ -82,12 +85,30 @@ func main() {
 	if *session {
 		run, name = func() error { return sessionSmoke(*bin) }, "PASS (session)"
 	}
+	if *cluster {
+		if *routerBin == "" {
+			fmt.Fprintln(os.Stderr, "servesmoke: -cluster needs -router-bin")
+			os.Exit(2)
+		}
+		run, name = func() error { return clusterSmoke(*bin, *routerBin, *minSpeedup) }, "PASS (cluster)"
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke:", name)
 }
+
+// smokeClient is the one HTTP client every scenario shares. The default
+// client keeps only two idle connections per host, so concurrent phases
+// (the overload burst, the cluster passes) would re-dial on almost every
+// request and measure TCP setup instead of the server; sizing the idle pool
+// to the largest concurrency any scenario uses keeps connections hot.
+var smokeClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConns:        64,
+	MaxIdleConnsPerHost: 32,
+	IdleConnTimeout:     90 * time.Second,
+}}
 
 // boot starts the daemon with extra flags and returns the process plus the
 // base URL once it is healthy. The caller owns shutdown via cmd.
@@ -177,9 +198,9 @@ func postOver(base, codec, path, body string) (map[string]any, error) {
 				return nil, err
 			}
 		}
-		resp, err = http.Post(base+path, server.BinContentType, bytes.NewReader(enc))
+		resp, err = smokeClient.Post(base+path, server.BinContentType, bytes.NewReader(enc))
 	} else {
-		resp, err = http.Post(base+path, "application/json", strings.NewReader(body))
+		resp, err = smokeClient.Post(base+path, "application/json", strings.NewReader(body))
 	}
 	if err != nil {
 		return nil, err
@@ -301,7 +322,7 @@ func smoke(bin, wire string) error {
 		return fmt.Errorf("deadline-only change source = %v, want frontier", shifted["source"])
 	}
 
-	resp, err := http.Get(base + "/metrics")
+	resp, err := smokeClient.Get(base + "/metrics")
 	if err != nil {
 		return err
 	}
@@ -410,7 +431,7 @@ func overloadSmoke(bin string) error {
 			}
 			req.Header.Set("X-Hetsynth-Deadline-Ms", "150")
 			start := time.Now()
-			resp, err := http.DefaultClient.Do(req)
+			resp, err := smokeClient.Do(req)
 			o.wall = time.Since(start)
 			if err != nil {
 				o.err = err
@@ -487,7 +508,7 @@ func overloadSmoke(bin string) error {
 		return fmt.Errorf("no admitted request was degraded; the 150ms budget should preclude exact answers")
 	}
 
-	resp, err := http.Get(base + "/metrics")
+	resp, err := smokeClient.Get(base + "/metrics")
 	if err != nil {
 		return err
 	}
@@ -510,7 +531,7 @@ func overloadSmoke(bin string) error {
 func waitHealthy(base string) error {
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := smokeClient.Get(base + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == 200 {
@@ -627,7 +648,7 @@ func admitSmoke(bin string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/v1/admit/jobs", "application/json", bytes.NewReader(jobBody))
+	resp, err := smokeClient.Post(base+"/v1/admit/jobs", "application/json", bytes.NewReader(jobBody))
 	if err != nil {
 		return err
 	}
@@ -643,7 +664,7 @@ func admitSmoke(bin string) error {
 	id, _ := jv["id"].(string)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		resp, err := http.Get(base + "/v1/jobs/" + id)
+		resp, err := smokeClient.Get(base + "/v1/jobs/" + id)
 		if err != nil {
 			return err
 		}
@@ -673,7 +694,7 @@ func admitSmoke(bin string) error {
 
 	// The verdict ledger must balance: every served verdict bumped exactly
 	// one of accepted/rejected, cache hits included.
-	mresp, err := http.Get(base + "/metrics")
+	mresp, err := smokeClient.Get(base + "/metrics")
 	if err != nil {
 		return err
 	}

@@ -59,7 +59,7 @@ func doJSON(method, url, body string) (int, map[string]any, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := smokeClient.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -85,7 +85,7 @@ type sseStream struct {
 }
 
 func openEvents(url string) (*sseStream, error) {
-	resp, err := http.Get(url)
+	resp, err := smokeClient.Get(url)
 	if err != nil {
 		return nil, err
 	}

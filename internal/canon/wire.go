@@ -41,6 +41,15 @@ func AppendInstance(b []byte, g *dfg.Graph, t *fu.Table) []byte {
 	return appendTable(appendGraph(b, g), t)
 }
 
+// InstanceDigest is Instance over a pre-built instance encoding: inst must
+// be the exact bytes AppendInstance produces. The digest is byte-identical
+// to what Instance returns for the decoded problem, which is what lets a
+// router key cache-affinity routing straight off the wire bytes of a binary
+// request — one SHA-256, no decode, no re-encode.
+//
+// hetsynth:hotpath
+func InstanceDigest(inst []byte) string { return hexSum(inst) }
+
 // KeysEncoded is Keys over a pre-built instance encoding: inst must be the
 // exact bytes AppendInstance produces (DecodeInstance guarantees this for
 // validated wire input). The digests are byte-identical to what Keys returns

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/server"
+)
+
+// BenchmarkRingRoute measures one consistent-hash lookup with chain
+// assembly — the per-request routing cost that rides every forward.
+func BenchmarkRingRoute(b *testing.B) {
+	r, err := NewRing(3, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := ringKeys(256)
+	buf := make([]int, 0, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, chain := r.Route(keys[i&255], fullWeights, buf[:0])
+		if len(chain) == 0 {
+			b.Fatal("empty chain")
+		}
+	}
+}
+
+// BenchmarkAffinityKeyBinInline measures the zero-parse binary key
+// extraction over an inline instance — one header scan plus a SHA-256 over
+// the in-place instance bytes, no graph or table reconstruction. This is the
+// path the "zero-copy" claim in DESIGN.md §14 is about.
+func BenchmarkAffinityKeyBinInline(b *testing.B) {
+	g := dfg.New()
+	var prev dfg.NodeID
+	for i := 0; i < 34; i++ {
+		id, err := g.AddNode(fmt.Sprintf("n%d", i), "mac")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i > 0 {
+			if err := g.AddEdge(prev, id, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	tab := fu.RandomTable(rand.New(rand.NewSource(1)), g.N(), 3)
+	gj, err := g.MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &server.SolveRequest{Graph: gj, Table: &server.TablePayload{Time: tab.Time, Cost: tab.Cost}, Slack: new(int)}
+	body, err := server.EncodeBinSolveRequest(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AffinityKey(body, true, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAffinityKeyBinBench measures binary extraction for a
+// bench-by-name entry, which must materialize the named graph and seeded
+// table to digest them — the same work the JSON path does.
+func BenchmarkAffinityKeyBinBench(b *testing.B) {
+	seed := int64(1)
+	req := &server.SolveRequest{Bench: "elliptic", Seed: &seed, Types: 3, Slack: new(int)}
+	body, err := server.EncodeBinSolveRequest(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AffinityKey(body, true, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAffinityKeyJSON measures the JSON key extraction, which must
+// decode and resolve the request node-style; the gap to the binary variant
+// is the router's zero-parse win.
+func BenchmarkAffinityKeyJSON(b *testing.B) {
+	body := []byte(`{"bench":"elliptic","seed":1,"types":3,"slack":4}`)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AffinityKey(body, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCluster stands up n real hetsynthd nodes behind a router and returns
+// the front URL plus a tuned client.
+func benchCluster(b *testing.B, n int) (string, *http.Client) {
+	b.Helper()
+	var peers []string
+	for i := 0; i < n; i++ {
+		s := server.New(server.Config{Workers: 1})
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(func() { ts.Close(); s.Close() })
+		peers = append(peers, ts.URL)
+	}
+	rt, err := New(Config{Peers: peers, ProbeInterval: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	b.Cleanup(front.Close)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	return front.URL, client
+}
+
+// BenchmarkRouterCachedSolve measures the router's full forwarding overhead
+// on the hot path the cluster exists for: a solve already cached on its home
+// node. Key extraction + ring lookup + proxy round-trip + node raw replay.
+func BenchmarkRouterCachedSolve(b *testing.B) {
+	url, client := benchCluster(b, 3)
+	bodies := make([]string, 16)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"bench":"elliptic","seed":%d,"types":3,"slack":4}`, i)
+	}
+	post := func(body string) {
+		resp, err := client.Post(url+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	for _, body := range bodies {
+		post(body) // warm every node's cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(bodies[i&15])
+	}
+}
+
+// BenchmarkRouterCachedSolveBin is BenchmarkRouterCachedSolve over the
+// binary codec: the zero-parse extraction path end to end.
+func BenchmarkRouterCachedSolveBin(b *testing.B) {
+	url, client := benchCluster(b, 3)
+	bodies := make([][]byte, 16)
+	for i := range bodies {
+		seed := int64(i)
+		req := &server.SolveRequest{Bench: "elliptic", Seed: &seed, Types: 3, Slack: new(int)}
+		enc, err := server.EncodeBinSolveRequest(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = enc
+	}
+	post := func(body []byte) {
+		req, err := http.NewRequest(http.MethodPost, url+"/v1/solve", strings.NewReader(string(body)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Content-Type", server.BinContentType)
+		req.Header.Set("Accept", server.BinContentType)
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	for _, body := range bodies {
+		post(body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(bodies[i&15])
+	}
+}
+
+// BenchmarkRouterMetrics measures the /metrics snapshot cost, which status
+// pollers hit continuously in production.
+func BenchmarkRouterMetrics(b *testing.B) {
+	rt, err := New(Config{Peers: []string{"http://127.0.0.1:1"}, ProbeInterval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := rt.Metrics()
+		if len(m.Peers) != 1 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hetsynth/internal/server"
+)
+
+// maxProxyBodyBytes bounds a buffered request body, mirroring the node's
+// own maxBodyBytes bound so the router never buffers more than a node would
+// accept.
+const maxProxyBodyBytes = 8 << 20
+
+// hopHeaders are the hop-by-hop headers a proxy must not relay (RFC 9110
+// §7.6.1); everything else is copied verbatim in both directions.
+var hopHeaders = [...]string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// bodyPool recycles request-body buffers; ownership is exclusive between
+// getBody/putBody, exactly like the node's iobuf pool.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBody() *bytes.Buffer {
+	b := bodyPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBody(b *bytes.Buffer) { bodyPool.Put(b) }
+
+// copyPool recycles response-relay chunks.
+var copyPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// forward proxies one fully buffered request to peer p and relays the
+// response to w. body may be nil for body-less methods; because the body is
+// always an in-memory slice, a transport failure is safely retryable on a
+// ring successor — nothing has been consumed and nothing written to w.
+//
+// The returned status is the upstream's; retryAfter carries a parsed
+// Retry-After hint on 429/503. A non-nil error means the peer never
+// produced an HTTP response (dial/transport failure) and w is untouched;
+// once any part of a response has been relayed the request is committed and
+// err is nil.
+//
+// stream switches the body relay to flush-per-chunk, which is what keeps
+// SSE sessions (/v1/instances/{id}/events) live through the router.
+//
+// hetsynth:hotpath
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, p *Peer, stream bool) (status int, retryAfter time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.URL+r.URL.RequestURI(), rd)
+	if err != nil {
+		return 0, 0, err
+	}
+	copyHeaders(req.Header, r.Header)
+	req.Header.Set(server.ForwardedHeader, "hetsynthrouter")
+	req.ContentLength = int64(len(body))
+
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		//hetsynth:ignore retval response body close after a full relay (or
+		// a failed one with the client gone); there is no recovery path.
+		_ = resp.Body.Close()
+	}()
+
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	if stream {
+		relayStream(w, resp.Body)
+	} else {
+		bp := copyPool.Get().(*[]byte)
+		//hetsynth:ignore retval a failed relay write means the client is
+		// gone; the response status is already committed.
+		_, _ = io.CopyBuffer(w, resp.Body, *bp)
+		copyPool.Put(bp)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		if s, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && s > 0 {
+			retryAfter = time.Duration(s) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// relayStream copies an SSE body flushing every read, so upstream frames
+// reach the subscriber as they are produced rather than when a 32k buffer
+// fills.
+func relayStream(w http.ResponseWriter, body io.Reader) {
+	f, canFlush := w.(http.Flusher) // non-Flusher writers degrade to buffered relay
+	buf := make([]byte, 4<<10)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if canFlush {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// copyHeaders copies everything but hop-by-hop headers from src into dst.
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		if isHopHeader(k) {
+			continue
+		}
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func isHopHeader(k string) bool {
+	for _, h := range hopHeaders {
+		if h == k {
+			return true
+		}
+	}
+	return false
+}

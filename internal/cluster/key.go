@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"hetsynth/internal/canon"
+	"hetsynth/internal/server"
+)
+
+// This file extracts the routing key — the canonical instance digest — from
+// a solve or batch body without solving, validating, or (for the binary
+// codec) even decoding it.
+//
+// The binary path is the hot one and is zero-parse: the frame layout
+// (DESIGN.md §11) is scanned just far enough to locate the embedded
+// canonical instance bytes, which are digested in place via
+// canon.InstanceDigest — one SHA-256 over bytes already in the request
+// buffer, no graph reconstruction. The JSON path re-uses the node's own
+// resolution code (server.ResolveInstance), so both codecs produce exactly
+// the digest the node will key its caches with; the property tests in
+// key_test.go hold the two implementations together.
+//
+// Extraction never has to be correct about *validity* — only deterministic.
+// A body the node would reject still routes consistently (FallbackKey), so
+// the 400 comes from one node's decoder rather than from a router that
+// second-guesses it.
+
+// Wire-frame constants mirrored from the binary protocol spec (DESIGN.md
+// §11). The router re-states them rather than importing the node's decoder:
+// the scanner must stay decode-free, and a spec drift between the two is
+// exactly what the cross-codec digest tests are there to catch.
+const (
+	keyMsgSolveReq = 1
+	keyMsgBatchReq = 3
+
+	keyFlagTimeout = 1 << 2
+	keyFlagsKnown  = 0b111 // schedule | slack | timeout
+
+	keySrcInline    = 0
+	keySrcBench     = 1
+	keyTableCatalog = 1
+	keyTableSeed    = 2
+	keyMaxNameLen   = 256
+)
+
+var keyMagic = [4]byte{'H', 'S', 'B', '1'}
+
+// AffinityKey derives the routing key of a /v1/solve or /v1/solve-batch
+// body: the canonical instance digest of the (first) entry. batch selects
+// the batch frame/JSON shape; bin selects the binary codec. Batches route
+// by their first entry — sweep batches share one instance across entries,
+// so the whole batch lands where its shared frontier lives.
+//
+// An error means the body defeated extraction (malformed, or an empty
+// batch); the caller should fall back to FallbackKey rather than reject —
+// only a node's decoder owns rejection.
+func AffinityKey(body []byte, bin, batch bool) (string, error) {
+	if bin {
+		return binAffinityKey(body, batch)
+	}
+	return jsonAffinityKey(body, batch)
+}
+
+// FallbackKey keys a body the extractor could not understand: a digest of
+// the raw bytes. Malformed traffic still routes deterministically —
+// byte-identical garbage lands on one node and is rejected there once,
+// with the raw-replay cache absorbing repeats of well-formed bodies.
+func FallbackKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// binAffinityKey scans a binary frame for its first entry's instance and
+// digests it in place.
+//
+// hetsynth:hotpath
+func binAffinityKey(body []byte, batch bool) (string, error) {
+	if len(body) < 9 {
+		return "", errors.New("cluster: body shorter than a frame header")
+	}
+	if [4]byte(body[:4]) != keyMagic {
+		return "", errors.New("cluster: bad frame magic")
+	}
+	wantMsg := byte(keyMsgSolveReq)
+	if batch {
+		wantMsg = keyMsgBatchReq
+	}
+	if body[4] != wantMsg {
+		return "", fmt.Errorf("cluster: frame type %d, want %d", body[4], wantMsg)
+	}
+	if n := binary.LittleEndian.Uint32(body[5:9]); uint64(n) != uint64(len(body)-9) {
+		return "", errors.New("cluster: frame length mismatch")
+	}
+	s := keyScan{b: body[9:]}
+	if batch {
+		cnt, err := s.uvarint()
+		if err != nil {
+			return "", err
+		}
+		if cnt == 0 {
+			return "", errors.New("cluster: batch has no entries")
+		}
+	}
+	return s.entryKey()
+}
+
+// keyScan is a minimal forward cursor over a frame payload — just enough
+// arithmetic to hop over the fixed entry layout.
+type keyScan struct {
+	b   []byte
+	off int
+}
+
+var errKeyTruncated = errors.New("cluster: truncated frame payload")
+
+func (s *keyScan) u8() (byte, error) {
+	if s.off >= len(s.b) {
+		return 0, errKeyTruncated
+	}
+	c := s.b[s.off]
+	s.off++
+	return c, nil
+}
+
+func (s *keyScan) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(s.b[s.off:])
+	if n <= 0 {
+		return 0, errKeyTruncated
+	}
+	s.off += n
+	return x, nil
+}
+
+// str returns a bounded length-prefixed string.
+func (s *keyScan) str() (string, error) {
+	n, err := s.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > keyMaxNameLen || int(n) > len(s.b)-s.off {
+		return "", errKeyTruncated
+	}
+	v := string(s.b[s.off : s.off+int(n)])
+	s.off += int(n)
+	return v, nil
+}
+
+func (s *keyScan) skip(n int) error {
+	if n > len(s.b)-s.off {
+		return errKeyTruncated
+	}
+	s.off += n
+	return nil
+}
+
+// entryKey scans one solve-request entry at the cursor and returns its
+// instance digest. Inline entries digest the embedded canonical bytes
+// without decoding them; bench entries resolve through the node's own
+// request resolution, so named benchmarks and seeded tables key identically
+// on router and node.
+func (s *keyScan) entryKey() (string, error) {
+	flags, err := s.u8()
+	if err != nil {
+		return "", err
+	}
+	if flags&^byte(keyFlagsKnown) != 0 {
+		return "", fmt.Errorf("cluster: unknown request flags 0x%02x", flags)
+	}
+	if _, err := s.uvarint(); err != nil { // deadline or slack
+		return "", err
+	}
+	if flags&keyFlagTimeout != 0 {
+		if _, err := s.uvarint(); err != nil {
+			return "", err
+		}
+	}
+	if _, err := s.str(); err != nil { // algorithm
+		return "", err
+	}
+	src, err := s.u8()
+	if err != nil {
+		return "", err
+	}
+	switch src {
+	case keySrcInline:
+		if err := s.skip(4); err != nil {
+			return "", err
+		}
+		n := binary.LittleEndian.Uint32(s.b[s.off-4 : s.off])
+		if int(n) > len(s.b)-s.off {
+			return "", errKeyTruncated
+		}
+		inst := s.b[s.off : s.off+int(n)]
+		return canon.InstanceDigest(inst), nil
+	case keySrcBench:
+		req := server.SolveRequest{}
+		if req.Bench, err = s.str(); err != nil {
+			return "", err
+		}
+		tk, err := s.u8()
+		if err != nil {
+			return "", err
+		}
+		switch tk {
+		case keyTableCatalog:
+			if req.Catalog, err = s.str(); err != nil {
+				return "", err
+			}
+		case keyTableSeed:
+			if err := s.skip(8); err != nil {
+				return "", err
+			}
+			seed := int64(binary.LittleEndian.Uint64(s.b[s.off-8 : s.off]))
+			req.Seed = &seed
+			types, err := s.uvarint()
+			if err != nil {
+				return "", err
+			}
+			req.Types = int(types)
+		default:
+			return "", fmt.Errorf("cluster: unknown table source %d", tk)
+		}
+		return resolveInstanceDigest(&req)
+	default:
+		return "", fmt.Errorf("cluster: unknown graph source %d", src)
+	}
+}
+
+// jsonAffinityKey resolves a JSON body through the node's own request
+// resolution and digests the materialized instance.
+func jsonAffinityKey(body []byte, batch bool) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	if batch {
+		var breq struct {
+			Entries []server.SolveRequest `json:"entries"`
+		}
+		if err := dec.Decode(&breq); err != nil {
+			return "", fmt.Errorf("cluster: batch JSON: %w", err)
+		}
+		if len(breq.Entries) == 0 {
+			return "", errors.New("cluster: batch has no entries")
+		}
+		return resolveInstanceDigest(&breq.Entries[0])
+	}
+	var req server.SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		return "", fmt.Errorf("cluster: solve JSON: %w", err)
+	}
+	return resolveInstanceDigest(&req)
+}
+
+// resolveInstanceDigest materializes a request's graph and table exactly as
+// a node would and returns the canonical instance digest the node will key
+// its caches with.
+func resolveInstanceDigest(req *server.SolveRequest) (string, error) {
+	g, tab, err := server.ResolveInstance(req)
+	if err != nil {
+		return "", err
+	}
+	return canon.Instance(g, tab), nil
+}

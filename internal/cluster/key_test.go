@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hetsynth/internal/canon"
+	"hetsynth/internal/dfg"
+	"hetsynth/internal/fu"
+	"hetsynth/internal/server"
+)
+
+// keyTestBodies is the shared JSON corpus: every request shape the node's
+// decoder accepts, mirroring the table in internal/server/wire_test.go.
+var keyTestBodies = []string{
+	`{"bench":"elliptic","seed":1,"slack":4}`,
+	`{"bench":"elliptic","seed":1,"types":3,"slack":4}`,
+	`{"bench":"diffeq","catalog":"generic3","deadline":40,"schedule":true}`,
+	`{"bench":"iir4","seed":9,"types":2,"deadline":60,"algorithm":"dp","timeout_ms":250}`,
+	`{"bench":"fft8","seed":1234,"types":4,"slack":6,"schedule":true}`,
+	`{"graph":{"nodes":[{"name":"a","op":"mul"},{"name":"b","op":"add"}],"edges":[{"from":"a","to":"b"}]},"table":{"time":[[1,2],[2,1]],"cost":[[3,1],[1,4]]},"slack":3}`,
+}
+
+// nodeDigest resolves a request the way a node does and returns the instance
+// digest the node keys its caches with — the reference value every
+// router-side extraction must reproduce.
+func nodeDigest(t *testing.T, req *server.SolveRequest) string {
+	t.Helper()
+	g, tab, err := server.ResolveInstance(req)
+	if err != nil {
+		t.Fatalf("ResolveInstance: %v", err)
+	}
+	return canon.Instance(g, tab)
+}
+
+func parseSolveRequest(t *testing.T, body string) *server.SolveRequest {
+	t.Helper()
+	var req server.SolveRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	return &req
+}
+
+// TestAffinityKeyMatchesNodeDigestJSON holds the JSON extraction path to the
+// node's own cache keying: for every accepted request shape, the router's
+// key equals the canonical instance digest the node computes.
+func TestAffinityKeyMatchesNodeDigestJSON(t *testing.T) {
+	for _, body := range keyTestBodies {
+		req := parseSolveRequest(t, body)
+		want := nodeDigest(t, req)
+		got, err := AffinityKey([]byte(body), false, false)
+		if err != nil {
+			t.Fatalf("AffinityKey(%s): %v", body, err)
+		}
+		if got != want {
+			t.Errorf("AffinityKey(%s) = %s, want node digest %s", body, got, want)
+		}
+	}
+}
+
+// TestAffinityKeyMatchesNodeDigestBin is the cross-codec property at the
+// heart of the router: the zero-parse scan over a binary frame produces the
+// same digest as fully resolving the JSON twin node-side. This is what
+// pins the scanner's mirrored wire constants to the real protocol — a spec
+// drift between key.go and internal/server/wire.go fails here.
+func TestAffinityKeyMatchesNodeDigestBin(t *testing.T) {
+	for _, body := range keyTestBodies {
+		req := parseSolveRequest(t, body)
+		want := nodeDigest(t, req)
+		bin, err := server.EncodeBinSolveRequest(req)
+		if err != nil {
+			t.Fatalf("EncodeBinSolveRequest(%s): %v", body, err)
+		}
+		got, err := AffinityKey(bin, true, false)
+		if err != nil {
+			t.Fatalf("AffinityKey(bin %s): %v", body, err)
+		}
+		if got != want {
+			t.Errorf("bin AffinityKey(%s) = %s, want node digest %s", body, got, want)
+		}
+	}
+}
+
+// TestAffinityKeyBatchRoutesByFirstEntry checks both batch codecs key on the
+// first entry's digest, and that a JSON batch, its binary twin, and the bare
+// first entry all land on the same key.
+func TestAffinityKeyBatchRoutesByFirstEntry(t *testing.T) {
+	var breq server.BatchRequest
+	for _, body := range keyTestBodies[:3] {
+		breq.Entries = append(breq.Entries, *parseSolveRequest(t, body))
+	}
+	want := nodeDigest(t, &breq.Entries[0])
+
+	jsonBody, err := json.Marshal(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AffinityKey(jsonBody, false, true)
+	if err != nil {
+		t.Fatalf("json batch: %v", err)
+	}
+	if got != want {
+		t.Errorf("json batch key = %s, want first-entry digest %s", got, want)
+	}
+
+	binBody, err := server.EncodeBinBatchRequest(&breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = AffinityKey(binBody, true, true)
+	if err != nil {
+		t.Fatalf("bin batch: %v", err)
+	}
+	if got != want {
+		t.Errorf("bin batch key = %s, want first-entry digest %s", got, want)
+	}
+}
+
+// TestAffinityKeyInlineDigestsWithoutDecoding builds instances directly and
+// checks the inline scan equals canon.InstanceDigest over the exact encoded
+// bytes (the KeysEncoded instance key), across a spread of random graphs.
+func TestAffinityKeyInlineDigestsWithoutDecoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(t, rng, 2+rng.Intn(12))
+		tab := fu.RandomTable(rng, g.N(), 1+rng.Intn(4))
+
+		inst := canon.AppendInstance(nil, g, tab)
+		wantInst := canon.InstanceDigest(inst)
+		if want := canon.Instance(g, tab); wantInst != want {
+			t.Fatalf("canon self-check: InstanceDigest %s != Instance %s", wantInst, want)
+		}
+		_, wantKeyed := canon.KeysEncoded(inst, 10, "auto")
+		if wantInst != wantKeyed {
+			t.Fatalf("canon self-check: InstanceDigest %s != KeysEncoded instance %s", wantInst, wantKeyed)
+		}
+
+		gj, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := &server.SolveRequest{
+			Graph: gj,
+			Table: &server.TablePayload{Time: tab.Time, Cost: tab.Cost},
+			Slack: new(int),
+		}
+		bin, err := server.EncodeBinSolveRequest(req)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		want := nodeDigest(t, req)
+		got, err := AffinityKey(bin, true, false)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Errorf("trial %d: inline bin key %s != node digest %s", trial, got, want)
+		}
+	}
+}
+
+// randomGraph builds a random connected DAG of n nodes.
+func randomGraph(t *testing.T, rng *rand.Rand, n int) *dfg.Graph {
+	t.Helper()
+	ops := []string{"add", "mul", "sub", "mac"}
+	g := dfg.New()
+	ids := make([]dfg.NodeID, n)
+	for i := 0; i < n; i++ {
+		id, err := g.AddNode(fmt.Sprintf("n%d", i), ops[rng.Intn(len(ops))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(ids[rng.Intn(i)], ids[i], rng.Intn(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestAffinityKeyMalformedNeverPanics walks every truncation of a valid
+// binary frame (plus bit-flip corruptions) through the scanner: all must
+// return an error or a digest, never panic, and extraction failure must be
+// deterministic so FallbackKey routing is stable.
+func TestAffinityKeyMalformedNeverPanics(t *testing.T) {
+	req := parseSolveRequest(t, keyTestBodies[0])
+	bin, err := server.EncodeBinSolveRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(bin); cut++ {
+		if _, err := AffinityKey(bin[:cut], true, false); err == nil && cut < len(bin) {
+			// Truncations shorter than the full frame must fail the length
+			// check in the header (or the scan).
+			t.Errorf("truncation at %d unexpectedly produced a key", cut)
+		}
+	}
+	for i := 0; i < len(bin); i++ {
+		mut := append([]byte(nil), bin...)
+		mut[i] ^= 0xff
+		k1, e1 := AffinityKey(mut, true, false)
+		k2, e2 := AffinityKey(mut, true, false)
+		if k1 != k2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("nondeterministic extraction at flip %d", i)
+		}
+	}
+	if _, err := AffinityKey(nil, true, false); err == nil {
+		t.Error("nil body produced a key")
+	}
+	if _, err := AffinityKey([]byte(`{"entries":[]}`), false, true); err == nil {
+		t.Error("empty batch produced a key")
+	}
+	if _, err := AffinityKey([]byte(`not json`), false, false); err == nil {
+		t.Error("garbage JSON produced a key")
+	}
+}
+
+// TestFallbackKeyDeterministic pins the fallback's two properties: equal
+// bodies key equal, distinct bodies key distinct.
+func TestFallbackKeyDeterministic(t *testing.T) {
+	a, b := FallbackKey([]byte("x")), FallbackKey([]byte("x"))
+	if a != b {
+		t.Fatalf("FallbackKey not deterministic: %s vs %s", a, b)
+	}
+	if FallbackKey([]byte("x")) == FallbackKey([]byte("y")) {
+		t.Fatal("distinct bodies collided")
+	}
+	if len(a) != 64 || strings.ToLower(a) != a {
+		t.Fatalf("FallbackKey %q is not lowercase hex sha256", a)
+	}
+}

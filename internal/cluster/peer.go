@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Peer is one backend node of the cluster: its base URL plus the liveness
+// and backpressure state that routing reads. All mutable state is atomic —
+// the forwarding hot path reads weights lock-free on every request, and the
+// prober writes from its own goroutine.
+type Peer struct {
+	// URL is the node's base URL (scheme://host:port), immutable.
+	URL string
+
+	alive     atomic.Bool  // false after a transport failure or failed health probe
+	weight    atomic.Int64 // vnode activation weight in [WeightFloor, WeightFull] while alive
+	shedUntil atomic.Int64 // unix nanos until which recovery ramping stays paused
+
+	forwarded atomic.Int64 // requests this peer answered (any HTTP status)
+	errs      atomic.Int64 // transport failures talking to this peer
+}
+
+func newPeer(url string) *Peer {
+	p := &Peer{URL: url}
+	p.alive.Store(true)
+	p.weight.Store(WeightFull)
+	return p
+}
+
+// effectiveWeight is the vnode activation weight routing sees right now:
+// zero for a dead node, the backpressure-adjusted weight otherwise.
+func (p *Peer) effectiveWeight() int {
+	if !p.alive.Load() {
+		return 0
+	}
+	return int(p.weight.Load())
+}
+
+// markShed records a backpressure signal (a 429 relay or a "draining"
+// heartbeat): the weight halves down to WeightFloor — spilling roughly half
+// the node's remaining keyspace to ring successors — and recovery ramping
+// is paused for the retryAfter hint. It reports whether the weight actually
+// dropped, so the router counts shed *events* rather than every 429 of a
+// sustained burst.
+func (p *Peer) markShed(retryAfter time.Duration, now time.Time) bool {
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	until := now.Add(retryAfter).UnixNano()
+	for {
+		cur := p.shedUntil.Load()
+		if cur >= until || p.shedUntil.CompareAndSwap(cur, until) {
+			break
+		}
+	}
+	for {
+		w := p.weight.Load()
+		nw := w / 2
+		if nw < WeightFloor {
+			nw = WeightFloor
+		}
+		if nw >= w {
+			return false
+		}
+		if p.weight.CompareAndSwap(w, nw) {
+			return true
+		}
+	}
+}
+
+// markDead takes the node out of the ring entirely (transport failure or a
+// failed health probe); it reports whether the node was alive before.
+func (p *Peer) markDead() bool {
+	return p.alive.CompareAndSwap(true, false)
+}
+
+// markAlive readmits a node the prober found healthy again. It re-enters at
+// a quarter weight — its caches are cold after death, so keys flow back
+// gradually as recoverStep ramps — and reports whether the node was dead.
+func (p *Peer) markAlive(now time.Time) bool {
+	if !p.alive.CompareAndSwap(false, true) {
+		return false
+	}
+	p.weight.Store(WeightFloor * 2)
+	p.shedUntil.Store(now.UnixNano())
+	return true
+}
+
+// recoverStep is called by the prober on each healthy heartbeat: once the
+// shed pause has elapsed, the weight doubles toward WeightFull, so a node
+// that shed under a burst takes back its keyspace over a few probe
+// intervals instead of all at once.
+func (p *Peer) recoverStep(now time.Time) {
+	if !p.alive.Load() || now.UnixNano() < p.shedUntil.Load() {
+		return
+	}
+	for {
+		w := p.weight.Load()
+		if w >= WeightFull {
+			return
+		}
+		nw := w * 2
+		if nw > WeightFull {
+			nw = WeightFull
+		}
+		if p.weight.CompareAndSwap(w, nw) {
+			return
+		}
+	}
+}
+
+// PeerStatus is one peer's row in the router's /metrics body.
+type PeerStatus struct {
+	URL       string `json:"url"`
+	Alive     bool   `json:"alive"`
+	Weight    int    `json:"weight"`
+	Forwarded int64  `json:"forwarded"`
+	Errors    int64  `json:"errors"`
+}
+
+func (p *Peer) status() PeerStatus {
+	return PeerStatus{
+		URL:       p.URL,
+		Alive:     p.alive.Load(),
+		Weight:    int(p.weight.Load()),
+		Forwarded: p.forwarded.Load(),
+		Errors:    p.errs.Load(),
+	}
+}

@@ -294,6 +294,7 @@ func (s *Server) runAdmit(ctx context.Context, spec *admitSpec) (*AdmitResult, s
 // verdict, cache hits included.
 func (s *Server) serveAdmitResult(w http.ResponseWriter, res *AdmitResult, source string) {
 	s.countAdmitVerdict(res)
+	countEndpoint(&s.met.admitCached, &s.met.admitUncached, source)
 	if res.Quality != "" {
 		w.Header().Set(QualityHeader, res.Quality)
 	}
@@ -433,6 +434,7 @@ func (s *Server) handleAdmitJobSubmit(w http.ResponseWriter, r *http.Request) {
 		res := v.(*AdmitResult)
 		if s.settleJob(j, JobDone, "cache", res, "", 0) {
 			s.countAdmitVerdict(res)
+			s.met.admitCached.Add(1)
 		}
 		s.jobs.add(j)
 		s.met.jobsSubmitted.Add(1)
@@ -451,6 +453,7 @@ func (s *Server) handleAdmitJobSubmit(w http.ResponseWriter, r *http.Request) {
 		case out.res != nil:
 			if s.settleJob(j, JobDone, out.source, out.res, "", 0) {
 				s.countAdmitVerdict(out.res)
+				countEndpoint(&s.met.admitCached, &s.met.admitUncached, out.source)
 			}
 		default:
 			err := out.err

@@ -80,6 +80,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 				s.met.batchRequests.Add(1)
 				s.met.cacheHits.Add(1)
 				s.met.rawHits.Add(1)
+				s.met.batchCached.Add(int64(e.entries))
 				w.Header().Set("Content-Type", codec.contentType())
 				w.WriteHeader(http.StatusOK)
 				//hetsynth:ignore retval a failed write means the client is gone;
@@ -270,6 +271,11 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			out[i] = out[j]
 		}
 	}
+	for i := range out {
+		if out[i].Result != nil {
+			countEndpoint(&s.met.batchCached, &s.met.batchUncached, out[i].Source)
+		}
+	}
 	resp := BatchResponse{
 		Results:   out,
 		Entries:   len(entries),
@@ -301,7 +307,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	// real result (transient errors — timeouts, load shed, draining — and
 	// timeout-quality incumbents are run-dependent and must re-run).
 	if len(body) <= maxRawKeyBytes && batchSettled(out) {
-		s.storeRaw(body, codec, enc, "", true)
+		s.storeRaw(body, codec, enc, "", true, len(out))
 	}
 }
 

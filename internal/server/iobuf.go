@@ -30,6 +30,7 @@ type rawEntry struct {
 	body    [numCodecs][]byte
 	quality string
 	batch   bool
+	entries int // solve entries the replayed answer covers (1, or the batch size)
 }
 
 // bufPool recycles request-body buffers. Ownership is exclusive: a buffer

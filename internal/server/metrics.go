@@ -35,6 +35,24 @@ type metrics struct {
 	batchEntries  atomic.Int64 // entries across all batch requests
 	batchDeduped  atomic.Int64 // batch entries answered by an earlier duplicate in the same batch
 
+	// Per-endpoint served-verdict split. "Cached" covers every answer
+	// produced without a fresh execution on this node — raw-body replay,
+	// result-cache and frontier-curve hits; "uncached" means a solver (or
+	// admission analysis) ran, coalesced followers included (their answer
+	// still cost an execution somewhere in this process). The batch pair
+	// counts entries, not requests, so sweeps report their real hit depth.
+	solveCached   atomic.Int64
+	solveUncached atomic.Int64
+	batchCached   atomic.Int64
+	batchUncached atomic.Int64
+	admitCached   atomic.Int64
+	admitUncached atomic.Int64
+
+	// forwardedIn counts requests relayed by a cluster router (the
+	// ForwardedHeader was set), so an operator can read the share of a
+	// node's traffic arriving via affinity routing off /metrics.
+	forwardedIn atomic.Int64
+
 	// Admission-control endpoint (/v1/admit). Every served verdict bumps
 	// exactly one of accepted/rejected — cache hits included — so after all
 	// admit traffic settles without errors or shedding,
@@ -89,6 +107,19 @@ func (m *metrics) observeSolve(d time.Duration) {
 	m.latHist[i].Add(1)
 }
 
+// countEndpoint bumps one side of a per-endpoint cached/uncached pair for a
+// served result, keyed by its response source annotation: cache, frontier and
+// raw replays were answered from held state; solve and coalesced paid (or
+// rode) a fresh execution.
+func countEndpoint(cached, uncached *atomic.Int64, source string) {
+	switch source {
+	case "cache", "frontier", "raw":
+		cached.Add(1)
+	default:
+		uncached.Add(1)
+	}
+}
+
 // meanSolve returns the observed mean solver-execution latency, or zero
 // before any solve has completed. It feeds the queue-wait estimate behind
 // admission control and Retry-After hints.
@@ -124,6 +155,9 @@ type MetricsSnapshot struct {
 	BatchEntries  int64 `json:"batch_entries"`
 	BatchDeduped  int64 `json:"batch_deduped"`
 
+	Endpoints   EndpointCounters `json:"endpoints"`
+	ForwardedIn int64            `json:"forwarded_in"`
+
 	AdmitRequests    int64 `json:"admit_requests"`
 	AdmitAccepted    int64 `json:"admit_accepted"`
 	AdmitRejected    int64 `json:"admit_rejected"`
@@ -149,6 +183,19 @@ type MetricsSnapshot struct {
 	JobsCanceledFinal int64 `json:"jobs_canceled_final"`
 
 	SolveLatency histogramSnapshot `json:"solve_latency"`
+}
+
+// EndpointCounters is the per-endpoint cached-vs-uncached split in /metrics:
+// how many served verdicts each endpoint answered from held state (raw
+// replay, result cache, frontier curve) versus by running an execution. The
+// batch pair counts entries, not requests.
+type EndpointCounters struct {
+	SolveCached          int64 `json:"solve_cached"`
+	SolveUncached        int64 `json:"solve_uncached"`
+	BatchEntriesCached   int64 `json:"batch_entries_cached"`
+	BatchEntriesUncached int64 `json:"batch_entries_uncached"`
+	AdmitCached          int64 `json:"admit_cached"`
+	AdmitUncached        int64 `json:"admit_uncached"`
 }
 
 type histogramSnapshot struct {
@@ -181,6 +228,15 @@ func (m *metrics) snapshot(cacheEntries, sessionsActive int) MetricsSnapshot {
 		BatchRequests: m.batchRequests.Load(),
 		BatchEntries:  m.batchEntries.Load(),
 		BatchDeduped:  m.batchDeduped.Load(),
+		Endpoints: EndpointCounters{
+			SolveCached:          m.solveCached.Load(),
+			SolveUncached:        m.solveUncached.Load(),
+			BatchEntriesCached:   m.batchCached.Load(),
+			BatchEntriesUncached: m.batchUncached.Load(),
+			AdmitCached:          m.admitCached.Load(),
+			AdmitUncached:        m.admitUncached.Load(),
+		},
+		ForwardedIn: m.forwardedIn.Load(),
 		AdmitRequests:    m.admitRequests.Load(),
 		AdmitAccepted:    m.admitAccepted.Load(),
 		AdmitRejected:    m.admitRejected.Load(),

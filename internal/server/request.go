@@ -43,6 +43,26 @@ const DeadlineHeader = "X-Hetsynth-Deadline-Ms"
 // spot degraded answers without parsing the body.
 const QualityHeader = "X-Hetsynth-Quality"
 
+// ForwardedHeader marks a request relayed by a cluster router
+// (cmd/hetsynthrouter). Nodes count these under forwarded_in in /metrics, so
+// an operator can read the share of a node's traffic arriving via affinity
+// routing; the value is the router's identity and is otherwise uninterpreted.
+const ForwardedHeader = "X-Hetsynth-Forwarded"
+
+// PeerzSnapshot is the JSON body of GET /v1/peerz — the lightweight
+// health/load summary cluster peers exchange. The router maps Status
+// "draining" to a weight reduction exactly like a 429, so a node being shut
+// down sheds its keys to ring successors before its listener closes.
+type PeerzSnapshot struct {
+	Status       string  `json:"status"` // "ok" or "draining"
+	Workers      int     `json:"workers"`
+	QueueDepth   int64   `json:"queue_depth"`
+	InFlight     int64   `json:"in_flight"`
+	MeanSolveMS  float64 `json:"mean_solve_ms"`
+	CacheEntries int     `json:"cache_entries"`
+	Sessions     int     `json:"sessions"`
+}
+
 // SolveRequest is the JSON body of POST /v1/solve and POST /v1/jobs.
 //
 // The graph comes from exactly one of:
@@ -186,6 +206,24 @@ func decodeSolveRequestBytes(b []byte) (*solveSpec, error) {
 		return nil, badRequest("trailing data after request object")
 	}
 	return resolve(&req)
+}
+
+// ResolveInstance materializes the problem instance a request describes —
+// graph and table only, deadline and algorithm ignored. It exists for the
+// cluster router (internal/cluster), whose routing key is the
+// deadline-independent canonical instance digest of exactly this pair; going
+// through the same resolution code as the node guarantees the router and the
+// node derive identical digests for every JSON body.
+func ResolveInstance(req *SolveRequest) (*dfg.Graph, *fu.Table, error) {
+	g, err := resolveGraph(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := resolveTable(req, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, tab, nil
 }
 
 // resolve turns the wire request into a concrete problem and canonical keys.

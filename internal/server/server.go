@@ -172,8 +172,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/instances/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/peerz", s.handlePeerz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.logged(mux)
+	return s.logged(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) != "" {
+			s.met.forwardedIn.Add(1)
+		}
+		mux.ServeHTTP(w, r)
+	}))
 }
 
 // Run serves on ln until ctx is cancelled, then drains: admission stops
@@ -600,6 +606,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				s.met.requests.Add(1)
 				s.met.cacheHits.Add(1)
 				s.met.rawHits.Add(1)
+				s.met.solveCached.Add(1)
 				if e.quality != "" {
 					w.Header().Set(QualityHeader, e.quality)
 				}
@@ -729,7 +736,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusCreated, j.view())
 		return
 	} else if res != nil {
-		s.settleJob(j, JobDone, source, res, "", 0)
+		if s.settleJob(j, JobDone, source, res, "", 0) {
+			countEndpoint(&s.met.solveCached, &s.met.solveUncached, source)
+		}
 		s.jobs.add(j)
 		s.met.jobsSubmitted.Add(1)
 		writeJSON(w, http.StatusCreated, j.view())
@@ -747,7 +756,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	finish := func() {
 		switch {
 		case out.res != nil:
-			s.settleJob(j, JobDone, out.source, out.res, "", 0)
+			if s.settleJob(j, JobDone, out.source, out.res, "", 0) {
+				countEndpoint(&s.met.solveCached, &s.met.solveUncached, out.source)
+			}
 		default:
 			err := out.err
 			if err == nil { // skipped in queue: context cancelled or timed out
@@ -846,6 +857,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.met.snapshot(s.cache.len(), s.sessions.len()))
 }
 
+// handlePeerz is GET /v1/peerz: the cluster health/load exchange. A router
+// (cmd/hetsynthrouter) polls it at high frequency to steer consistent-hash
+// weights, so it is deliberately a fraction of /metrics — a handful of
+// counters, no histogram walk.
+func (s *Server) handlePeerz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, PeerzSnapshot{
+		Status:       status,
+		Workers:      s.cfg.Workers,
+		QueueDepth:   s.met.queueDepth.Load(),
+		InFlight:     s.met.inFlight.Load(),
+		MeanSolveMS:  float64(s.met.meanSolve()) / float64(time.Millisecond),
+		CacheEntries: s.cache.len(),
+		Sessions:     s.sessions.len(),
+	})
+}
+
 // ---- response plumbing ----
 
 // writeResult encodes a solve response through a pooled buffer — JSON or the
@@ -857,6 +888,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // quality is settled by construction, and storing it verbatim keeps the
 // source field of raw replays truthful).
 func (s *Server) writeResult(w http.ResponseWriter, res *SolveResult, source string, rawKey []byte, codec codecID) {
+	countEndpoint(&s.met.solveCached, &s.met.solveUncached, source)
 	var out []byte
 	if codec == codecBin {
 		bb := getBinBuf()
@@ -881,7 +913,7 @@ func (s *Server) writeResult(w http.ResponseWriter, res *SolveResult, source str
 	// response status is already committed and there is no recovery path.
 	_, _ = w.Write(out)
 	if source == "cache" && len(rawKey) > 0 && len(rawKey) <= maxRawKeyBytes {
-		s.storeRaw(rawKey, codec, out, res.Quality, false)
+		s.storeRaw(rawKey, codec, out, res.Quality, false, 1)
 	}
 }
 
@@ -891,8 +923,8 @@ func (s *Server) writeResult(w http.ResponseWriter, res *SolveResult, source str
 // encoding of the answer. Entries stay immutable — a merge builds a new one —
 // and both codecs live under the one key, which is what makes their pin and
 // eviction lifetime atomic.
-func (s *Server) storeRaw(key []byte, codec codecID, enc []byte, quality string, batch bool) {
-	e := &rawEntry{quality: quality, batch: batch}
+func (s *Server) storeRaw(key []byte, codec codecID, enc []byte, quality string, batch bool, entries int) {
+	e := &rawEntry{quality: quality, batch: batch, entries: entries}
 	e.body[codec] = append([]byte(nil), enc...)
 	if v, ok := s.rawCache.getBytes(key); ok {
 		if old := v.(*rawEntry); old.batch == batch {

@@ -81,7 +81,7 @@ func BenchmarkHTTPSolveCachedBin(b *testing.B) {
 			// Twice: the first request solves, the second is answered from the
 			// result cache and stores the raw-replay entry the loop then hits.
 			for j := 0; j < 2; j++ {
-				resp, err := http.Post(ts.URL+"/v1/solve", BinContentType, bytes.NewReader(body))
+				resp, err := benchClient.Post(ts.URL+"/v1/solve", BinContentType, bytes.NewReader(body))
 				if err != nil {
 					b.Fatal(err)
 				}
